@@ -1,0 +1,6 @@
+"""Benchmark harness regenerating every table and figure of the paper.
+
+Run with ``pytest benchmarks/ --benchmark-only``. See DESIGN.md §2 for
+the experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+results.
+"""

@@ -1,0 +1,62 @@
+"""Ablation — Monte-Carlo estimator error versus sample count N.
+
+Theorem 3 promises |alpha_hat - alpha| <= epsilon with probability
+1 - delta when N >= ln(2/delta) / (2 eps^2). This ablation measures the
+actual estimation error on the paper's H2 subgraph (exact alpha = 0.125
+for every edge) across a sweep of N, checking the error shrinks and the
+paper's N = 150 choice sits within its promised envelope.
+"""
+
+import math
+
+import pytest
+
+from repro import GlobalTrussOracle, WorldSampleSet, alpha_exact
+
+from benchmarks.conftest import print_header, run_once
+from repro.graphs.generators import running_example
+
+_SAMPLE_COUNTS = (10, 50, 150, 600, 2400)
+_TRIALS = 20
+
+
+def test_ablation_estimator_error(benchmark):
+    graph = running_example()
+    h2 = graph.subgraph(["q1", "v1", "v2", "v3"])
+    exact = alpha_exact(h2, 4)
+    rows = []
+
+    def sweep():
+        for n in _SAMPLE_COUNTS:
+            errors = []
+            for trial in range(_TRIALS):
+                samples = WorldSampleSet.from_graph(
+                    graph, n, seed=1000 * n + trial
+                )
+                oracle = GlobalTrussOracle(samples)
+                estimates = oracle.alpha_estimates(h2, 4)
+                errors.append(max(
+                    abs(estimates[e] - exact[e]) for e in exact
+                ))
+            mean_err = sum(errors) / len(errors)
+            max_err = max(errors)
+            # Hoeffding epsilon for this N at delta = 0.1.
+            eps = math.sqrt(math.log(2 / 0.1) / (2 * n))
+            rows.append((n, mean_err, max_err, eps))
+        return rows
+
+    run_once(benchmark, sweep)
+
+    print_header(
+        "Ablation: alpha_hat error vs sample count (H2, exact alpha=0.125)",
+        f"{'N':>6} {'mean err':>9} {'max err':>9} {'Hoeffding eps':>14}",
+    )
+    for n, mean_err, max_err, eps in rows:
+        print(f"{n:>6} {mean_err:>9.4f} {max_err:>9.4f} {eps:>14.4f}")
+
+    # Error decreases with N (compare endpoints; jitter-tolerant).
+    assert rows[-1][1] < rows[0][1]
+    # At every N the observed max error respects the Hoeffding envelope
+    # (which holds with prob 1 - delta per estimate; allow slack x1.5).
+    for n, mean_err, max_err, eps in rows:
+        assert max_err <= eps * 1.5

@@ -1,0 +1,134 @@
+"""Extension — alternative decomposition algorithms vs the flagships.
+
+Cross-checks and times the alternative algorithms the library ships
+alongside the paper's:
+
+* deterministic trussness: peeling vs h-index iteration;
+* probabilistic local trussness: Algorithm 1 (bucket peel) vs the
+  asynchronous fixpoint iteration;
+* dynamic maintenance: incremental updates vs from-scratch
+  recomputation over an update stream.
+
+All three pairs must agree exactly; the timings quantify the trade.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import local_truss_decomposition, truss_decomposition
+from repro.core.local_iterative import local_truss_decomposition_iterative
+from repro.truss.dynamic import DynamicLocalTruss
+from repro.truss.hindex import truss_decomposition_hindex
+
+from benchmarks.conftest import cached_dataset, print_header, run_once
+
+
+def test_ext_peeling_vs_hindex(benchmark):
+    rows = []
+
+    def sweep():
+        for name in ("fruitfly", "wikivote", "dblp"):
+            graph = cached_dataset(name)
+            t0 = time.perf_counter()
+            peel = truss_decomposition(graph)
+            t_peel = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            hind = truss_decomposition_hindex(graph)
+            t_hind = time.perf_counter() - t0
+            assert peel == hind
+            rows.append((name, t_peel, t_hind))
+        return rows
+
+    run_once(benchmark, sweep)
+
+    print_header(
+        "Extension: deterministic trussness — peeling vs h-index",
+        f"{'network':<12} {'peel (s)':>9} {'h-index (s)':>12}",
+    )
+    for name, t_peel, t_hind in rows:
+        print(f"{name:<12} {t_peel:>9.3f} {t_hind:>12.3f}")
+
+
+def test_ext_algorithm1_vs_fixpoint(benchmark):
+    gamma = 0.5
+    rows = []
+
+    def sweep():
+        for name in ("fruitfly", "dblp"):
+            graph = cached_dataset(name)
+            t0 = time.perf_counter()
+            peel = local_truss_decomposition(graph, gamma).trussness
+            t_peel = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            fix = local_truss_decomposition_iterative(graph, gamma)
+            t_fix = time.perf_counter() - t0
+            assert peel == fix
+            rows.append((name, t_peel, t_fix))
+        return rows
+
+    run_once(benchmark, sweep)
+
+    print_header(
+        f"Extension: local trussness (gamma={gamma}) — Algorithm 1 vs "
+        "fixpoint iteration",
+        f"{'network':<12} {'Alg.1 (s)':>10} {'fixpoint (s)':>13}",
+    )
+    for name, t_peel, t_fix in rows:
+        print(f"{name:<12} {t_peel:>10.3f} {t_fix:>13.3f}")
+
+
+def test_ext_dynamic_vs_recompute(benchmark):
+    k, gamma = 3, 0.5
+    graph = cached_dataset("wikivote", scale=0.4)
+    rng = np.random.default_rng(21)
+    n_events = 40
+    holder = {}
+
+    def stream():
+        tracker = DynamicLocalTruss(graph, k, gamma)
+        shadow = graph.copy()
+        nodes = sorted(shadow.nodes())
+        t_dynamic = 0.0
+        t_static = 0.0
+        for _ in range(n_events):
+            edges = list(shadow.edges())
+            if edges and rng.random() < 0.5:
+                u, v = edges[int(rng.integers(len(edges)))]
+                t0 = time.perf_counter()
+                tracker.remove_edge(u, v)
+                t_dynamic += time.perf_counter() - t0
+                shadow.remove_edge(u, v)
+            else:
+                u = nodes[int(rng.integers(len(nodes)))]
+                v = nodes[int(rng.integers(len(nodes)))]
+                if u == v:
+                    continue
+                p = float(rng.uniform(0.3, 1.0))
+                t0 = time.perf_counter()
+                tracker.insert_edge(u, v, p)
+                t_dynamic += time.perf_counter() - t0
+                shadow.add_edge(u, v, p)
+            t0 = time.perf_counter()
+            static = local_truss_decomposition(shadow, gamma)
+            t_static += time.perf_counter() - t0
+            static_edges = {
+                e for e, tau in static.trussness.items() if tau >= k
+            }
+            assert tracker.truss_edges() == static_edges
+        holder.update(t_dynamic=t_dynamic, t_static=t_static)
+        return holder
+
+    run_once(benchmark, stream)
+
+    print_header(
+        f"Extension: {n_events}-event update stream (wikivote@0.4, "
+        f"k={k}, gamma={gamma})",
+        f"{'dynamic total (s)':>18} {'recompute total (s)':>20} "
+        f"{'speedup':>8}",
+    )
+    t_d, t_s = holder["t_dynamic"], holder["t_static"]
+    print(f"{t_d:>18.3f} {t_s:>20.3f} {t_s / max(t_d, 1e-9):>8.1f}")
+    # Deletions dominate the stream; incremental must beat recompute.
+    assert t_d < t_s

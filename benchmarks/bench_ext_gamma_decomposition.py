@@ -1,0 +1,69 @@
+"""Extension — fixed-k gamma decomposition vs repeated local decompositions.
+
+The paper's §7 poses as future work: given k, find the maximal local
+(k, gamma)-trusses for every gamma. Our `gamma_truss_decomposition`
+answers all thresholds with ONE max-min peel; the naive alternative
+re-runs Algorithm 1 once per distinct threshold. This bench measures
+the speedup and cross-validates the two answers.
+"""
+
+import time
+
+import pytest
+
+from repro import gamma_truss_decomposition, local_truss_decomposition
+
+from benchmarks.conftest import cached_dataset, print_header, run_once
+
+_K = 4
+
+
+def test_ext_gamma_decomposition(benchmark):
+    graph = cached_dataset("fruitfly")
+    result_holder = {}
+
+    def run_both():
+        t0 = time.perf_counter()
+        gamma_result = gamma_truss_decomposition(graph, _K)
+        t_single = time.perf_counter() - t0
+
+        thresholds = gamma_result.thresholds()
+        t0 = time.perf_counter()
+        naive = {}
+        for gamma in thresholds:
+            local = local_truss_decomposition(graph, gamma)
+            naive[gamma] = {
+                e for e, tau in local.trussness.items() if tau >= _K
+            }
+        t_naive = time.perf_counter() - t0
+        result_holder.update(
+            gamma_result=gamma_result, naive=naive,
+            t_single=t_single, t_naive=t_naive, thresholds=thresholds,
+        )
+        return result_holder
+
+    run_once(benchmark, run_both)
+
+    gamma_result = result_holder["gamma_result"]
+    thresholds = result_holder["thresholds"]
+    print_header(
+        f"Extension (fruitfly, k={_K}): one peel vs per-threshold re-runs",
+        f"{'thresholds':>10} {'one peel (s)':>13} "
+        f"{'naive re-runs (s)':>18} {'speedup':>8}",
+    )
+    t_single = result_holder["t_single"]
+    t_naive = result_holder["t_naive"]
+    speedup = t_naive / t_single if t_single > 0 else float("inf")
+    print(f"{len(thresholds):>10} {t_single:>13.3f} {t_naive:>18.3f} "
+          f"{speedup:>8.1f}")
+
+    # Cross-validate: the single peel reproduces every per-threshold set.
+    for gamma in thresholds:
+        via_gamma = {
+            e for e, v in gamma_result.gamma_trussness.items()
+            if v >= gamma * (1 - 1e-9)
+        }
+        assert via_gamma == result_holder["naive"][gamma]
+    # With dozens of thresholds, one peel must win clearly.
+    if len(thresholds) >= 10:
+        assert speedup > 2.0

@@ -1,0 +1,87 @@
+"""Figure 5 — local decomposition: DP update vs recompute-from-scratch.
+
+The paper's Figure 5 plots running time against gamma in {0.1 ... 0.9}
+for the dynamic-programming update (Eq. 8) and the naive baseline that
+recomputes sigma(e) from scratch after every edge removal, on all eight
+datasets. The expected shape: (i) runtime decreases as gamma grows,
+(ii) DP beats the baseline everywhere, by roughly an order of magnitude
+on the denser graphs.
+"""
+
+import time
+
+import pytest
+
+from repro import local_truss_decomposition
+
+from benchmarks.conftest import (
+    ALL_DATASETS,
+    GAMMA_SWEEP,
+    cached_dataset,
+    print_header,
+    run_once,
+)
+
+#: The heavy tail of Table 1 runs at reduced gamma coverage to keep the
+#: baseline sweep tractable in pure Python.
+_SMALL = ("fruitfly", "wikivote", "flickr", "dblp")
+_LARGE = ("biomine", "livejournal", "orkut", "wise")
+
+
+def _load(dataset):
+    if dataset == "dense-syn":
+        # The paper's order-of-magnitude DP-vs-baseline gap comes from
+        # large common neighbourhoods (k_e up to hundreds on WikiVote
+        # etc.); the laptop-scale stand-ins have small k_e, so this
+        # extra dense instance exhibits the asymptotic shape.
+        from repro.graphs.generators import gnp_graph, uniform_probabilities
+
+        return gnp_graph(140, 0.45, seed=7,
+                         probability=uniform_probabilities())
+    return cached_dataset(dataset)
+
+
+@pytest.mark.parametrize("dataset", ALL_DATASETS + ("dense-syn",))
+def test_fig5_dp_vs_baseline(benchmark, dataset):
+    graph = _load(dataset)
+    gammas = GAMMA_SWEEP if dataset in _SMALL else (0.1, 0.5, 0.9)
+
+    rows = []
+
+    def sweep():
+        for gamma in gammas:
+            t0 = time.perf_counter()
+            dp = local_truss_decomposition(graph, gamma, method="dp")
+            t_dp = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            base = local_truss_decomposition(graph, gamma, method="baseline")
+            t_base = time.perf_counter() - t0
+            assert dp.trussness == base.trussness
+            rows.append((gamma, t_dp, t_base, dp.k_max))
+        return rows
+
+    run_once(benchmark, sweep)
+
+    from benchmarks.conftest import save_rows
+
+    save_rows("fig5_dp_vs_baseline",
+              ["dataset", "gamma", "dp_seconds", "baseline_seconds", "k_max"],
+              [(dataset, *row) for row in rows])
+    print_header(
+        f"Figure 5 ({dataset}): DP vs baseline, runtime (s) by gamma",
+        f"{'gamma':>6} {'DP':>9} {'baseline':>9} {'speedup':>8} {'k_max':>6}",
+    )
+    for gamma, t_dp, t_base, k_max in rows:
+        speedup = t_base / t_dp if t_dp > 0 else float("inf")
+        print(f"{gamma:>6.1f} {t_dp:>9.3f} {t_base:>9.3f} "
+              f"{speedup:>8.1f} {k_max:>6}")
+
+    # Paper shape: DP never loses to the baseline. Below ~50 ms of total
+    # baseline work (fruitfly-sized graphs) the comparison is pure
+    # scheduler jitter, so it is asserted only where there is signal.
+    total_dp = sum(r[1] for r in rows)
+    total_base = sum(r[2] for r in rows)
+    if total_base >= 0.05:
+        assert total_dp <= total_base * 1.1
+        # Runtime decreases as gamma rises (sweep endpoints).
+        assert rows[-1][1] <= rows[0][1] * 1.5

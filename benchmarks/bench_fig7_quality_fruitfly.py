@@ -1,0 +1,88 @@
+"""Figure 7 — quality on FruitFly vs k: Local vs GTD vs GBU, gamma = 0.7.
+
+The paper's Figure 7 reports, for each k, (a) average density,
+(b) average PCC, (c) average vertex count and (d) number of trusses of
+the maximal (k, 0.7)-trusses found by Local, GTD and GBU on FruitFly.
+Expected shape: global trusses (GTD/GBU) are denser and smaller than
+local trusses; counts fall as k rises; density/PCC rise with k.
+"""
+
+import pytest
+
+from repro import (
+    global_truss_decomposition,
+    local_truss_decomposition,
+    probabilistic_clustering_coefficient,
+    probabilistic_density,
+)
+
+from benchmarks.conftest import cached_dataset, print_header, run_once
+
+_GAMMA = 0.7
+
+
+def _avg(values):
+    values = [v for v in values if v is not None]
+    return sum(values) / len(values) if values else 0.0
+
+
+def _quality(trusses):
+    """(avg density, avg PCC, avg |V|, count); single-edge graphs are
+    excluded from the PCC average, as in the paper."""
+    if not trusses:
+        return (0.0, 0.0, 0.0, 0)
+    density = _avg(probabilistic_density(t) for t in trusses)
+    pcc_values = [
+        probabilistic_clustering_coefficient(t)
+        for t in trusses
+        if t.number_of_edges() > 1
+    ]
+    pcc = _avg(pcc_values) if pcc_values else 0.0
+    vertices = _avg(t.number_of_nodes() for t in trusses)
+    return (density, pcc, vertices, len(trusses))
+
+
+def test_fig7_quality_by_k(benchmark):
+    graph = cached_dataset("fruitfly")
+
+    def decompose_all():
+        local = local_truss_decomposition(graph, _GAMMA)
+        gtd = global_truss_decomposition(
+            graph, _GAMMA, method="gtd", seed=1, max_states=120_000
+        )
+        gbu = global_truss_decomposition(graph, _GAMMA, method="gbu", seed=1)
+        return local, gtd, gbu
+
+    local, gtd, gbu = run_once(benchmark, decompose_all)
+
+    k_top = max(local.k_max, gtd.k_max, gbu.k_max)
+    print_header(
+        f"Figure 7 (fruitfly, gamma={_GAMMA}): quality by k",
+        f"{'k':>3} {'method':<7} {'density':>9} {'PCC':>7} "
+        f"{'avg |V|':>8} {'#trusses':>9}",
+    )
+    table = {}
+    for k in range(2, k_top + 1):
+        results = {
+            "local": local.maximal_trusses(k) if k <= local.k_max else [],
+            "GTD": gtd.trusses.get(k, []),
+            "GBU": gbu.trusses.get(k, []),
+        }
+        for method, trusses in results.items():
+            q = _quality(trusses)
+            table[(k, method)] = q
+            print(f"{k:>3} {method:<7} {q[0]:>9.4f} {q[1]:>7.4f} "
+                  f"{q[2]:>8.1f} {q[3]:>9}")
+
+    # Paper shapes:
+    # (1) Global trusses are at least as dense as local ones at mid k.
+    for k in range(3, min(local.k_max, gbu.k_max) + 1):
+        if table[(k, "GBU")][3] and table[(k, "local")][3]:
+            assert table[(k, "GBU")][0] >= table[(k, "local")][0] * 0.9
+    # (2) Global trusses are no larger than local ones.
+    for k in range(3, min(local.k_max, gbu.k_max) + 1):
+        if table[(k, "GBU")][3] and table[(k, "local")][3]:
+            assert table[(k, "GBU")][2] <= table[(k, "local")][2] + 1e-9
+    # (3) The number of local trusses decreases as k grows.
+    counts = [table[(k, "local")][3] for k in range(3, local.k_max + 1)]
+    assert all(a >= b for a, b in zip(counts, counts[1:]))

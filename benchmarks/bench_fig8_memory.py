@@ -1,0 +1,74 @@
+"""Figure 8 — memory usage of Local and GBU versus graph size.
+
+The paper's Figure 8 shows that both methods stay within ~20x the
+on-disk graph size: the dominant costs are the edge support vectors
+(O(rho |E|)) and, for GBU, the bit-packed sample worlds (~19 bytes per
+edge at N = 150, released support vectors notwithstanding). We measure
+the same quantities analytically-by-construction: actual bytes of the
+support PMFs, the packed sample set, and the serialized graph.
+"""
+
+import io
+import sys
+
+import pytest
+
+from repro import (
+    SupportProbability,
+    WorldSampleSet,
+    write_edge_list,
+)
+
+from benchmarks.conftest import ALL_DATASETS, bench_scale, cached_dataset, print_header, run_once
+
+
+def _graph_disk_bytes(graph) -> int:
+    buf = io.StringIO()
+    write_edge_list(graph, buf, header=False)
+    return len(buf.getvalue().encode())
+
+
+def _support_vector_bytes(graph) -> int:
+    total = 0
+    for u, v in graph.edges():
+        sp = SupportProbability.from_edge(graph, u, v)
+        total += sys.getsizeof(sp.pmf) + 8 * len(sp.pmf)
+    return total
+
+
+def test_fig8_memory_usage(benchmark):
+    scale = bench_scale(0.5)
+    rows = []
+
+    def measure():
+        for name in ALL_DATASETS:
+            graph = cached_dataset(name, scale=scale)
+            disk = _graph_disk_bytes(graph)
+            support = _support_vector_bytes(graph)
+            samples = WorldSampleSet.from_graph(graph, 150, seed=1)
+            sample_bytes = samples.nbytes()
+            rows.append((name, graph.number_of_edges(), disk, support,
+                         sample_bytes))
+        return rows
+
+    run_once(benchmark, measure)
+
+    print_header(
+        "Figure 8: memory (KiB) — graph on disk vs Local (support "
+        "vectors) vs GBU extra (150 packed sample worlds)",
+        f"{'network':<12} {'|E|':>7} {'disk':>9} {'local':>9} "
+        f"{'gbu extra':>10} {'local/disk':>11}",
+    )
+    for name, m, disk, support, sample_bytes in rows:
+        print(f"{name:<12} {m:>7} {disk / 1024:>9.1f} "
+              f"{support / 1024:>9.1f} {sample_bytes / 1024:>10.1f} "
+              f"{support / disk:>11.2f}")
+
+    for name, m, disk, support, sample_bytes in rows:
+        # Paper shape: support vectors stay within ~20x the disk size...
+        assert support <= disk * 20
+        # ... and the packed samples are 19 bytes/edge — far below the
+        # support-vector cost (the paper's observation that GBU adds
+        # little memory on top of Local).
+        assert sample_bytes == 19 * m
+        assert sample_bytes < max(support, 1) * 2

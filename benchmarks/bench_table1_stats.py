@@ -1,0 +1,53 @@
+"""Table 1 — network statistics of all eight datasets.
+
+Prints |V|, |E|, d_max, largest-CC size and component count for every
+synthetic stand-in, next to the paper's real-network numbers, and
+benchmarks the statistics computation itself on the largest graph.
+"""
+
+import pytest
+
+from repro import dataset_statistics
+from repro.datasets import dataset_spec
+
+from benchmarks.conftest import ALL_DATASETS, cached_dataset, print_header, run_once
+
+
+def test_table1_statistics(benchmark):
+    graphs = {name: cached_dataset(name) for name in ALL_DATASETS}
+
+    def compute_all():
+        return {name: dataset_statistics(g) for name, g in graphs.items()}
+
+    stats = run_once(benchmark, compute_all)
+
+    from benchmarks.conftest import save_rows
+
+    save_rows("table1_stats",
+              ["dataset", "nodes", "edges", "max_degree",
+               "largest_cc_nodes", "largest_cc_edges", "components"],
+              [(name, *[stats[name][key] for key in (
+                  "nodes", "edges", "max_degree", "largest_cc_nodes",
+                  "largest_cc_edges", "components")])
+               for name in ALL_DATASETS])
+    print_header(
+        "Table 1: network statistics (synthetic stand-ins)",
+        f"{'network':<12} {'|V|':>7} {'|E|':>8} {'d_max':>6} "
+        f"{'|V_C|':>7} {'|E_C|':>8} {'#comp':>6}   paper |V| / |E|",
+    )
+    for name in ALL_DATASETS:
+        s = stats[name]
+        spec = dataset_spec(name)
+        print(
+            f"{name:<12} {s['nodes']:>7} {s['edges']:>8} "
+            f"{s['max_degree']:>6} {s['largest_cc_nodes']:>7} "
+            f"{s['largest_cc_edges']:>8} {s['components']:>6}   "
+            f"{spec.paper_nodes} / {spec.paper_edges}"
+        )
+
+    # Shape assertions mirroring the paper's Table 1:
+    # sizes ascend fruitfly -> wise; fruitfly fragmented; orkut monolithic.
+    assert stats["fruitfly"]["edges"] < stats["wikivote"]["edges"]
+    assert stats["livejournal"]["edges"] < stats["orkut"]["edges"]
+    assert stats["fruitfly"]["components"] > 50
+    assert stats["orkut"]["components"] == 1

@@ -1,0 +1,63 @@
+"""Table 2 — GBU running time on all eight networks, gamma sweep.
+
+The paper's Table 2 reports GBU runtime for gamma in {0.1 ... 0.9} on
+every dataset, observing (i) runtime falls steeply as gamma rises and
+(ii) runtime grows essentially linearly with graph size. Pure Python
+cannot afford the paper's multi-hour low-gamma runs, so the heavy
+datasets run at a reduced scale (REPRO_BENCH_SCALE, default 0.3) — the
+*shape* across gamma and across datasets is what this bench checks.
+"""
+
+import time
+
+import pytest
+
+from repro import global_truss_decomposition, local_truss_decomposition
+
+from benchmarks.conftest import (
+    ALL_DATASETS,
+    bench_scale,
+    cached_dataset,
+    print_header,
+    run_once,
+)
+
+_GAMMAS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+@pytest.mark.parametrize("dataset", ALL_DATASETS)
+def test_table2_gbu_runtime(benchmark, dataset):
+    from benchmarks.conftest import GBU_SCALES
+
+    scale = GBU_SCALES[dataset] * bench_scale(1.0)
+    graph = cached_dataset(dataset, scale=scale)
+    rows = []
+
+    def sweep():
+        for gamma in _GAMMAS:
+            t0 = time.perf_counter()
+            result = global_truss_decomposition(
+                graph, gamma, method="gbu", seed=1
+            )
+            elapsed = time.perf_counter() - t0
+            n_trusses = sum(len(v) for v in result.trusses.values())
+            rows.append((gamma, elapsed, result.k_max, n_trusses))
+        return rows
+
+    run_once(benchmark, sweep)
+
+    from benchmarks.conftest import save_rows
+
+    save_rows("table2_gbu_runtime",
+              ["dataset", "gamma", "seconds", "k_max", "n_trusses"],
+              [(dataset, *row) for row in rows])
+    print_header(
+        f"Table 2 ({dataset}, |E|={graph.number_of_edges()}): "
+        "GBU runtime (s) by gamma",
+        f"{'gamma':>6} {'time':>9} {'k_max':>6} {'#trusses':>9}",
+    )
+    for gamma, elapsed, k_max, n_trusses in rows:
+        print(f"{gamma:>6.1f} {elapsed:>9.2f} {k_max:>6} {n_trusses:>9}")
+
+    # Paper shape: high gamma is much cheaper than low gamma.
+    assert rows[-1][1] <= rows[0][1] * 1.05 + 0.05

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Finding protein functional modules in an uncertain PPI network.
+
+The paper's flagship motivation (Section 1): protein-protein interaction
+networks carry per-edge confidence scores, and functional modules are
+cohesive subgraphs that exist *as a whole* with decent probability.
+This example decomposes the FruitFly-like synthetic PPI network:
+
+1. local (k, gamma)-trusses = candidate modules (per-interaction test);
+2. global (k, gamma)-trusses = high-confidence modules (the whole module
+   must materialise as a connected k-truss);
+3. a comparison of their sizes, densities and PCC.
+
+Run:  python examples/ppi_modules.py
+"""
+
+from repro import (
+    global_truss_decomposition,
+    local_truss_decomposition,
+    load_dataset,
+    probabilistic_clustering_coefficient,
+    probabilistic_density,
+)
+
+
+def describe(label, trusses):
+    if not trusses:
+        print(f"  {label}: none")
+        return
+    for t in trusses:
+        pcc = (
+            probabilistic_clustering_coefficient(t)
+            if t.number_of_edges() > 1 else float("nan")
+        )
+        print(
+            f"  {label}: {t.number_of_nodes()} proteins, "
+            f"{t.number_of_edges()} interactions, "
+            f"density {probabilistic_density(t):.3f}, PCC {pcc:.3f}"
+        )
+
+
+def main() -> None:
+    gamma = 0.5
+    ppi = load_dataset("fruitfly", seed=42)
+    print(f"PPI network: {ppi.number_of_nodes()} proteins, "
+          f"{ppi.number_of_edges()} scored interactions")
+
+    # ------------------------------------------------------------------
+    # Candidate modules: local (k, gamma)-trusses.
+    # ------------------------------------------------------------------
+    local = local_truss_decomposition(ppi, gamma)
+    print(f"\nlocal decomposition at gamma={gamma}: k_max = {local.k_max}")
+    for k in range(3, local.k_max + 1):
+        modules = local.maximal_trusses(k)
+        print(f"k = {k}: {len(modules)} candidate modules")
+    print("\ntop candidate modules (k = k_max):")
+    describe("module", local.maximal_trusses(local.k_max))
+
+    # ------------------------------------------------------------------
+    # High-confidence modules: global (k, gamma)-trusses via GBU.
+    # ------------------------------------------------------------------
+    result = global_truss_decomposition(
+        ppi, gamma, method="gbu", seed=7, local_result=local
+    )
+    print(f"\nglobal decomposition (GBU): k_max = {result.k_max}")
+    top = result.trusses.get(result.k_max, [])
+    print("high-confidence modules (k = k_max):")
+    describe("module", top)
+
+    # ------------------------------------------------------------------
+    # The paper's claim in action: global modules are tighter.
+    # ------------------------------------------------------------------
+    k = min(local.k_max, result.k_max)
+    local_avg = _avg_density(local.maximal_trusses(k))
+    global_avg = _avg_density(result.trusses.get(k, []))
+    print(f"\nat k = {k}: avg density local = {local_avg:.3f}, "
+          f"global = {global_avg:.3f}")
+    if global_avg >= local_avg:
+        print("=> global (k, gamma)-trusses are the denser, "
+              "higher-confidence modules, as the paper reports.")
+
+
+def _avg_density(trusses):
+    if not trusses:
+        return 0.0
+    return sum(probabilistic_density(t) for t in trusses) / len(trusses)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Task-driven team formation (the paper's Section 6.5 case study).
+
+Given a collaboration network whose edge probabilities are conditioned
+on a task's keywords, find a team of researchers containing two named
+experts that is cohesive *with respect to the task*. Compares three
+formulations:
+
+* local (k, gamma)-truss (per-collaboration confidence),
+* global (k, gamma)-truss (whole-team confidence — smallest, densest),
+* (k, eta)-core (the Bonchi et al. baseline — balloons in size).
+
+Run:  python examples/team_formation.py
+"""
+
+from repro.apps.team_formation import (
+    generate_collaboration_network,
+    team_by_eta_core,
+    team_by_global_truss,
+    team_by_local_truss,
+)
+
+QUERY = ["Jeffrey D. Ullman", "Piotr Indyk"]
+KEYWORDS = ["data", "algorithm"]
+GAMMA = 1e-3
+
+
+def show(team, label):
+    if team is None:
+        print(f"{label}: no team found")
+        return
+    members = sorted(map(str, team.subgraph.nodes()))
+    preview = ", ".join(members[:6]) + (" ..." if len(members) > 6 else "")
+    print(f"{label}:")
+    print(f"  k = {team.k}, members = {team.n_members}, "
+          f"collaborations = {team.n_edges}")
+    print(f"  density = {team.density:.4f}, PCC = {team.pcc:.4f}")
+    print(f"  team: {preview}")
+
+
+def main() -> None:
+    network = generate_collaboration_network(seed=11)
+    print(f"collaboration network: "
+          f"{network.structure.number_of_nodes()} authors, "
+          f"{network.structure.number_of_edges()} co-author pairs")
+    print(f"query Q = {QUERY}")
+    print(f"task keywords W = {KEYWORDS}, gamma = eta = {GAMMA}\n")
+
+    task_graph = network.task_graph(KEYWORDS)
+
+    local = team_by_local_truss(task_graph, QUERY, GAMMA)
+    show(local, "local (k, gamma)-truss team")
+
+    print()
+    global_teams = team_by_global_truss(task_graph, QUERY, GAMMA, seed=2)
+    if global_teams:
+        show(global_teams[0], "global (k, gamma)-truss team (best)")
+        print(f"  ({len(global_teams)} maximal global trusses found in "
+              "the local team, as in the paper's 17)")
+    else:
+        print("global truss team: none")
+
+    print()
+    core = team_by_eta_core(task_graph, QUERY, GAMMA)
+    show(core, "(k, eta)-core team [Bonchi et al. baseline]")
+
+    if local and core and global_teams:
+        print(
+            f"\nsummary: core {core.n_members} members >> "
+            f"local truss {local.n_members} >= "
+            f"global truss {global_teams[0].n_members} — trusses give "
+            "realistic team sizes, exactly the paper's Figure 10 story."
+        )
+
+
+if __name__ == "__main__":
+    main()

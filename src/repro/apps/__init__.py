@@ -1,0 +1,46 @@
+"""Applications built on the probabilistic truss machinery.
+
+* :mod:`repro.apps.team_formation` — the Section 6.5 task-driven
+  team-formation case study.
+* :mod:`repro.apps.community` — query-driven truss community search.
+* :mod:`repro.apps.cliques` — truss-accelerated (reliable) maximum
+  clique finding.
+* :mod:`repro.apps.modules` — ranked functional-module detection.
+"""
+
+from repro.apps.cliques import (
+    clique_probability,
+    maximum_clique,
+    maximum_reliable_clique,
+)
+from repro.apps.modules import Module, detect_modules
+from repro.apps.community import (
+    community_hierarchy,
+    global_truss_communities,
+    truss_community,
+)
+from repro.apps.team_formation import (
+    CollaborationNetwork,
+    TeamResult,
+    generate_collaboration_network,
+    team_by_local_truss,
+    team_by_global_truss,
+    team_by_eta_core,
+)
+
+__all__ = [
+    "Module",
+    "detect_modules",
+    "clique_probability",
+    "maximum_clique",
+    "maximum_reliable_clique",
+    "community_hierarchy",
+    "global_truss_communities",
+    "truss_community",
+    "CollaborationNetwork",
+    "TeamResult",
+    "generate_collaboration_network",
+    "team_by_local_truss",
+    "team_by_global_truss",
+    "team_by_eta_core",
+]

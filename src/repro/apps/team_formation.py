@@ -1,0 +1,324 @@
+"""Task-driven team formation over an uncertain collaboration network.
+
+Section 6.5 of the paper adapts the team-formation problem of Bonchi et
+al. to trusses: given a collaboration network whose edge probabilities
+are conditioned on a task's keywords, a query ``(Q, W)`` asks for a
+local/global (k, gamma)-truss containing all query nodes ``Q`` with the
+highest k.
+
+The paper derives task-conditioned probabilities with LDA over paper
+titles; this reproduction substitutes a smoothed keyword-overlap model
+(see DESIGN.md §3): an edge whose collaboration history matches the
+query keywords strongly gets a high probability, an unrelated edge a
+near-zero one. The qualitative outcome matches the paper's Figure 10 —
+truss-based teams are dramatically smaller and denser than
+(k, eta)-core-based teams.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Hashable, Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
+from repro.core.local import LocalTrussResult, local_truss_decomposition
+from repro.core.global_decomp import global_truss_decomposition
+from repro.core.metrics import (
+    probabilistic_clustering_coefficient,
+    probabilistic_density,
+)
+from repro.core.pcore import eta_core_decomposition
+
+__all__ = [
+    "CollaborationNetwork",
+    "TeamResult",
+    "generate_collaboration_network",
+    "team_by_local_truss",
+    "team_by_global_truss",
+    "team_by_eta_core",
+]
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+#: Research-area vocabularies for the synthetic network. The "data" and
+#: "algorithm" areas host the planted query authors, mirroring the
+#: paper's Ullman/Indyk example.
+_AREAS: dict[str, tuple[str, ...]] = {
+    "data": ("data", "database", "query", "mining", "warehouse", "stream"),
+    "algorithm": ("algorithm", "complexity", "approximation", "graph",
+                  "sketch", "hashing"),
+    "systems": ("systems", "operating", "distributed", "network", "storage"),
+    "ml": ("learning", "neural", "model", "inference", "classification"),
+    "theory": ("logic", "automata", "proof", "semantics", "verification"),
+}
+
+
+@dataclass
+class CollaborationNetwork:
+    """An uncertain collaboration network with per-edge keyword histories.
+
+    Attributes
+    ----------
+    structure:
+        The collaboration graph; probabilities are placeholders (1.0)
+        until conditioned on a task.
+    keywords:
+        ``{edge: Counter of keywords}`` — the bag of title words of the
+        papers co-authored across the edge.
+    collaborations:
+        ``{edge: count}`` — how many papers the pair co-authored.
+    """
+
+    structure: ProbabilisticGraph
+    keywords: dict[Edge, Counter] = field(default_factory=dict)
+    collaborations: dict[Edge, int] = field(default_factory=dict)
+
+    def task_graph(self, task_keywords: Sequence[str],
+                   smoothing: float = 0.6,
+                   strength: float = 2.5) -> ProbabilisticGraph:
+        """Return ``G_W``: the network with probabilities conditioned on a task.
+
+        For an edge with keyword bag ``B`` and ``c`` collaborations, the
+        relevance is the smoothed fraction of ``B``'s mass on the task
+        keywords, and ``p = 1 - exp(-strength * c * relevance)``. Strongly
+        relevant, repeated collaborations approach probability 1;
+        unrelated pairs stay near the smoothing floor.
+        """
+        if not task_keywords:
+            raise ParameterError("task_keywords must be non-empty")
+        task = {w.lower() for w in task_keywords}
+        graph = self.structure.copy()
+        for u, v in list(graph.edges()):
+            e = edge_key(u, v)
+            bag = self.keywords.get(e, Counter())
+            total = sum(bag.values())
+            hit = sum(cnt for w, cnt in bag.items() if w in task)
+            vocabulary = max(len(bag), 1)
+            relevance = (hit + smoothing) / (total + smoothing * vocabulary)
+            c = self.collaborations.get(e, 1)
+            p = 1.0 - math.exp(-strength * c * relevance)
+            graph.set_probability(u, v, min(1.0, p))
+        return graph
+
+
+@dataclass
+class TeamResult:
+    """A team found for a query: the subgraph, its order k and quality."""
+
+    method: str
+    k: int
+    subgraph: ProbabilisticGraph
+    contains_query: bool
+
+    @property
+    def n_members(self) -> int:
+        """Number of researchers in the team."""
+        return self.subgraph.number_of_nodes()
+
+    @property
+    def n_edges(self) -> int:
+        """Number of collaboration edges in the team."""
+        return self.subgraph.number_of_edges()
+
+    @property
+    def density(self) -> float:
+        """Probabilistic density (Eq. 12) of the team subgraph."""
+        return probabilistic_density(self.subgraph)
+
+    @property
+    def pcc(self) -> float:
+        """Probabilistic clustering coefficient (Eq. 13) of the team."""
+        return probabilistic_clustering_coefficient(self.subgraph)
+
+
+def generate_collaboration_network(
+    seed=None,
+    n_groups: int = 24,
+    group_size_range: tuple[int, int] = (9, 14),
+    query_authors: Sequence[str] = ("Jeffrey D. Ullman", "Piotr Indyk"),
+    query_areas: Sequence[str] = ("data", "algorithm"),
+) -> CollaborationNetwork:
+    """Generate a synthetic DBLP-like collaboration network.
+
+    Research groups are near-cliques, each devoted to one research area
+    (its edges' keyword bags draw from that area's vocabulary). The
+    ``query_authors`` are planted inside a dense bridge group working
+    across ``query_areas`` and — being famous — also carry a handful of
+    cross-group collaborations. This mirrors the structure behind the
+    paper's Figure 10 case study: a query on their areas finds a small
+    cohesive truss around the bridge, while the degree-based
+    (k, eta)-core balloons across the loosely-chained ordinary groups.
+    """
+    rng = (
+        seed if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+    for area in query_areas:
+        if area not in _AREAS:
+            raise ParameterError(
+                f"unknown research area {area!r}; options: {sorted(_AREAS)}"
+            )
+    structure = ProbabilisticGraph()
+    keywords: dict[Edge, Counter] = {}
+    collaborations: dict[Edge, int] = {}
+    area_names = sorted(_AREAS)
+
+    def add_collaboration(u: Node, v: Node, area: str, papers: int) -> None:
+        structure.add_edge(u, v, 1.0)
+        e = edge_key(u, v)
+        bag = keywords.setdefault(e, Counter())
+        vocab = _AREAS[area]
+        for _ in range(papers * 3):  # ~3 title words per paper
+            bag[vocab[int(rng.integers(len(vocab)))]] += 1
+        collaborations[e] = collaborations.get(e, 0) + papers
+
+    # The planted bridge group around the query authors.
+    bridge = list(query_authors) + [f"bridge_{i}" for i in range(5)]
+    for i, u in enumerate(bridge):
+        for v in bridge[:i]:
+            if rng.random() < 0.9:
+                area = query_areas[int(rng.integers(len(query_areas)))]
+                add_collaboration(u, v, area, papers=int(rng.integers(2, 6)))
+    # Make sure the two query authors are directly connected.
+    if not structure.has_edge(query_authors[0], query_authors[1]):
+        add_collaboration(query_authors[0], query_authors[1],
+                          query_areas[0], papers=3)
+
+    # Ordinary research groups: dense enough that their members' core
+    # numbers rival the bridge's, which is what lets eta-cores balloon.
+    member_id = 0
+    previous_anchor: Node | None = None
+    all_members: list[Node] = []
+    for g in range(n_groups):
+        area = area_names[int(rng.integers(len(area_names)))]
+        size = int(rng.integers(group_size_range[0], group_size_range[1] + 1))
+        members = [f"author_{member_id + i}" for i in range(size)]
+        member_id += size
+        all_members.extend(members)
+        for i, u in enumerate(members):
+            for v in members[:i]:
+                if rng.random() < 0.75:
+                    add_collaboration(u, v, area, papers=int(rng.integers(1, 4)))
+        # Chain groups loosely into a giant component, and attach some
+        # groups to the bridge so cores have room to balloon.
+        anchor = members[0]
+        if previous_anchor is not None:
+            add_collaboration(anchor, previous_anchor, area, papers=1)
+        if rng.random() < 0.5:
+            target = bridge[int(rng.integers(len(bridge)))]
+            add_collaboration(members[1], target, area, papers=1)
+        previous_anchor = anchor
+    # Famous authors collaborate widely (one-off papers across areas).
+    for q in query_authors:
+        picks = rng.choice(len(all_members), size=min(4, len(all_members)),
+                           replace=False)
+        for idx in picks:
+            area = area_names[int(rng.integers(len(area_names)))]
+            add_collaboration(q, all_members[int(idx)], area, papers=1)
+    return CollaborationNetwork(
+        structure=structure, keywords=keywords, collaborations=collaborations
+    )
+
+
+def _query_nodes_present(graph: ProbabilisticGraph,
+                         query: Iterable[Node]) -> list[Node]:
+    nodes = list(query)
+    missing = [q for q in nodes if not graph.has_node(q)]
+    if missing:
+        raise ParameterError(f"query nodes not in network: {missing}")
+    return nodes
+
+
+def team_by_local_truss(
+    task_graph: ProbabilisticGraph,
+    query: Iterable[Node],
+    gamma: float,
+    local_result: LocalTrussResult | None = None,
+) -> TeamResult | None:
+    """Find the highest-k maximal local (k, gamma)-truss containing all of ``query``.
+
+    Returns None when no local truss (k >= 2) contains every query node.
+    """
+    nodes = _query_nodes_present(task_graph, query)
+    if local_result is None:
+        local_result = local_truss_decomposition(task_graph, gamma)
+    for k in range(local_result.k_max, 1, -1):
+        for truss in local_result.maximal_trusses(k):
+            if all(truss.has_node(q) for q in nodes):
+                return TeamResult(method="local-truss", k=k, subgraph=truss,
+                                  contains_query=True)
+    return None
+
+
+def team_by_global_truss(
+    task_graph: ProbabilisticGraph,
+    query: Iterable[Node],
+    gamma: float,
+    seed=None,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+) -> list[TeamResult]:
+    """Refine the local team with global (k, gamma)-truss decomposition.
+
+    Following the paper's procedure: the highest-k local truss containing
+    the query is used as the input of the global decomposition (GBU); all
+    maximal approximate global trusses at the top non-empty k are
+    returned, flagged by whether they contain the full query.
+    Returns an empty list when no local team exists.
+    """
+    local_team = team_by_local_truss(task_graph, query, gamma)
+    if local_team is None:
+        return []
+    result = global_truss_decomposition(
+        local_team.subgraph, gamma, epsilon=epsilon, delta=delta,
+        method="gbu", seed=seed,
+    )
+    if result.k_max == 0:
+        return []
+    nodes = list(query)
+    teams = [
+        TeamResult(
+            method="global-truss", k=result.k_max, subgraph=truss,
+            contains_query=all(truss.has_node(q) for q in nodes),
+        )
+        for truss in result.trusses[result.k_max]
+    ]
+    # Teams containing the whole query first, larger k already fixed.
+    teams.sort(key=lambda t: (not t.contains_query, -t.n_edges))
+    return teams
+
+
+def team_by_eta_core(
+    task_graph: ProbabilisticGraph,
+    query: Iterable[Node],
+    eta: float,
+) -> TeamResult | None:
+    """Find the highest-k (k, eta)-core containing all of ``query``.
+
+    The comparator of Bonchi et al. used in the paper's case study. The
+    (k, eta)-core is node-induced and may be much larger than a truss.
+    Returns None when even the (1, eta)-core misses a query node.
+    """
+    nodes = _query_nodes_present(task_graph, query)
+    core = eta_core_decomposition(task_graph, eta)
+    k_cap = min(core[q] for q in nodes)
+    for k in range(k_cap, 0, -1):
+        members = [u for u, c in core.items() if c >= k]
+        subgraph = task_graph.subgraph(members)
+        # The query nodes must sit in one connected piece of the core.
+        from repro.graphs.components import component_of
+
+        if all(subgraph.has_node(q) for q in nodes):
+            piece = component_of(subgraph, nodes[0])
+            if all(q in piece for q in nodes):
+                return TeamResult(
+                    method="eta-core", k=k,
+                    subgraph=subgraph.subgraph(piece), contains_query=True,
+                )
+    return None

@@ -1,0 +1,435 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+* ``repro datasets`` — list the bundled synthetic datasets with stats.
+* ``repro stats GRAPH`` — Table 1 statistics of a graph (file or dataset).
+* ``repro local GRAPH --gamma G`` — local (k, gamma)-truss decomposition.
+* ``repro global GRAPH --gamma G [--method gbu|gtd]`` — global trusses.
+* ``repro team --keywords data algorithm --gamma G`` — the Section 6.5
+  team-formation case study on the synthetic collaboration network.
+
+``GRAPH`` is either a dataset name (see ``repro datasets``) or a path to
+an edge-list / JSON graph file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.datasets import DATASET_NAMES, dataset_statistics, load_dataset
+from repro.graphs.io import read_edge_list, read_json_graph
+from repro.graphs.probabilistic import ProbabilisticGraph
+from repro.core.local import local_truss_decomposition
+from repro.core.global_decomp import global_truss_decomposition
+from repro.core.metrics import probabilistic_density
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_graph(spec: str, seed: int | None) -> ProbabilisticGraph:
+    """Resolve ``spec`` as a dataset name or a graph file path."""
+    if spec.lower() in DATASET_NAMES:
+        return load_dataset(spec, seed=seed)
+    path = Path(spec)
+    if not path.exists():
+        raise SystemExit(
+            f"error: {spec!r} is neither a dataset name "
+            f"({', '.join(DATASET_NAMES)}) nor an existing file"
+        )
+    if path.suffix == ".json":
+        return read_json_graph(path)
+    return read_edge_list(path)
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    if args.write:
+        from repro.datasets.registry import export_datasets
+
+        paths = export_datasets(args.write, seed=args.seed,
+                                scale=args.scale, compress=args.compress)
+        for path in paths:
+            print(path)
+        return 0
+    print(f"{'name':<12} {'nodes':>7} {'edges':>8} {'d_max':>6} "
+          f"{'largest CC':>11} {'#comp':>6}")
+    for name in DATASET_NAMES:
+        graph = load_dataset(name, seed=args.seed, scale=args.scale)
+        stats = dataset_statistics(graph)
+        print(f"{name:<12} {stats['nodes']:>7} {stats['edges']:>8} "
+              f"{stats['max_degree']:>6} {stats['largest_cc_edges']:>11} "
+              f"{stats['components']:>6}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.core.stats import profile_graph
+
+    graph = _load_graph(args.graph, args.seed)
+    stats = dataset_statistics(graph)
+    for key, value in stats.items():
+        print(f"{key}: {value}")
+    profile = profile_graph(graph)
+    print(f"mean_degree: {profile.mean_degree:.3f}")
+    print(f"expected_edges: {profile.expected_edges:.1f}")
+    print(f"expected_triangles: {profile.expected_triangles:.1f}")
+    print(f"structural_triangles: {profile.structural_triangles}")
+    print(f"probability_median: {profile.probability_median:.4f}")
+    print(f"density: {profile.density:.6f}")
+    print(f"pcc: {profile.pcc:.6f}")
+    print(f"clustering: {profile.clustering:.6f}")
+    return 0
+
+
+def _cmd_local(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.seed)
+    result = local_truss_decomposition(graph, args.gamma, method=args.method)
+    print(f"gamma={args.gamma} k_max={result.k_max}")
+    for k in range(2, result.k_max + 1):
+        trusses = result.maximal_trusses(k)
+        sizes = sorted(
+            (t.number_of_nodes(), t.number_of_edges()) for t in trusses
+        )
+        print(f"k={k}: {len(trusses)} maximal local trusses "
+              f"(largest: {sizes[-1][0]} nodes / {sizes[-1][1]} edges)")
+        if args.verbose:
+            for t in trusses:
+                print(f"    nodes={sorted(map(str, t.nodes()))}")
+    return 0
+
+
+def _cmd_global(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.seed)
+    result = global_truss_decomposition(
+        graph, args.gamma, epsilon=args.epsilon, delta=args.delta,
+        method=args.method, seed=args.seed, max_k=args.max_k,
+    )
+    print(f"gamma={args.gamma} method={args.method} "
+          f"N={result.n_samples} k_max={result.k_max}")
+    for k in sorted(result.trusses):
+        trusses = result.trusses[k]
+        print(f"k={k}: {len(trusses)} maximal approximate global trusses")
+        if args.verbose:
+            for t in trusses:
+                print(f"    nodes={sorted(map(str, t.nodes()))} "
+                      f"density={probabilistic_density(t):.4f}")
+    return 0
+
+
+def _cmd_frontier(args: argparse.Namespace) -> int:
+    from repro.core.frontier import truss_frontier
+
+    graph = _load_graph(args.graph, args.seed)
+    frontier = truss_frontier(graph)
+    print(f"structural k_max = {frontier.k_max}")
+    if args.edge:
+        u, v = args.edge
+        node_u: object = u
+        node_v: object = v
+        if not graph.has_edge(node_u, node_v):
+            try:
+                node_u, node_v = int(u), int(v)
+            except ValueError:
+                pass
+        if not graph.has_edge(node_u, node_v):
+            raise SystemExit(f"error: edge ({u!r}, {v!r}) is not in the graph")
+        print(f"edge ({u}, {v}) cohesion/confidence curve:")
+        for k, gamma in frontier.edge_profile(node_u, node_v):
+            print(f"  k={k}: gamma_k = {gamma:.6g}")
+    else:
+        for k in range(3, frontier.k_max + 1):
+            for gamma in (0.2, 0.5, 0.8):
+                trusses = frontier.maximal_trusses(k, gamma)
+                if trusses:
+                    largest = max(t.number_of_nodes() for t in trusses)
+                    print(f"k={k} gamma={gamma}: {len(trusses)} maximal "
+                          f"trusses (largest {largest} nodes)")
+    return 0
+
+
+def _cmd_modules(args: argparse.Namespace) -> int:
+    from repro.apps.modules import detect_modules
+
+    graph = _load_graph(args.graph, args.seed)
+    modules = detect_modules(
+        graph, args.gamma, min_k=args.min_k, min_nodes=args.min_nodes,
+        refine_global=args.refine, seed=args.seed,
+        max_modules=args.top,
+    )
+    print(f"{len(modules)} modules (gamma={args.gamma}, "
+          f"min_k={args.min_k}{', globally refined' if args.refine else ''})")
+    for i, m in enumerate(modules, start=1):
+        print(f"{i:>3}. k={m.k} kind={m.kind} members={m.n_nodes} "
+              f"edges={m.n_edges} density={m.density:.3f} "
+              f"pcc={m.pcc:.3f} score={m.score:.3f}")
+        if args.verbose:
+            print(f"     {sorted(map(str, m.nodes))}")
+    return 0
+
+
+def _cmd_clique(args: argparse.Namespace) -> int:
+    from repro.apps.cliques import (
+        clique_probability,
+        maximum_clique,
+        maximum_reliable_clique,
+    )
+
+    graph = _load_graph(args.graph, args.seed)
+    clique = maximum_clique(graph)
+    prob = clique_probability(graph, clique) if len(clique) >= 2 else 1.0
+    print(f"maximum clique: {len(clique)} nodes "
+          f"(existence probability {prob:.4f})")
+    if args.verbose:
+        print(f"  {sorted(map(str, clique))}")
+    if args.gamma is not None:
+        reliable, rprob = maximum_reliable_clique(graph, args.gamma)
+        print(f"largest clique with probability >= {args.gamma}: "
+              f"{len(reliable)} nodes (probability {rprob:.4f})")
+        if args.verbose and reliable:
+            print(f"  {sorted(map(str, reliable))}")
+    return 0
+
+
+def _cmd_community(args: argparse.Namespace) -> int:
+    from repro.apps.community import community_hierarchy
+
+    graph = _load_graph(args.graph, args.seed)
+    node: object = args.node
+    if not graph.has_node(node):
+        try:
+            node = int(args.node)
+        except ValueError:
+            pass
+    if not graph.has_node(node):
+        raise SystemExit(f"error: node {args.node!r} is not in the graph")
+    hierarchy = community_hierarchy(graph, node, args.gamma)
+    if not hierarchy:
+        print(f"node {args.node!r}: no community at gamma={args.gamma}")
+        return 0
+    print(f"community hierarchy of {args.node!r} (gamma={args.gamma}):")
+    for k in sorted(hierarchy):
+        c = hierarchy[k]
+        print(f"  k={k}: {c.number_of_nodes()} nodes, "
+              f"{c.number_of_edges()} edges")
+        if args.verbose:
+            print(f"     {sorted(map(str, c.nodes()))}")
+    return 0
+
+
+def _cmd_reliability(args: argparse.Namespace) -> int:
+    from repro.core.reliability import (
+        network_reliability_exact,
+        network_reliability_mc,
+    )
+
+    graph = _load_graph(args.graph, args.seed)
+    estimate = network_reliability_mc(
+        graph, n_samples=args.samples, seed=args.seed
+    )
+    print(f"Monte-Carlo reliability ({args.samples} samples): "
+          f"{estimate:.4f}")
+    if graph.number_of_edges() <= 22:
+        exact = network_reliability_exact(graph)
+        print(f"exact reliability: {exact:.6f}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.graphs.export import hierarchy_to_json, to_dot, write_gexf
+    from repro.truss.decomposition import truss_decomposition
+
+    graph = _load_graph(args.graph, args.seed)
+    if args.format == "dot":
+        tau = truss_decomposition(graph)
+        text = to_dot(graph, trussness=tau)
+        if args.output:
+            Path(args.output).write_text(text, encoding="utf-8")
+        else:
+            print(text, end="")
+    elif args.format == "gexf":
+        if not args.output:
+            raise SystemExit("error: --output is required for gexf")
+        tau = truss_decomposition(graph)
+        write_gexf(graph, args.output, trussness=tau)
+    else:  # hierarchy
+        result = local_truss_decomposition(graph, args.gamma)
+        text = hierarchy_to_json(result)
+        if args.output:
+            Path(args.output).write_text(text, encoding="utf-8")
+        else:
+            print(text)
+    return 0
+
+
+def _cmd_gamma(args: argparse.Namespace) -> int:
+    from repro.core.gamma_decomp import gamma_truss_decomposition
+
+    graph = _load_graph(args.graph, args.seed)
+    result = gamma_truss_decomposition(graph, args.k)
+    thresholds = result.thresholds()
+    print(f"k={args.k}: {len(thresholds)} distinct gamma thresholds")
+    shown = thresholds if args.verbose else thresholds[: args.top]
+    for gamma in shown:
+        trusses = result.maximal_trusses_at(gamma)
+        largest = max(t.number_of_nodes() for t in trusses)
+        print(f"gamma >= {gamma:.6g}: {len(trusses)} maximal trusses "
+              f"(largest: {largest} nodes)")
+    if not args.verbose and len(thresholds) > args.top:
+        print(f"... {len(thresholds) - args.top} more (use --verbose)")
+    return 0
+
+
+def _cmd_team(args: argparse.Namespace) -> int:
+    from repro.apps.team_formation import (
+        generate_collaboration_network,
+        team_by_eta_core,
+        team_by_global_truss,
+        team_by_local_truss,
+    )
+
+    network = generate_collaboration_network(seed=args.seed)
+    query = list(args.query)
+    task_graph = network.task_graph(args.keywords)
+    print(f"query={query} keywords={args.keywords} gamma={args.gamma}")
+
+    local = team_by_local_truss(task_graph, query, args.gamma)
+    if local is None:
+        print("local truss: no team found")
+    else:
+        print(f"local truss:  k={local.k} members={local.n_members} "
+              f"edges={local.n_edges} density={local.density:.4f} "
+              f"pcc={local.pcc:.4f}")
+    for team in team_by_global_truss(task_graph, query, args.gamma,
+                                     seed=args.seed)[:3]:
+        print(f"global truss: k={team.k} members={team.n_members} "
+              f"edges={team.n_edges} density={team.density:.4f} "
+              f"pcc={team.pcc:.4f} contains_query={team.contains_query}")
+    core = team_by_eta_core(task_graph, query, args.gamma)
+    if core is None:
+        print("eta-core: no team found")
+    else:
+        print(f"eta-core:     k={core.k} members={core.n_members} "
+              f"edges={core.n_edges} density={core.density:.4f} "
+              f"pcc={core.pcc:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Truss decomposition of probabilistic graphs "
+                    "(SIGMOD 2016 reproduction)",
+    )
+    parser.add_argument("--seed", type=int, default=42,
+                        help="RNG seed for datasets and sampling")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("datasets", help="list bundled synthetic datasets")
+    p.add_argument("--write", metavar="DIR", default=None,
+                   help="materialise all datasets as edge lists in DIR")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--compress", action="store_true",
+                   help="gzip the written edge lists")
+    p.set_defaults(func=_cmd_datasets)
+
+    p = sub.add_parser("stats", help="graph statistics (Table 1 columns)")
+    p.add_argument("graph", help="dataset name or graph file")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("local", help="local (k, gamma)-truss decomposition")
+    p.add_argument("graph", help="dataset name or graph file")
+    p.add_argument("--gamma", type=float, required=True)
+    p.add_argument("--method", choices=["dp", "baseline"], default="dp")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_local)
+
+    p = sub.add_parser("global", help="global (k, gamma)-truss decomposition")
+    p.add_argument("graph", help="dataset name or graph file")
+    p.add_argument("--gamma", type=float, required=True)
+    p.add_argument("--epsilon", type=float, default=0.1)
+    p.add_argument("--delta", type=float, default=0.1)
+    p.add_argument("--method", choices=["gbu", "gtd"], default="gbu")
+    p.add_argument("--max-k", type=int, default=None)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_global)
+
+    p = sub.add_parser(
+        "frontier",
+        help="full (k, gamma) truss frontier; optionally one edge's curve",
+    )
+    p.add_argument("graph", help="dataset name or graph file")
+    p.add_argument("--edge", nargs=2, metavar=("U", "V"), default=None,
+                   help="print the cohesion/confidence curve of one edge")
+    p.set_defaults(func=_cmd_frontier)
+
+    p = sub.add_parser("modules", help="detect and rank cohesive modules")
+    p.add_argument("graph", help="dataset name or graph file")
+    p.add_argument("--gamma", type=float, required=True)
+    p.add_argument("--min-k", type=int, default=3)
+    p.add_argument("--min-nodes", type=int, default=3)
+    p.add_argument("--refine", action="store_true",
+                   help="refine with the global decomposition (GBU)")
+    p.add_argument("--top", type=int, default=20)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_modules)
+
+    p = sub.add_parser("clique", help="maximum (reliable) clique")
+    p.add_argument("graph", help="dataset name or graph file")
+    p.add_argument("--gamma", type=float, default=None,
+                   help="also find the largest gamma-reliable clique")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_clique)
+
+    p = sub.add_parser("community", help="truss community search")
+    p.add_argument("graph", help="dataset name or graph file")
+    p.add_argument("node", help="query node label")
+    p.add_argument("--gamma", type=float, required=True)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_community)
+
+    p = sub.add_parser("reliability", help="network reliability estimate")
+    p.add_argument("graph", help="dataset name or graph file")
+    p.add_argument("--samples", type=int, default=2000)
+    p.set_defaults(func=_cmd_reliability)
+
+    p = sub.add_parser("export", help="export a graph for visualization")
+    p.add_argument("graph", help="dataset name or graph file")
+    p.add_argument("--format", choices=["dot", "gexf", "hierarchy"],
+                   default="dot")
+    p.add_argument("--gamma", type=float, default=0.5,
+                   help="gamma for the hierarchy format (default 0.5)")
+    p.add_argument("--output", default=None, help="output file (default stdout)")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser(
+        "gamma",
+        help="fixed-k decomposition over all gamma thresholds (paper §7)",
+    )
+    p.add_argument("graph", help="dataset name or graph file")
+    p.add_argument("--k", type=int, required=True)
+    p.add_argument("--top", type=int, default=10,
+                   help="show only the top thresholds (default 10)")
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(func=_cmd_gamma)
+
+    p = sub.add_parser("team", help="task-driven team formation case study")
+    p.add_argument("--query", nargs="+",
+                   default=["Jeffrey D. Ullman", "Piotr Indyk"])
+    p.add_argument("--keywords", nargs="+", default=["data", "algorithm"])
+    p.add_argument("--gamma", type=float, default=1e-3)
+    p.set_defaults(func=_cmd_team)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

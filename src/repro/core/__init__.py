@@ -1,0 +1,129 @@
+"""The paper's contribution: probabilistic truss decomposition.
+
+* :mod:`repro.core.support_prob` — edge support probability vectors
+  sigma(e) via the Algorithm 2 dynamic program and the Eq. (8)
+  incremental update (plus a brute-force possible-world oracle).
+* :mod:`repro.core.local` — Algorithm 1: local (k, gamma)-truss
+  decomposition (DP and recompute-from-scratch baseline variants).
+* :mod:`repro.core.global_truss` — alpha_k(H, e) exactly (Eq. 3) and by
+  Monte-Carlo projection sampling (Eq. 10 / Theorem 3).
+* :mod:`repro.core.global_decomp` — Algorithm 3 backbone with the
+  top-down exact search GTD (Algorithm 4) and bottom-up heuristic GBU
+  (Algorithm 5).
+* :mod:`repro.core.pcore` — the (k, eta)-core of Bonchi et al. (KDD'14),
+  the comparator of Section 6.4.
+* :mod:`repro.core.metrics` — probabilistic density (Eq. 12) and
+  probabilistic clustering coefficient (Eq. 13).
+"""
+
+from repro.core.support_prob import (
+    SupportProbability,
+    support_pmf,
+    support_pmf_bruteforce,
+    support_tail,
+    triangle_probabilities,
+)
+from repro.core.local import (
+    LocalTrussResult,
+    local_truss_decomposition,
+    maximal_local_trusses,
+)
+from repro.core.global_truss import (
+    GlobalTrussOracle,
+    alpha_exact,
+    is_global_truss_exact,
+)
+from repro.core.global_decomp import (
+    GlobalTrussResult,
+    global_truss_decomposition,
+    top_down_search,
+    bottom_up_search,
+)
+from repro.core.gamma_decomp import (
+    GammaTrussResult,
+    gamma_truss_decomposition,
+)
+from repro.core.exact_enum import (
+    enumerate_global_trusses,
+    exact_global_decomposition,
+)
+from repro.core.expected import (
+    expected_support,
+    expected_truss_decomposition,
+    maximal_expected_trusses,
+)
+from repro.core.frontier import TrussFrontier, truss_frontier
+from repro.core.importance import ImportanceEstimate, alpha_importance
+from repro.core.local_iterative import local_truss_decomposition_iterative
+from repro.core.stats import (
+    GraphProfile,
+    degree_histogram,
+    expected_triangle_count,
+    probability_quantiles,
+    profile_graph,
+)
+from repro.core.reliability import (
+    network_reliability_exact,
+    network_reliability_mc,
+    theorem1_gadget,
+    two_terminal_reliability_exact,
+    two_terminal_reliability_mc,
+)
+from repro.core.pcore import (
+    EtaDegree,
+    eta_core_decomposition,
+    eta_core_subgraph,
+    max_eta_core_number,
+)
+from repro.core.metrics import (
+    probabilistic_density,
+    probabilistic_clustering_coefficient,
+    clustering_coefficient,
+)
+
+__all__ = [
+    "SupportProbability",
+    "support_pmf",
+    "support_pmf_bruteforce",
+    "support_tail",
+    "triangle_probabilities",
+    "LocalTrussResult",
+    "local_truss_decomposition",
+    "maximal_local_trusses",
+    "GlobalTrussOracle",
+    "alpha_exact",
+    "is_global_truss_exact",
+    "GlobalTrussResult",
+    "global_truss_decomposition",
+    "GammaTrussResult",
+    "gamma_truss_decomposition",
+    "enumerate_global_trusses",
+    "exact_global_decomposition",
+    "expected_support",
+    "expected_truss_decomposition",
+    "maximal_expected_trusses",
+    "local_truss_decomposition_iterative",
+    "TrussFrontier",
+    "truss_frontier",
+    "ImportanceEstimate",
+    "alpha_importance",
+    "network_reliability_exact",
+    "network_reliability_mc",
+    "theorem1_gadget",
+    "two_terminal_reliability_exact",
+    "two_terminal_reliability_mc",
+    "GraphProfile",
+    "degree_histogram",
+    "expected_triangle_count",
+    "probability_quantiles",
+    "profile_graph",
+    "top_down_search",
+    "bottom_up_search",
+    "EtaDegree",
+    "eta_core_decomposition",
+    "eta_core_subgraph",
+    "max_eta_core_number",
+    "probabilistic_density",
+    "probabilistic_clustering_coefficient",
+    "clustering_coefficient",
+]

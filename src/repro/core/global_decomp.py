@@ -1,0 +1,457 @@
+"""Global (k, gamma)-truss decomposition (Section 5.3).
+
+Implements the paper's backbone Algorithm 3 with both search
+sub-procedures:
+
+* **GTD** — :func:`top_down_search` (Algorithm 4): exact DFS that removes
+  one edge at a time, recursing into the k-truss-pruned connected
+  components. We memoise visited edge sets — without this the recursion
+  revisits the same residual graphs exponentially often.
+* **GBU** — :func:`bottom_up_search` (Algorithm 5): the heuristic that
+  grows a candidate from a single high-probability seed edge, adding
+  k - 2 supporting triangles per deficient edge, then extends satisfying
+  candidates to maximality.
+
+Candidate pruning follows Eq. (11): an edge can only appear in an
+(eps, delta)-approximate global (k, gamma)-truss if it lies in a maximal
+local (k, gamma)-truss *and* in some approximate global
+(k-1, gamma)-truss; for k > 2 edges with fewer than k - 2 structural
+triangles in the candidate graph are removed as well.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DecompositionError, ParameterError
+from repro.graphs.components import edge_connected_components
+from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
+from repro.graphs.sampling import WorldSampleSet, hoeffding_sample_size
+from repro.core.global_truss import GlobalTrussOracle
+from repro.core.local import LocalTrussResult, local_truss_decomposition
+
+__all__ = [
+    "GlobalTrussResult",
+    "global_truss_decomposition",
+    "top_down_search",
+    "bottom_up_search",
+]
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+_METHODS = ("gtd", "gbu")
+
+
+@dataclass
+class GlobalTrussResult:
+    """Outcome of an approximate global (k, gamma)-truss decomposition.
+
+    Attributes
+    ----------
+    graph:
+        The input probabilistic graph.
+    gamma, epsilon, delta:
+        The quality parameters; ``n_samples`` worlds were used.
+    trusses:
+        ``{k: [maximal approximate global (k, gamma)-trusses]}``; each
+        entry is an edge-subgraph of ``graph``.
+    method:
+        ``"gtd"`` or ``"gbu"``.
+    """
+
+    graph: ProbabilisticGraph
+    gamma: float
+    epsilon: float
+    delta: float
+    n_samples: int
+    method: str
+    trusses: dict[int, list[ProbabilisticGraph]] = field(default_factory=dict)
+
+    @property
+    def k_max(self) -> int:
+        """Largest k with at least one satisfying truss (0 if none)."""
+        return max((k for k, ts in self.trusses.items() if ts), default=0)
+
+    def all_trusses(self) -> list[tuple[int, ProbabilisticGraph]]:
+        """Return every (k, truss) pair, ascending in k."""
+        out: list[tuple[int, ProbabilisticGraph]] = []
+        for k in sorted(self.trusses):
+            out.extend((k, t) for t in self.trusses[k])
+        return out
+
+
+def _prune_to_structural_ktruss(
+    graph: ProbabilisticGraph, edges: set[Edge], k: int
+) -> set[Edge]:
+    """Iteratively drop edges with < k - 2 triangles within ``edges``.
+
+    Probabilities are ignored (Algorithm 3 lines 6-7: "computed without
+    considering edge probabilities").
+    """
+    if k <= 2:
+        return set(edges)
+    adj: dict[Node, set[Node]] = {}
+    for u, v in edges:
+        adj.setdefault(u, set()).add(v)
+        adj.setdefault(v, set()).add(u)
+    need = k - 2
+    alive = set(edges)
+    frontier = list(alive)
+    while frontier:
+        next_frontier: list[Edge] = []
+        for u, v in frontier:
+            if (u, v) not in alive:
+                continue
+            common = adj[u] & adj[v]
+            if len(common) < need:
+                alive.discard((u, v))
+                adj[u].discard(v)
+                adj[v].discard(u)
+                # The co-triangle edges through each apex just lost one
+                # supporting triangle — re-examine them next round.
+                for w in common:
+                    next_frontier.append(edge_key(u, w))
+                    next_frontier.append(edge_key(v, w))
+        frontier = next_frontier
+    return alive
+
+
+def _edge_subgraphs_of_components(
+    graph: ProbabilisticGraph, edges: set[Edge]
+) -> list[ProbabilisticGraph]:
+    """Split ``edges`` into connected clusters and materialise subgraphs."""
+    return [
+        graph.edge_subgraph(cluster)
+        for cluster in edge_connected_components(graph, edges)
+    ]
+
+
+def top_down_search(
+    oracle: GlobalTrussOracle,
+    k: int,
+    component: ProbabilisticGraph,
+    gamma: float,
+    max_states: int | None = None,
+) -> list[ProbabilisticGraph]:
+    """Algorithm 4: exact DFS for all satisfying trusses within ``component``.
+
+    If ``component`` itself satisfies the approximate global truss test it
+    is returned (it is maximal by construction); otherwise every
+    single-edge deletion is explored, each followed by structural k-truss
+    pruning and a split into connected components.
+
+    ``max_states`` bounds the number of distinct residual edge-sets
+    explored; exceeding it raises :class:`DecompositionError` — this is
+    how callers emulate the paper's "GTD cannot finish in reasonable
+    time" observations without hanging.
+    """
+    answers: dict[frozenset[Edge], ProbabilisticGraph] = {}
+    visited: set[frozenset[Edge]] = set()
+    stack = [component]
+    while stack:
+        candidate = stack.pop()
+        key = frozenset(candidate.edges())
+        if not key or key in visited:
+            continue
+        visited.add(key)
+        if max_states is not None and len(visited) > max_states:
+            raise DecompositionError(
+                f"top-down search exceeded {max_states} explored states at k={k}"
+            )
+        if oracle.satisfies(candidate, k, gamma):
+            answers[key] = candidate
+            continue
+        for e in list(candidate.edges()):
+            remaining = set(key)
+            remaining.discard(edge_key(*e))
+            pruned = _prune_to_structural_ktruss(candidate, remaining, k)
+            if not pruned:
+                continue
+            for piece in _edge_subgraphs_of_components(candidate, pruned):
+                piece_key = frozenset(piece.edges())
+                if piece_key not in visited:
+                    stack.append(piece)
+    return list(answers.values())
+
+
+def bottom_up_search(
+    oracle: GlobalTrussOracle,
+    k: int,
+    component: ProbabilisticGraph,
+    gamma: float,
+    rng: np.random.Generator | int | None = None,
+    skip_covered: bool = True,
+    seed_order: str = "probability-desc",
+) -> list[ProbabilisticGraph]:
+    """Algorithm 5: heuristic bottom-up growth of satisfying trusses.
+
+    Seeds are the component's edges in descending probability order (the
+    paper's heuristic; ``seed_order`` exposes "probability-asc" and
+    "random" for ablation). Each seed grows by adding supporting
+    triangles (k - 2 per deficient edge, chosen at random among the
+    available apexes, as the paper prescribes); satisfying candidates
+    are greedily extended to maximality. Incomplete by design — the
+    speed-for-completeness trade of Section 5.3.
+
+    With ``skip_covered`` (default), edges already contained in some
+    answer are not re-seeded — every reported truss is still a satisfying
+    maximal truss, the pass just avoids rediscovering the same answer
+    from each of its edges.
+    """
+    if not isinstance(rng, np.random.Generator):
+        rng = np.random.default_rng(rng)
+    answers: dict[frozenset[Edge], ProbabilisticGraph] = {}
+    covered: set[Edge] = set()
+    if seed_order == "probability-desc":
+        ranked = sorted(
+            component.edges_with_probabilities(),
+            key=lambda t: (-t[2], str(t[0]), str(t[1])),
+        )
+    elif seed_order == "probability-asc":
+        ranked = sorted(
+            component.edges_with_probabilities(),
+            key=lambda t: (t[2], str(t[0]), str(t[1])),
+        )
+    elif seed_order == "random":
+        ranked = list(component.edges_with_probabilities())
+        rng.shuffle(ranked)
+    else:
+        raise ParameterError(
+            "seed_order must be 'probability-desc', 'probability-asc' "
+            f"or 'random', got {seed_order!r}"
+        )
+    for u0, v0, _ in ranked:
+        if skip_covered and edge_key(u0, v0) in covered:
+            continue
+        # alpha_hat(seed) can never exceed the seed's world frequency.
+        if oracle.edge_frequency(u0, v0) < gamma * (1.0 - 1e-9):
+            continue
+        grown = _grow_candidate(component, (u0, v0), k, rng)
+        if grown is None:
+            continue
+        if not oracle.satisfies(grown, k, gamma):
+            continue
+        extended = _extend_to_maximal(oracle, component, grown, k, gamma)
+        key = frozenset(extended.edges())
+        if key not in answers:
+            answers[key] = extended
+            covered |= key
+    return list(answers.values())
+
+
+def _grow_candidate(
+    component: ProbabilisticGraph,
+    seed_edge: Edge,
+    k: int,
+    rng: np.random.Generator,
+) -> ProbabilisticGraph | None:
+    """Grow a candidate from ``seed_edge`` until every edge has support k - 2.
+
+    Returns None when some edge's support cannot reach k - 2 using the
+    component's triangles (the seed is then hopeless for this k).
+    """
+    u0, v0 = seed_edge
+    candidate = component.edge_subgraph([(u0, v0)])
+    pending = [(u0, v0)]
+    while pending:
+        u, v = pending.pop()
+        if not candidate.has_edge(u, v):
+            continue
+        deficit = (k - 2) - candidate.support(u, v)
+        if deficit <= 0:
+            continue
+        # Apexes available in the component but not yet forming a
+        # triangle with (u, v) inside the candidate.
+        in_candidate = candidate.common_neighbors(u, v)
+        available = [
+            w for w in component.common_neighbors(u, v) if w not in in_candidate
+        ]
+        if len(available) < deficit:
+            return None
+        # Paper: when more than k - 2 triangles are available, pick k - 2
+        # of them at random.
+        chosen = list(
+            rng.choice(np.array(available, dtype=object), size=deficit,
+                       replace=False)
+        ) if len(available) > deficit else available
+        for w in chosen:
+            for a, b in ((u, w), (v, w)):
+                if not candidate.has_edge(a, b):
+                    candidate.add_edge(a, b, component.probability(a, b))
+                    pending.append((a, b))
+        pending.append((u, v))
+    return candidate
+
+
+def _extend_to_maximal(
+    oracle: GlobalTrussOracle,
+    component: ProbabilisticGraph,
+    candidate: ProbabilisticGraph,
+    k: int,
+    gamma: float,
+) -> ProbabilisticGraph:
+    """Greedily add adjacent component edges while the truss test still passes."""
+    current_edges = [edge_key(u, v) for u, v in candidate.edges()]
+    edge_set = set(current_edges)
+    current_nodes = set(candidate.nodes())
+    rejected: set[Edge] = set()
+    need_support = k - 2
+    improved = True
+    while improved:
+        improved = False
+        fringe: list[tuple[Edge, float]] = []
+        for u in list(current_nodes):
+            for v in component.neighbors(u):
+                e = edge_key(u, v)
+                if e in edge_set or e in rejected:
+                    continue
+                rejected.add(e)  # provisional; removed again if accepted
+                # Two sound prescreens, both upper bounds on the new
+                # edge's alpha in any trial: its world frequency, and
+                # (for k >= 3) whether it can even reach k - 2 triangles
+                # within the trial's node set.
+                if oracle.edge_frequency(*e) < gamma * (1.0 - 1e-9):
+                    continue
+                if need_support > 0:
+                    apexes = sum(
+                        1
+                        for w in component.common_neighbors(e[0], e[1])
+                        if w in current_nodes
+                    )
+                    if apexes < need_support:
+                        continue
+                fringe.append((e, component.probability(e[0], e[1])))
+        # Try high-probability extensions first for a denser result.
+        fringe.sort(key=lambda t: (-t[1], str(t[0][0]), str(t[0][1])))
+        for e, _p in fringe:
+            trial_nodes = current_nodes | {e[0], e[1]}
+            if oracle.satisfies_edges(current_edges + [e], trial_nodes,
+                                      k, gamma):
+                current_edges.append(e)
+                edge_set.add(e)
+                current_nodes = trial_nodes
+                rejected.discard(e)
+                improved = True
+            # Edges that failed stay in `rejected`: adding more edges
+            # only makes the per-edge test harder in practice, so they
+            # are not retried in later passes.
+    return component.edge_subgraph(current_edges)
+
+
+def global_truss_decomposition(
+    graph: ProbabilisticGraph,
+    gamma: float,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    method: str = "gbu",
+    seed: int | np.random.Generator | None = None,
+    n_samples: int | None = None,
+    local_result: LocalTrussResult | None = None,
+    samples: WorldSampleSet | None = None,
+    max_k: int | None = None,
+    max_states: int | None = None,
+) -> GlobalTrussResult:
+    """Algorithm 3: find all maximal (eps, delta)-approximate global trusses.
+
+    Parameters
+    ----------
+    graph:
+        Input probabilistic graph.
+    gamma:
+        Probability threshold of Definition 3.
+    epsilon, delta:
+        Hoeffding accuracy parameters; the sample count is
+        ``ceil(ln(2/delta) / (2 epsilon^2))`` unless ``n_samples``
+        overrides it (the paper uses N = 150 for eps = delta = 0.1).
+    method:
+        ``"gtd"`` (Algorithm 4, exact w.r.t. the samples) or ``"gbu"``
+        (Algorithm 5, heuristic).
+    seed:
+        RNG seed for world sampling and GBU tie-breaking.
+    local_result:
+        Optional precomputed local decomposition at the same gamma.
+    samples:
+        Optional pre-drawn world sample set (must cover ``graph``).
+    max_k:
+        Stop after this k even if candidates remain.
+    max_states:
+        GTD state budget per component (see :func:`top_down_search`).
+
+    Returns
+    -------
+    GlobalTrussResult
+        Maximal satisfying trusses per k. Every reported subgraph passes
+        the per-edge ``alpha_hat >= gamma`` test against the shared
+        sample set, hence is a maximal global (k, gamma +- eps)-truss
+        with probability at least 1 - delta per edge (Theorem 3).
+    """
+    if not 0.0 <= gamma <= 1.0:
+        raise ParameterError(f"gamma must be in [0, 1], got {gamma}")
+    if method not in _METHODS:
+        raise ParameterError(f"method must be one of {_METHODS}, got {method!r}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    if n_samples is None:
+        n_samples = hoeffding_sample_size(epsilon, delta)
+    if samples is None:
+        samples = WorldSampleSet.from_graph(graph, n_samples, seed=rng)
+    oracle = GlobalTrussOracle(samples)
+
+    if local_result is None:
+        local_result = local_truss_decomposition(graph, gamma)
+    elif abs(local_result.gamma - gamma) > 1e-15:
+        raise ParameterError(
+            "local_result was computed for a different gamma "
+            f"({local_result.gamma} != {gamma})"
+        )
+
+    result = GlobalTrussResult(
+        graph=graph, gamma=gamma, epsilon=epsilon, delta=delta,
+        n_samples=samples.n_samples, method=method,
+    )
+
+    # S_1 = all edges of G (Eq. 11's base case).
+    prev_union: set[Edge] = {edge_key(u, v) for u, v in graph.edges()}
+    k = 2
+    while prev_union:
+        if max_k is not None and k > max_k:
+            break
+        local_edges = {e for e, tau in local_result.trussness.items() if tau >= k}
+        candidates = local_edges & prev_union
+        candidates = _prune_to_structural_ktruss(graph, candidates, k)
+        if not candidates:
+            break
+        found: dict[frozenset[Edge], ProbabilisticGraph] = {}
+        for piece in _edge_subgraphs_of_components(graph, candidates):
+            if method == "gtd":
+                trusses = top_down_search(oracle, k, piece, gamma,
+                                          max_states=max_states)
+            else:
+                trusses = bottom_up_search(oracle, k, piece, gamma, rng=rng)
+            for t in trusses:
+                found.setdefault(frozenset(t.edges()), t)
+        # Line 12: keep only the maximal answers.
+        maximal = _filter_maximal(found)
+        if not maximal:
+            break
+        result.trusses[k] = list(maximal.values())
+        prev_union = set().union(*maximal.keys())
+        k += 1
+    return result
+
+
+def _filter_maximal(
+    found: dict[frozenset[Edge], ProbabilisticGraph]
+) -> dict[frozenset[Edge], ProbabilisticGraph]:
+    """Drop answers whose edge set is a proper subset of another answer's."""
+    keys = sorted(found, key=len, reverse=True)
+    kept: dict[frozenset[Edge], ProbabilisticGraph] = {}
+    for key in keys:
+        if any(key < other for other in kept):
+            continue
+        kept[key] = found[key]
+    return kept

@@ -1,0 +1,415 @@
+"""Global (k, gamma)-truss semantics: alpha_k(H, e) exactly and by sampling.
+
+``alpha_k(H, e)`` (Eq. 3) is the probability that a possible world of the
+probabilistic subgraph ``H`` is a *connected deterministic k-truss
+spanning all of V_H* and containing edge ``e``. Computing it exactly is
+#P-hard (Theorem 1); this module provides:
+
+* :func:`alpha_exact` — exponential possible-world enumeration, usable as
+  a ground-truth oracle on small subgraphs;
+* :class:`GlobalTrussOracle` — the Monte-Carlo estimator of Eq. (10)
+  backed by a shared :class:`~repro.graphs.sampling.WorldSampleSet`
+  projected onto each candidate subgraph (Theorem 3 justifies sharing
+  one sample set across all candidates).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
+from repro.graphs.sampling import WorldSampleSet
+
+__all__ = [
+    "world_is_connected_ktruss",
+    "alpha_exact",
+    "is_global_truss_exact",
+    "GlobalTrussOracle",
+]
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+# alpha_exact enumerates 2^m worlds; refuse beyond this many edges.
+_MAX_EXACT_EDGES = 25
+
+
+def world_is_connected_ktruss(
+    nodes: Iterable[Node], present_edges: Iterable[Edge], k: int
+) -> bool:
+    """Return True iff the world (nodes, present_edges) is a connected k-truss.
+
+    The world must (a) connect **all** of ``nodes`` — possible worlds
+    retain every node of their parent graph — and (b) be a deterministic
+    k-truss: every present edge lies in at least k - 2 triangles among
+    the present edges. This is the indicator ``I(H, k, e)`` of
+    Definition 3 minus the "contains e" clause, which callers apply by
+    crediting only present edges.
+    """
+    if k < 2:
+        raise ParameterError(f"k must be at least 2, got {k}")
+    node_list = list(nodes)
+    edge_list = list(present_edges)
+    adj: dict[Node, set[Node]] = {u: set() for u in node_list}
+    for u, v in edge_list:
+        adj[u].add(v)
+        adj[v].add(u)
+    if not node_list:
+        return False
+    # Connectivity over ALL nodes of the subgraph.
+    seen = {node_list[0]}
+    queue = deque(seen)
+    while queue:
+        u = queue.popleft()
+        for v in adj[u]:
+            if v not in seen:
+                seen.add(v)
+                queue.append(v)
+    if len(seen) != len(node_list):
+        return False
+    # k-truss condition on the present edges.
+    need = k - 2
+    if need <= 0:
+        return True
+    return all(len(adj[u] & adj[v]) >= need for u, v in edge_list)
+
+
+def alpha_exact(
+    subgraph: ProbabilisticGraph, k: int
+) -> dict[Edge, float]:
+    """Return exact ``alpha_k(H, e)`` for every edge ``e`` of ``subgraph``.
+
+    Enumerates all 2^m possible worlds (Eq. 3); raises
+    :class:`ParameterError` beyond ``25`` edges. For each qualifying
+    world — connected over all of V_H and a k-truss — its probability is
+    credited to every edge it contains.
+    """
+    edges = list(subgraph.edges())
+    m = len(edges)
+    if m > _MAX_EXACT_EDGES:
+        raise ParameterError(
+            f"alpha_exact enumerates 2^m worlds; {m} edges exceeds the "
+            f"limit of {_MAX_EXACT_EDGES}"
+        )
+    probs = [subgraph.probability(u, v) for u, v in edges]
+    nodes = list(subgraph.nodes())
+    alpha = {e: 0.0 for e in edges}
+    for mask in range(1 << m):
+        world_prob = 1.0
+        present: list[Edge] = []
+        for i in range(m):
+            if mask >> i & 1:
+                world_prob *= probs[i]
+                present.append(edges[i])
+            else:
+                world_prob *= 1.0 - probs[i]
+        if world_prob == 0.0 or not present:
+            continue
+        if world_is_connected_ktruss(nodes, present, k):
+            for e in present:
+                alpha[e] += world_prob
+    return alpha
+
+
+def is_global_truss_exact(
+    subgraph: ProbabilisticGraph, k: int, gamma: float
+) -> bool:
+    """Exact Definition 3 check: every edge has ``alpha_k(H, e) >= gamma``.
+
+    Connectivity of the (structural) subgraph is required as well. Only
+    feasible on small subgraphs — see :func:`alpha_exact`.
+    """
+    if not 0.0 <= gamma <= 1.0:
+        raise ParameterError(f"gamma must be in [0, 1], got {gamma}")
+    from repro.graphs.components import is_connected
+
+    if subgraph.number_of_edges() == 0 or not is_connected(subgraph):
+        return False
+    alpha = alpha_exact(subgraph, k)
+    # Relative slack absorbs floating-point dust at exact-threshold cases.
+    threshold = gamma * (1.0 - 1e-9)
+    return all(a >= threshold for a in alpha.values())
+
+
+class _WorldClassifier:
+    """Fast per-candidate classifier for sampled world patterns.
+
+    Nodes and edges are mapped to integer indices once per candidate.
+    Spanning connectivity of *all* patterns is decided in one shot by
+    stacking them into a block-diagonal sparse graph and running scipy's
+    C connected-components over it; the k-truss condition (k >= 3) is
+    then checked per surviving pattern with index-based common-neighbour
+    counts. Semantically identical to
+    :func:`world_is_connected_ktruss`, orders of magnitude faster in the
+    Monte-Carlo oracle's inner loop.
+    """
+
+    __slots__ = ("n", "ends_u", "ends_v", "k")
+
+    def __init__(self, edges: Sequence[Edge], nodes: Sequence[Node], k: int):
+        index = {u: i for i, u in enumerate(nodes)}
+        self.n = len(nodes)
+        self.ends_u = np.array([index[u] for u, _ in edges], dtype=np.int64)
+        self.ends_v = np.array([index[v] for _, v in edges], dtype=np.int64)
+        self.k = k
+
+    def connected_mask(self, patterns: np.ndarray) -> np.ndarray:
+        """Boolean mask: which patterns connect all ``n`` nodes.
+
+        ``patterns`` is a (P, m) boolean matrix. Patterns are stacked
+        into one disjoint union (pattern t's nodes live at offset t*n)
+        and classified with a single C-level connected-components call.
+        """
+        n_patterns = patterns.shape[0]
+        if self.n == 0 or n_patterns == 0:
+            return np.zeros(n_patterns, dtype=bool)
+        if self.n == 1:
+            return np.ones(n_patterns, dtype=bool)
+        from scipy.sparse import coo_matrix
+        from scipy.sparse.csgraph import connected_components
+
+        t_idx, j_idx = np.nonzero(patterns)
+        rows = t_idx * self.n + self.ends_u[j_idx]
+        cols = t_idx * self.n + self.ends_v[j_idx]
+        total = n_patterns * self.n
+        graph = coo_matrix(
+            (np.ones(len(rows), dtype=np.int8), (rows, cols)),
+            shape=(total, total),
+        )
+        _, labels = connected_components(graph, directed=False)
+        blocks = labels.reshape(n_patterns, self.n)
+        return (blocks == blocks[:, :1]).all(axis=1)
+
+    def truss_ok(self, present_columns: np.ndarray) -> bool:
+        """k-truss condition over the present edges (k >= 3 only)."""
+        need = self.k - 2
+        if need <= 0:
+            return True
+        adj: list[set[int]] = [set() for _ in range(self.n)]
+        us = self.ends_u[present_columns]
+        vs = self.ends_v[present_columns]
+        for a, b in zip(us, vs):
+            adj[a].add(b)
+            adj[b].add(a)
+        return all(
+            len(adj[a] & adj[b]) >= need for a, b in zip(us, vs)
+        )
+
+
+def _minimum_world_edges(n_nodes: int, k: int) -> int:
+    """Lower bound on |E| of any qualifying world on ``n_nodes`` nodes.
+
+    A qualifying world connects all nodes (>= n - 1 edges) and is a
+    k-truss with at least one edge, so every node has degree >= k - 1
+    (>= ceil(n (k-1) / 2) edges).
+    """
+    return max(n_nodes - 1, -(-n_nodes * (k - 1)) // 2, 1)
+
+
+class GlobalTrussOracle:
+    """Monte-Carlo estimator of alpha_k over a shared world sample set.
+
+    One oracle wraps the ``N`` sampled worlds of the *host* graph; every
+    candidate subgraph is evaluated against their projections (Eq. 10).
+    Estimates for a given (edge set, node set, k) are memoised — the
+    searches of Algorithms 4 and 5 revisit subgraphs heavily.
+
+    The hot path, :meth:`satisfies_edges`, avoids materialising subgraph
+    objects and short-circuits with two sound upper bounds before the
+    per-world classification loop: a world-size filter (a qualifying
+    world needs at least ``max(n - 1, n (k-1) / 2)`` edges) and a
+    per-edge count bound (``alpha_hat(e) * N`` cannot exceed the number
+    of size-qualified worlds containing ``e``).
+    """
+
+    def __init__(self, samples: WorldSampleSet):
+        self._samples = samples
+        self._cache: dict[tuple[frozenset[Edge], frozenset[Node], int],
+                          dict[Edge, float]] = {}
+        self._frequency: dict[Edge, float] = {}
+
+    @property
+    def n_samples(self) -> int:
+        """The number of sampled worlds N."""
+        return self._samples.n_samples
+
+    def edge_frequency(self, u: Node, v: Node) -> float:
+        """Fraction of sampled worlds containing edge (u, v), memoised.
+
+        This is a sound upper bound on ``alpha_hat_k(H, e)`` for any
+        candidate ``H`` — used by the searches to discard hopeless edges
+        without a full evaluation.
+        """
+        key = edge_key(u, v)
+        freq = self._frequency.get(key)
+        if freq is None:
+            freq = self._samples.edge_frequency(u, v)
+            self._frequency[key] = freq
+        return freq
+
+    # ------------------------------------------------------------------
+    def _classify(
+        self, edges: list[Edge], nodes: list[Node], k: int,
+        matrix: np.ndarray, candidate_rows: np.ndarray,
+    ) -> dict[Edge, int]:
+        """Count qualifying worlds containing each edge (exact w.r.t. samples).
+
+        Sampled worlds of a candidate often repeat the same presence
+        pattern (high-probability candidates are dominated by the
+        all-edges world), so identical rows are classified once and
+        credited with their multiplicity.
+        """
+        counts = {e: 0 for e in edges}
+        if candidate_rows.size == 0:
+            return counts
+        classifier = _WorldClassifier(edges, nodes, k)
+        sub = matrix[candidate_rows]
+        if len(edges) <= 48:
+            patterns, multiplicity = np.unique(sub, axis=0, return_counts=True)
+        else:
+            patterns, multiplicity = sub, np.ones(sub.shape[0], dtype=np.int64)
+        qualifying = classifier.connected_mask(patterns)
+        if k > 2:
+            for i in np.flatnonzero(qualifying):
+                if not classifier.truss_ok(np.flatnonzero(patterns[i])):
+                    qualifying[i] = False
+        if qualifying.any():
+            counts_vec = patterns[qualifying].astype(np.int64).T @ (
+                multiplicity[qualifying].astype(np.int64)
+            )
+            counts = {e: int(counts_vec[j]) for j, e in enumerate(edges)}
+        return counts
+
+    def alpha_estimates(
+        self, subgraph: ProbabilisticGraph, k: int
+    ) -> dict[Edge, float]:
+        """Return ``{e: alpha_hat_k(H, e)}`` for every edge of ``subgraph``.
+
+        Each projected world is classified once (connected-spanning +
+        k-truss); qualifying worlds credit every edge they contain, so
+        the cost per candidate is O(N * world size).
+        """
+        edges = [edge_key(u, v) for u, v in subgraph.edges()]
+        nodes = list(subgraph.nodes())
+        return self._estimates(edges, nodes, k)
+
+    def _estimates(
+        self, edges: list[Edge], nodes: list[Node], k: int
+    ) -> dict[Edge, float]:
+        key = (frozenset(edges), frozenset(nodes), k)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return dict(cached)
+        counts: dict[Edge, int] = {e: 0 for e in edges}
+        if edges:
+            matrix = self._samples.presence_matrix(edges)
+            row_sums = matrix.sum(axis=1)
+            candidate_rows = np.flatnonzero(
+                row_sums >= _minimum_world_edges(len(nodes), k)
+            )
+            counts = self._classify(edges, nodes, k, matrix, candidate_rows)
+        estimates = {e: c / self._samples.n_samples for e, c in counts.items()}
+        self._cache[key] = estimates
+        return dict(estimates)
+
+    def satisfies(
+        self, subgraph: ProbabilisticGraph, k: int, gamma: float
+    ) -> bool:
+        """Return True iff ``subgraph`` is an (eps, delta)-approximate
+        global (k, gamma)-truss w.r.t. the sample set: every edge has
+        ``alpha_hat >= gamma`` (and the subgraph is non-empty)."""
+        edges = [edge_key(u, v) for u, v in subgraph.edges()]
+        nodes = list(subgraph.nodes())
+        return self.satisfies_edges(edges, nodes, k, gamma)
+
+    def satisfies_edges(
+        self, edges: Sequence[Edge], nodes: Iterable[Node],
+        k: int, gamma: float,
+    ) -> bool:
+        """:meth:`satisfies` on a raw (edges, nodes) pair — the hot path.
+
+        ``edges`` must be canonical keys; ``nodes`` must cover every edge
+        endpoint. Fast-rejects via upper bounds before classifying.
+        """
+        if not 0.0 <= gamma <= 1.0:
+            raise ParameterError(f"gamma must be in [0, 1], got {gamma}")
+        edges = list(edges)
+        if not edges:
+            return False
+        node_list = list(nodes)
+        threshold = gamma * (1.0 - 1e-9)
+        key = (frozenset(edges), frozenset(node_list), k)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return all(a >= threshold for a in cached.values())
+
+        needed = threshold * self._samples.n_samples
+        matrix = self._samples.presence_matrix(edges)
+        row_sums = matrix.sum(axis=1)
+        candidate_rows = np.flatnonzero(
+            row_sums >= _minimum_world_edges(len(node_list), k)
+        )
+        # Upper bound: qualifying worlds containing e are a subset of the
+        # size-qualified worlds containing e. Reject without classifying
+        # when some edge cannot reach the threshold. (Sound only as a
+        # False fast-path; estimates are NOT cached here.)
+        if candidate_rows.size * 1.0 < needed:
+            return False
+        sub = matrix[candidate_rows]
+        upper = sub.sum(axis=0)
+        if (upper < needed).any():
+            return False
+        # One batched C-level connectivity pass over all unique patterns,
+        # then (for k >= 3 only) per-pattern truss checks, heaviest
+        # first, with a live per-edge bound achieved(e) + pending(e) for
+        # early rejection.
+        classifier = _WorldClassifier(edges, node_list, k)
+        # Deduplicate sampled patterns only while duplicates are likely:
+        # beyond a few dozen edges nearly every sampled world is unique
+        # and the unique() sort is pure overhead.
+        if len(edges) <= 48:
+            patterns, multiplicity = np.unique(
+                sub, axis=0, return_counts=True
+            )
+        else:
+            patterns, multiplicity = sub, np.ones(sub.shape[0], dtype=np.int64)
+        weights = multiplicity.astype(float)
+        connected = classifier.connected_mask(patterns)
+        if k <= 2:
+            if not connected.any():
+                return False
+            achieved = patterns[connected].astype(float).T @ weights[connected]
+        else:
+            survivors = np.flatnonzero(connected)
+            if survivors.size == 0:
+                return False
+            pending = patterns[survivors].astype(float).T @ weights[survivors]
+            if (pending < needed).any():
+                return False
+            achieved = np.zeros(len(edges))
+            order = survivors[np.argsort(-weights[survivors])]
+            for idx in order:
+                contribution = weights[idx] * patterns[idx]
+                pending -= contribution
+                if classifier.truss_ok(np.flatnonzero(patterns[idx])):
+                    achieved += contribution
+                if ((achieved + pending) < needed).any():
+                    return False
+        estimates = {
+            e: achieved[j] / self._samples.n_samples
+            for j, e in enumerate(edges)
+        }
+        self._cache[key] = estimates
+        return all(a >= threshold for a in estimates.values())
+
+    def cache_size(self) -> int:
+        """Number of memoised (edge set, node set, k) evaluations."""
+        return len(self._cache)
+
+    def clear_cache(self) -> None:
+        """Drop all memoised evaluations."""
+        self._cache.clear()

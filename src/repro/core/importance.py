@@ -1,0 +1,152 @@
+"""Importance sampling for rare-event alpha estimation.
+
+The paper's Monte-Carlo estimator (Eq. 10) needs on the order of
+``1/alpha`` samples before it sees a single qualifying world — hopeless
+in the regimes the paper itself cares about (the Section 6.5 case study
+runs at gamma = 1e-11). This module adds an *unbiased* importance-
+sampling estimator for ``alpha_k(H, e)``:
+
+worlds are drawn from a tilted product distribution ``q_i >= p_i``
+(qualifying worlds are edge-rich, so tilting up makes them common), and
+each sampled world is reweighted by its likelihood ratio
+
+    w(W) = prod_{i in W} p_i/q_i * prod_{i not in W} (1-p_i)/(1-q_i).
+
+``E_q[w * I] = E_p[I] = alpha`` exactly, for any tilt — unbiasedness is
+free; the tilt only controls variance. The default tilt lifts every
+edge probability to at least ``tilt_floor`` (0.75), which concentrates
+sampling mass on the near-complete worlds that dominate small-gamma
+qualification events.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
+from repro.core.global_truss import world_is_connected_ktruss
+
+__all__ = ["alpha_importance", "ImportanceEstimate"]
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+class ImportanceEstimate(dict):
+    """``{edge: alpha_hat}`` plus diagnostics of the sampling run.
+
+    Attributes
+    ----------
+    n_samples:
+        Worlds drawn.
+    qualifying_fraction:
+        Fraction of *tilted* worlds that qualified (connected spanning
+        k-truss) — should be far above the raw alpha, or the tilt is
+        not helping.
+    effective_sample_size:
+        Kish ESS of the importance weights; a small ESS relative to
+        n_samples warns of weight degeneracy.
+    """
+
+    def __init__(self, estimates: dict[Edge, float], n_samples: int,
+                 qualifying_fraction: float, effective_sample_size: float):
+        super().__init__(estimates)
+        self.n_samples = n_samples
+        self.qualifying_fraction = qualifying_fraction
+        self.effective_sample_size = effective_sample_size
+
+
+def alpha_importance(
+    subgraph: ProbabilisticGraph,
+    k: int,
+    n_samples: int = 1000,
+    seed: int | np.random.Generator | None = None,
+    tilt_floor: float = 0.75,
+) -> ImportanceEstimate:
+    """Estimate ``alpha_k(H, e)`` for every edge by importance sampling.
+
+    Parameters
+    ----------
+    subgraph:
+        The candidate probabilistic subgraph ``H``.
+    k:
+        Truss order (>= 2).
+    n_samples:
+        Number of tilted worlds to draw.
+    seed:
+        RNG seed.
+    tilt_floor:
+        Proposal edge probabilities are ``q_i = max(p_i, tilt_floor)``
+        (edges with ``p_i = 0`` stay impossible: their true mass is
+        zero in every qualifying world that contains them, and tilting
+        them up would only add weighted-zero noise... they are kept at
+        0 so the estimator never samples structurally impossible
+        worlds with nonzero weight).
+
+    Returns
+    -------
+    ImportanceEstimate
+        Unbiased per-edge estimates plus diagnostics.
+    """
+    if k < 2:
+        raise ParameterError(f"k must be at least 2, got {k}")
+    if n_samples <= 0:
+        raise ParameterError(f"n_samples must be positive, got {n_samples}")
+    if not 0.0 < tilt_floor < 1.0:
+        raise ParameterError(f"tilt_floor must be in (0, 1), got {tilt_floor}")
+    rng = (
+        seed if isinstance(seed, np.random.Generator)
+        else np.random.default_rng(seed)
+    )
+
+    edges: list[Edge] = []
+    p = []
+    for u, v, prob in subgraph.edges_with_probabilities():
+        edges.append(edge_key(u, v))
+        p.append(prob)
+    nodes = list(subgraph.nodes())
+    m = len(edges)
+    totals = {e: 0.0 for e in edges}
+    if m == 0:
+        return ImportanceEstimate(totals, n_samples, 0.0, 0.0)
+
+    p = np.asarray(p)
+    q = np.where(p > 0.0, np.maximum(p, tilt_floor), 0.0)
+    # Per-edge log likelihood ratios for present/absent outcomes.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_present = np.where(q > 0, np.log(p) - np.log(q), 0.0)
+        log_absent = np.where(
+            q < 1.0, np.log1p(-p) - np.log1p(-q), 0.0
+        )
+        # q == 1 only when p == 1: absent outcome never sampled there.
+
+    draws = rng.random((n_samples, m)) < q
+    qualifying = 0
+    weights_seen: list[float] = []
+    for row in draws:
+        present_idx = np.flatnonzero(row)
+        present = [edges[j] for j in present_idx]
+        if not present:
+            continue
+        if not world_is_connected_ktruss(nodes, present, k):
+            continue
+        qualifying += 1
+        log_w = float(log_present[row].sum() + log_absent[~row].sum())
+        w = math.exp(log_w)
+        weights_seen.append(w)
+        for e in present:
+            totals[e] += w
+
+    estimates = {e: t / n_samples for e, t in totals.items()}
+    if weights_seen:
+        ws = np.asarray(weights_seen)
+        ess = float(ws.sum() ** 2 / (ws ** 2).sum())
+    else:
+        ess = 0.0
+    return ImportanceEstimate(
+        estimates, n_samples, qualifying / n_samples, ess
+    )

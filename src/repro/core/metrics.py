@@ -1,0 +1,84 @@
+"""Cohesiveness metrics for probabilistic subgraphs (Section 6.1).
+
+* :func:`probabilistic_density` — Eq. (12): expected number of edges over
+  the maximum possible number of node pairs.
+* :func:`probabilistic_clustering_coefficient` — Eq. (13), the PCC of
+  Pfeiffer & Neville: expected closed wedges over expected wedges.
+* :func:`clustering_coefficient` — the deterministic (structure-only)
+  global clustering coefficient used in Table 3's CC column.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.graphs.probabilistic import ProbabilisticGraph
+
+__all__ = [
+    "probabilistic_density",
+    "probabilistic_clustering_coefficient",
+    "clustering_coefficient",
+    "expected_edge_count",
+]
+
+Node = Hashable
+
+
+def expected_edge_count(graph: ProbabilisticGraph) -> float:
+    """Return the expected number of existing edges, ``sum of p(e)``."""
+    return sum(p for _, _, p in graph.edges_with_probabilities())
+
+
+def probabilistic_density(graph: ProbabilisticGraph) -> float:
+    """Return Eq. (12): ``sum p(e) / (|V| (|V|-1) / 2)``.
+
+    Zero for graphs with fewer than two nodes.
+    """
+    n = graph.number_of_nodes()
+    if n < 2:
+        return 0.0
+    return expected_edge_count(graph) / (n * (n - 1) / 2.0)
+
+
+def probabilistic_clustering_coefficient(graph: ProbabilisticGraph) -> float:
+    """Return Eq. (13), the probabilistic clustering coefficient.
+
+    ``PCC = 3 * sum over triangles of p(u,v) p(v,w) p(w,u) /
+    sum over wedges (u; v, w) of p(u,v) p(u,w)``.
+
+    Zero when the graph has no wedges (e.g. a single edge — the paper
+    excludes such graphs from PCC averages; callers should do the same).
+    """
+    triangle_mass = 0.0
+    for u, v, w in graph.triangles():
+        triangle_mass += (
+            graph.probability(u, v)
+            * graph.probability(v, w)
+            * graph.probability(w, u)
+        )
+    wedge_mass = 0.0
+    for u in graph.nodes():
+        probs = list(graph.neighbor_probabilities(u).values())
+        total = sum(probs)
+        square_sum = sum(p * p for p in probs)
+        # sum over unordered neighbour pairs v != w of p(u,v) p(u,w).
+        wedge_mass += (total * total - square_sum) / 2.0
+    if wedge_mass <= 0.0:
+        return 0.0
+    return 3.0 * triangle_mass / wedge_mass
+
+
+def clustering_coefficient(graph: ProbabilisticGraph) -> float:
+    """Return the deterministic global clustering coefficient.
+
+    ``3 * #triangles / #wedges``, probabilities ignored (Table 3's CC).
+    Zero when there are no wedges.
+    """
+    triangles = sum(1 for _ in graph.triangles())
+    wedges = 0
+    for u in graph.nodes():
+        d = graph.degree(u)
+        wedges += d * (d - 1) // 2
+    if wedges == 0:
+        return 0.0
+    return 3.0 * triangles / wedges

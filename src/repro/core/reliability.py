@@ -1,0 +1,212 @@
+"""Network reliability — the #P-hard quantity behind Theorem 1.
+
+Theorem 1 reduces NETWORK RELIABILITY (the probability that a
+probabilistic graph is connected, Eq. 4) to computing
+``alpha_2(H, e)``: attach a pendant node ``w`` to any vertex ``v`` with
+a certain edge, and the 2-truss alpha of ``(w, v)`` equals the original
+graph's reliability. This module provides the quantity itself —
+
+* :func:`network_reliability_exact` — possible-world enumeration
+  (graphs up to 22 edges);
+* :func:`network_reliability_mc` — Monte-Carlo over a
+  :class:`~repro.graphs.sampling.WorldSampleSet` with the same Hoeffding
+  guarantees as the truss oracle;
+* :func:`two_terminal_reliability_exact` / ``_mc`` — the classical s-t
+  variant (Jin et al.'s distance-constraint reachability with an
+  infinite threshold);
+* :func:`theorem1_gadget` — builds the reduction instance, letting
+  tests confirm ``alpha_2(gadget, pendant) == reliability`` exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+import numpy as np
+
+from repro.exceptions import NodeNotFoundError, ParameterError
+from repro.graphs.components import component_of, is_connected
+from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
+from repro.graphs.sampling import WorldSampleSet
+
+__all__ = [
+    "network_reliability_exact",
+    "network_reliability_mc",
+    "two_terminal_reliability_exact",
+    "two_terminal_reliability_mc",
+    "theorem1_gadget",
+]
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+_MAX_EXACT_EDGES = 22
+
+
+def _world_connects(nodes: list[Node], present: list[Edge]) -> bool:
+    adj: dict[Node, set[Node]] = {u: set() for u in nodes}
+    for u, v in present:
+        adj[u].add(v)
+        adj[v].add(u)
+    if not nodes:
+        return False
+    seen = {nodes[0]}
+    stack = [nodes[0]]
+    while stack:
+        x = stack.pop()
+        for y in adj[x]:
+            if y not in seen:
+                seen.add(y)
+                stack.append(y)
+    return len(seen) == len(nodes)
+
+
+def network_reliability_exact(graph: ProbabilisticGraph) -> float:
+    """Return ``Pr[graph is connected]`` by world enumeration (Eq. 4).
+
+    Exponential in the edge count (limit 22); a single node is connected
+    with probability 1, an empty or structurally disconnected graph has
+    reliability 0.
+    """
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return 1.0
+    if not is_connected(graph):
+        return 0.0
+    edges = list(graph.edges())
+    m = len(edges)
+    if m > _MAX_EXACT_EDGES:
+        raise ParameterError(
+            f"exact reliability enumerates 2^m worlds; {m} edges exceeds "
+            f"the limit of {_MAX_EXACT_EDGES}"
+        )
+    probs = [graph.probability(u, v) for u, v in edges]
+    nodes = list(graph.nodes())
+    total = 0.0
+    for mask in range(1 << m):
+        world_prob = 1.0
+        present: list[Edge] = []
+        for i in range(m):
+            if mask >> i & 1:
+                world_prob *= probs[i]
+                present.append(edges[i])
+            else:
+                world_prob *= 1.0 - probs[i]
+        if world_prob and _world_connects(nodes, present):
+            total += world_prob
+    return total
+
+
+def network_reliability_mc(
+    graph: ProbabilisticGraph,
+    n_samples: int = 1000,
+    seed: int | np.random.Generator | None = None,
+    samples: WorldSampleSet | None = None,
+) -> float:
+    """Monte-Carlo estimate of ``Pr[graph is connected]``."""
+    n = graph.number_of_nodes()
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return 1.0
+    if samples is None:
+        samples = WorldSampleSet.from_graph(graph, n_samples, seed=seed)
+    nodes = list(graph.nodes())
+    hits = 0
+    for present in samples.iter_worlds():
+        if _world_connects(nodes, list(present)):
+            hits += 1
+    return hits / samples.n_samples
+
+
+def two_terminal_reliability_exact(
+    graph: ProbabilisticGraph, s: Node, t: Node
+) -> float:
+    """Return ``Pr[s and t are connected]`` by world enumeration."""
+    for x in (s, t):
+        if not graph.has_node(x):
+            raise NodeNotFoundError(x)
+    if s == t:
+        return 1.0
+    edges = list(graph.edges())
+    m = len(edges)
+    if m > _MAX_EXACT_EDGES:
+        raise ParameterError(
+            f"exact reliability enumerates 2^m worlds; {m} edges exceeds "
+            f"the limit of {_MAX_EXACT_EDGES}"
+        )
+    probs = [graph.probability(u, v) for u, v in edges]
+    total = 0.0
+    for mask in range(1 << m):
+        world_prob = 1.0
+        present: list[Edge] = []
+        for i in range(m):
+            if mask >> i & 1:
+                world_prob *= probs[i]
+                present.append(edges[i])
+            else:
+                world_prob *= 1.0 - probs[i]
+        if world_prob == 0.0:
+            continue
+        world = graph.project_world(present)
+        if t in component_of(world, s):
+            total += world_prob
+    return total
+
+
+def two_terminal_reliability_mc(
+    graph: ProbabilisticGraph,
+    s: Node,
+    t: Node,
+    n_samples: int = 1000,
+    seed: int | np.random.Generator | None = None,
+) -> float:
+    """Monte-Carlo estimate of ``Pr[s and t are connected]``."""
+    for x in (s, t):
+        if not graph.has_node(x):
+            raise NodeNotFoundError(x)
+    if s == t:
+        return 1.0
+    samples = WorldSampleSet.from_graph(graph, n_samples, seed=seed)
+    adjacency_template = {u: set() for u in graph.nodes()}
+    hits = 0
+    for present in samples.iter_worlds():
+        adj = {u: set() for u in adjacency_template}
+        for u, v in present:
+            adj[u].add(v)
+            adj[v].add(u)
+        seen = {s}
+        stack = [s]
+        found = False
+        while stack and not found:
+            x = stack.pop()
+            for y in adj[x]:
+                if y == t:
+                    found = True
+                    break
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        if found:
+            hits += 1
+    return hits / samples.n_samples
+
+
+def theorem1_gadget(
+    graph: ProbabilisticGraph, anchor: Node, pendant: Node = "__pendant__"
+) -> tuple[ProbabilisticGraph, Edge]:
+    """Build the Theorem 1 reduction instance.
+
+    Returns ``(H, e)`` where H is ``graph`` plus a certain pendant edge
+    ``(pendant, anchor)``; by Theorem 1,
+    ``alpha_2(H, e) == network_reliability(graph)``.
+    """
+    if not graph.has_node(anchor):
+        raise NodeNotFoundError(anchor)
+    if graph.has_node(pendant):
+        raise ParameterError(f"pendant node {pendant!r} already exists")
+    gadget = graph.copy()
+    gadget.add_edge(pendant, anchor, 1.0)
+    return gadget, edge_key(pendant, anchor)

@@ -1,0 +1,124 @@
+"""Descriptive statistics for probabilistic graphs.
+
+Summaries used by the CLI, the benches and exploratory analysis:
+degree and probability distributions, expected structural quantities,
+and a one-call profile combining them with the Table 1 columns.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.graphs.probabilistic import ProbabilisticGraph
+from repro.core.metrics import (
+    clustering_coefficient,
+    expected_edge_count,
+    probabilistic_clustering_coefficient,
+    probabilistic_density,
+)
+
+__all__ = [
+    "GraphProfile",
+    "degree_histogram",
+    "probability_quantiles",
+    "expected_triangle_count",
+    "profile_graph",
+]
+
+Node = Hashable
+
+
+def degree_histogram(graph: ProbabilisticGraph) -> dict[int, int]:
+    """Return ``{degree: node count}`` (structural degrees)."""
+    histogram: dict[int, int] = {}
+    for u in graph.nodes():
+        d = graph.degree(u)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+def probability_quantiles(
+    graph: ProbabilisticGraph,
+    quantiles: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
+) -> dict[float, float]:
+    """Return edge-probability quantiles (empty graph: all zeros)."""
+    probs = sorted(p for _, _, p in graph.edges_with_probabilities())
+    if not probs:
+        return {q: 0.0 for q in quantiles}
+    out: dict[float, float] = {}
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        idx = min(len(probs) - 1, max(0, round(q * (len(probs) - 1))))
+        out[q] = probs[idx]
+    return out
+
+
+def expected_triangle_count(graph: ProbabilisticGraph) -> float:
+    """Return the expected number of materialised triangles.
+
+    By linearity: sum over structural triangles of the product of their
+    three edge probabilities.
+    """
+    total = 0.0
+    for u, v, w in graph.triangles():
+        total += (
+            graph.probability(u, v)
+            * graph.probability(v, w)
+            * graph.probability(w, u)
+        )
+    return total
+
+
+@dataclass(frozen=True)
+class GraphProfile:
+    """A one-call summary of an uncertain graph."""
+
+    nodes: int
+    edges: int
+    max_degree: int
+    mean_degree: float
+    expected_edges: float
+    expected_triangles: float
+    structural_triangles: int
+    density: float
+    pcc: float
+    clustering: float
+    probability_median: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view (for printing / JSON)."""
+        return {
+            "nodes": self.nodes,
+            "edges": self.edges,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "expected_edges": self.expected_edges,
+            "expected_triangles": self.expected_triangles,
+            "structural_triangles": self.structural_triangles,
+            "density": self.density,
+            "pcc": self.pcc,
+            "clustering": self.clustering,
+            "probability_median": self.probability_median,
+        }
+
+
+def profile_graph(graph: ProbabilisticGraph) -> GraphProfile:
+    """Compute a :class:`GraphProfile` for ``graph``."""
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    structural_triangles = sum(1 for _ in graph.triangles())
+    return GraphProfile(
+        nodes=n,
+        edges=m,
+        max_degree=graph.max_degree(),
+        mean_degree=(2.0 * m / n) if n else 0.0,
+        expected_edges=expected_edge_count(graph),
+        expected_triangles=expected_triangle_count(graph),
+        structural_triangles=structural_triangles,
+        density=probabilistic_density(graph),
+        pcc=probabilistic_clustering_coefficient(graph),
+        clustering=clustering_coefficient(graph),
+        probability_median=probability_quantiles(graph)[0.5],
+    )

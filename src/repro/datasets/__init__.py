@@ -1,0 +1,30 @@
+"""Synthetic stand-ins for the paper's eight evaluation networks.
+
+The paper evaluates on FruitFly, WikiVote, Flickr, DBLP, BioMine,
+LiveJournal, Orkut and Wise (Table 1) — up to 261 M edges, none bundled
+here. :mod:`repro.datasets` provides seeded generators reproducing each
+network's *qualitative* character at laptop scale, with the same
+probability models the paper describes (Jaccard for Flickr, exponential
+collaboration counts for DBLP, confidences for the biological networks,
+Uniform[0, 1] for the four social networks). See DESIGN.md §3 for the
+substitution rationale.
+"""
+
+from repro.datasets.registry import (
+    DATASET_NAMES,
+    DatasetSpec,
+    dataset_spec,
+    load_dataset,
+    dataset_statistics,
+)
+from repro.datasets import probability_models, synthetic
+
+__all__ = [
+    "DATASET_NAMES",
+    "DatasetSpec",
+    "dataset_spec",
+    "load_dataset",
+    "dataset_statistics",
+    "probability_models",
+    "synthetic",
+]

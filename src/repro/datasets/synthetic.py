@@ -1,0 +1,239 @@
+"""Generators for the eight scaled-down evaluation networks.
+
+Each ``make_*`` function returns a seeded :class:`ProbabilisticGraph`
+whose topology and probability model mirror the corresponding real
+network of Table 1 at laptop scale (see DESIGN.md §3). Relative sizes
+follow the paper's ordering: fruitfly is the smallest and the only one
+where exhaustive global search (GTD) is feasible; wise is the largest.
+
+All generators accept ``scale`` — a multiplier on the node budget — so
+benches can grow or shrink every dataset coherently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    beta_probabilities,
+    complete_graph,
+    duplication_divergence_graph,
+    gnp_graph,
+    powerlaw_cluster_graph,
+)
+from repro.graphs.probabilistic import ProbabilisticGraph
+from repro.datasets.probability_models import (
+    assign_exponential_collaboration,
+    assign_jaccard,
+    assign_uniform,
+)
+
+__all__ = [
+    "make_fruitfly",
+    "make_wikivote",
+    "make_flickr",
+    "make_dblp",
+    "make_biomine",
+    "make_livejournal",
+    "make_orkut",
+    "make_wise",
+]
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def _scaled(base: int, scale: float, minimum: int = 4) -> int:
+    if scale <= 0:
+        raise ParameterError(f"scale must be positive, got {scale}")
+    return max(minimum, int(round(base * scale)))
+
+
+def _embed_dense_pockets(
+    graph: ProbabilisticGraph,
+    rng: np.random.Generator,
+    count: int,
+    size_range: tuple[int, int],
+    density: float = 0.85,
+) -> ProbabilisticGraph:
+    """Overlay ``count`` dense near-cliques on randomly chosen nodes.
+
+    Real social networks contain tightly-knit groups much denser than a
+    preferential-attachment backbone produces; these pockets are what
+    gives the paper's datasets truss numbers of 5-8 rather than 3-4. New
+    edges get probability 1.0 placeholders (the caller's probability
+    model reassigns every edge afterwards).
+    """
+    nodes = sorted(graph.nodes())
+    # Pockets shrink with the graph so reduced-scale benches keep a sane
+    # pocket-to-graph ratio instead of one blob swallowing everything.
+    cap = max(6, len(nodes) // 6)
+    for _ in range(count):
+        size = min(int(rng.integers(size_range[0], size_range[1] + 1)), cap)
+        members = rng.choice(len(nodes), size=min(size, len(nodes)),
+                             replace=False)
+        members = [nodes[i] for i in members]
+        for i, u in enumerate(members):
+            for v in members[:i]:
+                if not graph.has_edge(u, v) and rng.random() < density:
+                    graph.add_edge(u, v, 1.0)
+    return graph
+
+
+def _relabel_offset(graph: ProbabilisticGraph, offset: int,
+                    into: ProbabilisticGraph) -> int:
+    """Copy ``graph`` into ``into`` with integer labels shifted by ``offset``.
+
+    Returns the next free label. Assumes integer-labelled input.
+    """
+    mapping = {u: offset + i for i, u in enumerate(sorted(graph.nodes()))}
+    for u in graph.nodes():
+        into.add_node(mapping[u])
+    for u, v, p in graph.edges_with_probabilities():
+        into.add_edge(mapping[u], mapping[v], p)
+    return offset + len(mapping)
+
+
+def make_fruitfly(seed=None, scale: float = 1.0) -> ProbabilisticGraph:
+    """PPI-like network: sparse, fragmented, confidence probabilities.
+
+    A soup of small protein-complex motifs (triangles, K4/K5 cliques,
+    short paths) plus a few duplication–divergence modules — reproducing
+    FruitFly's signature in Table 1: average degree ~2 and hundreds of
+    connected components. This is the one dataset where GTD is feasible,
+    as in the paper.
+    """
+    rng = _rng(seed)
+    beta = beta_probabilities(3.0, 2.0)
+    graph = ProbabilisticGraph()
+    offset = 0
+    n_triangles = _scaled(40, scale)
+    n_k4 = _scaled(16, scale)
+    n_k5 = _scaled(6, scale)
+    n_paths = _scaled(30, scale)
+    n_modules = _scaled(8, scale)
+    for _ in range(n_triangles):
+        offset = _relabel_offset(
+            complete_graph(3, 1.0), offset, graph
+        )
+    for _ in range(n_k4):
+        offset = _relabel_offset(complete_graph(4, 1.0), offset, graph)
+    for _ in range(n_k5):
+        offset = _relabel_offset(complete_graph(5, 1.0), offset, graph)
+    for _ in range(n_paths):
+        length = int(rng.integers(3, 7))
+        path = ProbabilisticGraph()
+        for i in range(length - 1):
+            path.add_edge(i, i + 1, 1.0)
+        offset = _relabel_offset(path, offset, graph)
+    for _ in range(n_modules):
+        size = int(rng.integers(8, 16))
+        module = duplication_divergence_graph(size, retention=0.4, seed=rng)
+        offset = _relabel_offset(module, offset, graph)
+    # Assign confidence probabilities to every edge.
+    for u, v in list(graph.edges()):
+        graph.set_probability(u, v, beta(rng))
+    # A few high-confidence protein complexes (experimentally validated
+    # cores): near-certain cliques, the source of the k = 5 trusses that
+    # Figure 7 finds on FruitFly at gamma = 0.7.
+    for size in (5, 5, 6):
+        offset = _relabel_offset(complete_graph(size, 1.0), offset, graph)
+        members = list(range(offset - size, offset))
+        for i, u in enumerate(members):
+            for v in members[:i]:
+                graph.set_probability(u, v, float(rng.uniform(0.93, 1.0)))
+    return graph
+
+
+def make_wikivote(seed=None, scale: float = 1.0) -> ProbabilisticGraph:
+    """Dense vote network: power-law-cluster topology, Uniform[0,1] probs."""
+    rng = _rng(seed)
+    g = powerlaw_cluster_graph(_scaled(350, scale, minimum=16), 7, 0.5, seed=rng)
+    _embed_dense_pockets(g, rng, count=3, size_range=(18, 24))
+    return assign_uniform(g, seed=rng)
+
+
+def make_flickr(seed=None, scale: float = 1.0) -> ProbabilisticGraph:
+    """Photo-sharing community: clustered power-law graph, Jaccard probs."""
+    rng = _rng(seed)
+    g = powerlaw_cluster_graph(_scaled(500, scale, minimum=16), 5, 0.5, seed=rng)
+    _embed_dense_pockets(g, rng, count=2, size_range=(14, 18))
+    return assign_jaccard(g)
+
+
+def make_dblp(seed=None, scale: float = 1.0) -> ProbabilisticGraph:
+    """Co-authorship network: dense communities, exponential-collab probs.
+
+    Research groups appear as near-cliques; a fraction of groups link to
+    a backbone, the rest stay separate components (DBLP's tens of
+    thousands of components in Table 1, scaled down).
+    """
+    rng = _rng(seed)
+    n_communities = _scaled(110, scale)
+    graph = ProbabilisticGraph()
+    offset = 0
+    anchors: list[int] = []
+    for i in range(n_communities):
+        size = int(rng.integers(4, 12))
+        community = gnp_graph(size, 0.8, seed=rng, probability=1.0)
+        start = offset
+        offset = _relabel_offset(community, offset, graph)
+        # 60% of communities join the giant collaboration backbone.
+        if rng.random() < 0.6:
+            anchors.append(start)
+    for i in range(1, len(anchors)):
+        j = int(rng.integers(i))
+        graph.add_edge(anchors[i], anchors[j], 1.0)
+        # A second cross-link sometimes closes triangles between groups.
+        if rng.random() < 0.4 and anchors[i] + 1 in graph:
+            graph.add_edge(anchors[i] + 1, anchors[j], 1.0)
+    return assign_exponential_collaboration(graph, mu=2.0, seed=rng)
+
+
+def make_biomine(seed=None, scale: float = 1.0) -> ProbabilisticGraph:
+    """Biological-interaction network: heavy-tailed hub structure,
+    confidence probabilities, plus small peripheral components."""
+    rng = _rng(seed)
+    beta = beta_probabilities(1.5, 2.5)
+    core = barabasi_albert_graph(
+        _scaled(900, scale, minimum=16), 4, seed=rng, probability=beta
+    )
+    graph = ProbabilisticGraph()
+    offset = _relabel_offset(core, 0, graph)
+    for _ in range(_scaled(40, scale)):
+        size = int(rng.integers(3, 7))
+        motif = gnp_graph(size, 0.7, seed=rng, probability=1.0)
+        offset = _relabel_offset(motif, offset, graph)
+    for u, v in list(graph.edges()):
+        if graph.probability(u, v) == 1.0:
+            graph.set_probability(u, v, beta(rng))
+    return graph
+
+
+def make_livejournal(seed=None, scale: float = 1.0) -> ProbabilisticGraph:
+    """Blogging social network: large clustered power-law, Uniform[0,1]."""
+    rng = _rng(seed)
+    g = powerlaw_cluster_graph(_scaled(1200, scale, minimum=16), 6, 0.3, seed=rng)
+    _embed_dense_pockets(g, rng, count=3, size_range=(16, 22))
+    return assign_uniform(g, seed=rng)
+
+
+def make_orkut(seed=None, scale: float = 1.0) -> ProbabilisticGraph:
+    """Densest social network; single connected component, Uniform[0,1]."""
+    rng = _rng(seed)
+    g = powerlaw_cluster_graph(_scaled(1400, scale, minimum=16), 8, 0.4, seed=rng)
+    _embed_dense_pockets(g, rng, count=4, size_range=(18, 26))
+    return assign_uniform(g, seed=rng)
+
+
+def make_wise(seed=None, scale: float = 1.0) -> ProbabilisticGraph:
+    """Micro-blogging network: the largest graph, sparse, Uniform[0,1]."""
+    rng = _rng(seed)
+    g = powerlaw_cluster_graph(_scaled(1800, scale, minimum=16), 5, 0.2, seed=rng)
+    _embed_dense_pockets(g, rng, count=2, size_range=(14, 20))
+    return assign_uniform(g, seed=rng)

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch a single base class. Programming errors (bad arguments) raise the
+standard :class:`ValueError`/:class:`KeyError` subclasses below so they
+also behave idiomatically for users who do not know the hierarchy.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "NodeNotFoundError",
+    "EdgeNotFoundError",
+    "InvalidProbabilityError",
+    "ParameterError",
+    "DatasetError",
+    "DecompositionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """A structural problem with a (probabilistic) graph."""
+
+
+class NodeNotFoundError(GraphError, KeyError):
+    """A referenced node does not exist in the graph."""
+
+    def __init__(self, node):
+        super().__init__(node)
+        self.node = node
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep it readable
+        return f"node {self.node!r} is not in the graph"
+
+
+class EdgeNotFoundError(GraphError, KeyError):
+    """A referenced edge does not exist in the graph."""
+
+    def __init__(self, u, v):
+        super().__init__((u, v))
+        self.u = u
+        self.v = v
+
+    def __str__(self) -> str:
+        return f"edge ({self.u!r}, {self.v!r}) is not in the graph"
+
+
+class InvalidProbabilityError(GraphError, ValueError):
+    """An edge probability is outside the closed interval [0, 1]."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An algorithm parameter (k, gamma, epsilon, delta, ...) is invalid."""
+
+
+class DatasetError(ReproError):
+    """A named dataset is unknown or could not be generated/loaded."""
+
+
+class DecompositionError(ReproError):
+    """A decomposition could not be carried out on the given input."""

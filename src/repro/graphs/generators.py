@@ -1,0 +1,307 @@
+"""Seedable random generators for probabilistic graphs.
+
+These serve three roles in the reproduction:
+
+* Constructions from the paper itself — :func:`windmill_graph` is the
+  Lemma 2 gadget with exponentially many maximal global trusses, and
+  :func:`running_example` is the Figure 1 graph used across the paper.
+* Structural generators used by :mod:`repro.datasets` to synthesise
+  scaled-down stand-ins for the eight real networks of Table 1
+  (Erdős–Rényi, Barabási–Albert, Holme–Kim power-law-cluster, and a
+  duplication–divergence model for PPI-like graphs).
+* Planted-structure generators (:func:`planted_truss_graph`) for tests
+  that need a known ground truth.
+
+Every generator takes ``seed`` (int, ``numpy.random.Generator`` or None)
+and is fully deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graphs.probabilistic import ProbabilisticGraph
+
+__all__ = [
+    "running_example",
+    "windmill_graph",
+    "complete_graph",
+    "gnp_graph",
+    "barabasi_albert_graph",
+    "powerlaw_cluster_graph",
+    "duplication_divergence_graph",
+    "planted_truss_graph",
+    "uniform_probabilities",
+    "beta_probabilities",
+]
+
+RngLike = "int | np.random.Generator | None"
+
+
+def _rng(seed) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def running_example() -> ProbabilisticGraph:
+    """Return the Figure 1 running example of the paper.
+
+    Nodes: ``p1, q1, q2, v1, v2, v3``. The subgraph induced by
+    ``{q1, q2, v1, v2, v3}`` is a deterministic 4-truss; the edge
+    ``(q1, v1)`` is contained in two triangles with probability
+    ``0.5 * (0.5 * 1) * (0.5 * 1) = 0.125``, making Figure 2(a) a local
+    (4, 0.125)-truss, and Figure 3's H2/H3 global (4, 0.125)-trusses.
+    """
+    g = ProbabilisticGraph()
+    g.add_edge("p1", "q1", 0.7)
+    g.add_edge("p1", "v1", 0.7)
+    g.add_edge("q1", "v1", 0.5)
+    g.add_edge("q1", "v2", 0.5)
+    g.add_edge("q1", "v3", 0.5)
+    g.add_edge("q2", "v1", 0.5)
+    g.add_edge("q2", "v2", 0.5)
+    g.add_edge("q2", "v3", 0.5)
+    g.add_edge("v1", "v2", 1.0)
+    g.add_edge("v1", "v3", 1.0)
+    g.add_edge("v2", "v3", 1.0)
+    return g
+
+
+def windmill_graph(n_blades: int, blade_probability: float = 0.5,
+                   hub: str = "hub") -> ProbabilisticGraph:
+    """Return the Lemma 2 "windmill": ``n_blades`` triangles sharing a hub.
+
+    Blade ``i`` consists of nodes ``(hub, b{i}_0, b{i}_1)`` with all three
+    edges carrying ``blade_probability``. With ``k = 3`` and
+    ``gamma = blade_probability ** (3 * ceil(n/2))`` the graph has
+    ``C(n, ceil(n/2))`` maximal global (k, gamma)-trusses — exponential in
+    ``n`` — which is the paper's hardness-of-enumeration witness.
+    """
+    if n_blades <= 0:
+        raise ParameterError(f"n_blades must be positive, got {n_blades}")
+    g = ProbabilisticGraph()
+    for i in range(n_blades):
+        a, b = f"b{i}_0", f"b{i}_1"
+        g.add_edge(hub, a, blade_probability)
+        g.add_edge(hub, b, blade_probability)
+        g.add_edge(a, b, blade_probability)
+    return g
+
+
+def complete_graph(n: int, probability: float = 1.0) -> ProbabilisticGraph:
+    """Return ``K_n`` with a uniform edge probability."""
+    if n < 0:
+        raise ParameterError(f"n must be non-negative, got {n}")
+    g = ProbabilisticGraph()
+    for u in range(n):
+        g.add_node(u)
+        for v in range(u):
+            g.add_edge(u, v, probability)
+    return g
+
+
+def gnp_graph(n: int, edge_density: float, seed=None,
+              probability: Callable[[np.random.Generator], float] | float = 1.0,
+              ) -> ProbabilisticGraph:
+    """Return an Erdős–Rényi ``G(n, p)`` structure with edge probabilities.
+
+    ``edge_density`` controls which edges *exist structurally*;
+    ``probability`` assigns each existing edge its existence probability —
+    either a constant or a callable drawing from the given RNG.
+    """
+    if not 0.0 <= edge_density <= 1.0:
+        raise ParameterError(f"edge_density must be in [0, 1], got {edge_density}")
+    rng = _rng(seed)
+    g = ProbabilisticGraph()
+    for u in range(n):
+        g.add_node(u)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < edge_density:
+                p = probability(rng) if callable(probability) else probability
+                g.add_edge(u, v, p)
+    return g
+
+
+def barabasi_albert_graph(n: int, m: int, seed=None,
+                          probability: Callable[[np.random.Generator], float] | float = 1.0,
+                          ) -> ProbabilisticGraph:
+    """Return a Barabási–Albert preferential-attachment graph.
+
+    Each arriving node attaches to ``m`` distinct existing nodes chosen
+    with probability proportional to degree (implemented with the
+    standard repeated-nodes urn).
+    """
+    if m < 1 or m >= n:
+        raise ParameterError(f"need 1 <= m < n, got m={m}, n={n}")
+    rng = _rng(seed)
+    g = ProbabilisticGraph()
+    targets = list(range(m))
+    for u in targets:
+        g.add_node(u)
+    repeated: list[int] = []
+    for u in range(m, n):
+        chosen = set(targets)
+        for v in chosen:
+            p = probability(rng) if callable(probability) else probability
+            g.add_edge(u, v, p)
+        repeated.extend(chosen)
+        repeated.extend([u] * len(chosen))
+        targets = []
+        while len(targets) < m:
+            pick = repeated[int(rng.integers(len(repeated)))]
+            if pick not in targets:
+                targets.append(pick)
+    return g
+
+
+def powerlaw_cluster_graph(n: int, m: int, triangle_probability: float,
+                           seed=None,
+                           probability: Callable[[np.random.Generator], float] | float = 1.0,
+                           ) -> ProbabilisticGraph:
+    """Return a Holme–Kim power-law graph with tunable clustering.
+
+    Like Barabási–Albert, but after each preferential attachment step a
+    triangle-closing step follows with probability
+    ``triangle_probability`` — producing the high-clustering, heavy-tailed
+    structure of social networks (WikiVote, Flickr, LiveJournal, Orkut).
+    """
+    if m < 1 or m >= n:
+        raise ParameterError(f"need 1 <= m < n, got m={m}, n={n}")
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise ParameterError(
+            f"triangle_probability must be in [0, 1], got {triangle_probability}"
+        )
+    rng = _rng(seed)
+    g = ProbabilisticGraph()
+    for u in range(m):
+        g.add_node(u)
+    repeated: list[int] = list(range(m))
+
+    def new_probability() -> float:
+        return probability(rng) if callable(probability) else probability
+
+    for u in range(m, n):
+        added = 0
+        last_target: int | None = None
+        while added < m:
+            if (
+                last_target is not None
+                and rng.random() < triangle_probability
+                and g.degree(last_target) > 0
+            ):
+                # Triangle step: attach to a neighbour of the last target.
+                nbrs = [w for w in g.neighbors(last_target)
+                        if w != u and not g.has_edge(u, w)]
+                if nbrs:
+                    w = nbrs[int(rng.integers(len(nbrs)))]
+                    g.add_edge(u, w, new_probability())
+                    repeated.append(w)
+                    repeated.append(u)
+                    added += 1
+                    last_target = w
+                    continue
+            # Preferential-attachment step.
+            pick = repeated[int(rng.integers(len(repeated)))]
+            if pick != u and not g.has_edge(u, pick):
+                g.add_edge(u, pick, new_probability())
+                repeated.append(pick)
+                repeated.append(u)
+                added += 1
+                last_target = pick
+    return g
+
+
+def duplication_divergence_graph(n: int, retention: float, seed=None,
+                                 probability: Callable[[np.random.Generator], float] | float = 1.0,
+                                 ) -> ProbabilisticGraph:
+    """Return a duplication–divergence graph (PPI-like structure).
+
+    Starting from a triangle, each new node duplicates a random existing
+    node, retaining each of its edges independently with probability
+    ``retention`` and always linking to its template. Low retention yields
+    the sparse, fragmented topology of protein-interaction networks
+    (FruitFly in Table 1).
+    """
+    if n < 3:
+        raise ParameterError(f"n must be at least 3, got {n}")
+    if not 0.0 <= retention <= 1.0:
+        raise ParameterError(f"retention must be in [0, 1], got {retention}")
+    rng = _rng(seed)
+    g = ProbabilisticGraph()
+
+    def new_probability() -> float:
+        return probability(rng) if callable(probability) else probability
+
+    g.add_edge(0, 1, new_probability())
+    g.add_edge(1, 2, new_probability())
+    g.add_edge(0, 2, new_probability())
+    for u in range(3, n):
+        template = int(rng.integers(u))
+        g.add_node(u)
+        for v in list(g.neighbors(template)):
+            if rng.random() < retention:
+                g.add_edge(u, v, new_probability())
+        g.add_edge(u, template, new_probability())
+    return g
+
+
+def planted_truss_graph(n_background: int, clique_size: int,
+                        background_density: float = 0.05,
+                        clique_probability: float = 0.95,
+                        background_probability: float = 0.3,
+                        seed=None) -> tuple[ProbabilisticGraph, list[int]]:
+    """Return a sparse background graph with one planted high-probability clique.
+
+    The clique nodes (returned as the second element) form a
+    ``clique_size``-clique whose edges carry ``clique_probability``; all
+    other edges are sparse background with ``background_probability``.
+    Useful ground truth: for suitable gamma, the planted clique is the
+    top local (and global) truss.
+    """
+    if clique_size < 3:
+        raise ParameterError(f"clique_size must be >= 3, got {clique_size}")
+    rng = _rng(seed)
+    n = n_background + clique_size
+    g = gnp_graph(n, background_density, seed=rng,
+                  probability=background_probability)
+    clique = list(range(n_background, n))
+    for i, u in enumerate(clique):
+        for v in clique[:i]:
+            g.add_edge(u, v, clique_probability)
+    return g, clique
+
+
+def uniform_probabilities(low: float = 0.0, high: float = 1.0
+                          ) -> Callable[[np.random.Generator], float]:
+    """Return a sampler of Uniform[low, high] edge probabilities.
+
+    This is the assignment the paper uses for WikiVote, LiveJournal,
+    Orkut and Wise ("assigned uniformly at random from [0, 1]").
+    """
+    if not 0.0 <= low <= high <= 1.0:
+        raise ParameterError(f"need 0 <= low <= high <= 1, got [{low}, {high}]")
+
+    def sample(rng: np.random.Generator) -> float:
+        return float(rng.uniform(low, high))
+
+    return sample
+
+
+def beta_probabilities(a: float, b: float) -> Callable[[np.random.Generator], float]:
+    """Return a sampler of Beta(a, b) edge probabilities.
+
+    Beta-shaped confidences model experimentally-derived interaction
+    scores (FruitFly, BioMine).
+    """
+    if a <= 0 or b <= 0:
+        raise ParameterError(f"Beta parameters must be positive, got a={a}, b={b}")
+
+    def sample(rng: np.random.Generator) -> float:
+        return float(rng.beta(a, b))
+
+    return sample

@@ -1,0 +1,43 @@
+"""Deterministic k-truss and k-core substrate.
+
+These are the classical (probability-free) algorithms the paper builds
+on: support counting and triangle enumeration (:mod:`repro.truss.support`),
+the peeling truss decomposition of Cohen / Wang–Cheng
+(:mod:`repro.truss.decomposition`), extraction of maximal k-trusses
+(:mod:`repro.truss.maximal`) and the Batagelj–Zaversnik core
+decomposition (:mod:`repro.truss.kcore`) used by the (k, eta)-core
+comparator. They operate on :class:`~repro.graphs.ProbabilisticGraph`
+instances *structurally*, ignoring probabilities — exactly how the paper
+treats possible worlds and candidate graphs.
+"""
+
+from repro.truss.support import edge_supports, support_of_edge, triangle_count
+from repro.truss.decomposition import (
+    truss_decomposition,
+    is_k_truss,
+    k_truss_subgraph,
+    max_trussness,
+)
+from repro.truss.maximal import maximal_k_trusses, truss_hierarchy
+from repro.truss.kcore import core_decomposition, k_core_subgraph, max_core_number
+from repro.truss.hindex import h_index, truss_decomposition_hindex
+from repro.truss.dynamic import DynamicTruss, DynamicLocalTruss
+
+__all__ = [
+    "edge_supports",
+    "support_of_edge",
+    "triangle_count",
+    "truss_decomposition",
+    "is_k_truss",
+    "k_truss_subgraph",
+    "max_trussness",
+    "maximal_k_trusses",
+    "truss_hierarchy",
+    "core_decomposition",
+    "k_core_subgraph",
+    "max_core_number",
+    "h_index",
+    "truss_decomposition_hindex",
+    "DynamicTruss",
+    "DynamicLocalTruss",
+]

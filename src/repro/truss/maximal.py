@@ -1,0 +1,68 @@
+"""Extraction of maximal k-trusses from a trussness assignment.
+
+A maximal k-truss is a connected subgraph in which every edge has
+support >= k - 2 and which is not properly contained in another such
+subgraph. Given the per-edge trussness from
+:func:`repro.truss.decomposition.truss_decomposition`, the maximal
+k-trusses for any k are the edge-connected clusters of
+``{e : tau(e) >= k}`` — the same "piece together" post-processing step
+Theorem 2 uses for local probabilistic trusses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.exceptions import ParameterError
+from repro.graphs.components import edge_connected_components
+from repro.graphs.probabilistic import ProbabilisticGraph
+from repro.truss.decomposition import truss_decomposition
+
+__all__ = ["maximal_k_trusses", "truss_hierarchy"]
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+def maximal_k_trusses(
+    graph: ProbabilisticGraph,
+    k: int,
+    trussness: dict[Edge, int] | None = None,
+) -> list[ProbabilisticGraph]:
+    """Return all maximal (connected) k-trusses of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        The host graph (probabilities are carried over, not used).
+    k:
+        Truss order, at least 2.
+    trussness:
+        Optional precomputed trussness map to avoid re-decomposing.
+    """
+    if k < 2:
+        raise ParameterError(f"k must be at least 2, got {k}")
+    if trussness is None:
+        trussness = truss_decomposition(graph)
+    surviving = [e for e, tau in trussness.items() if tau >= k]
+    clusters = edge_connected_components(graph, surviving)
+    return [graph.edge_subgraph(cluster) for cluster in clusters]
+
+
+def truss_hierarchy(
+    graph: ProbabilisticGraph,
+) -> dict[int, list[ProbabilisticGraph]]:
+    """Return ``{k: maximal k-trusses}`` for every k from 2 to k_max.
+
+    The full truss decomposition of the graph: each level k maps to the
+    list of maximal connected k-trusses. Empty graphs yield an empty
+    hierarchy.
+    """
+    trussness = truss_decomposition(graph)
+    if not trussness:
+        return {}
+    k_max = max(trussness.values())
+    return {
+        k: maximal_k_trusses(graph, k, trussness=trussness)
+        for k in range(2, k_max + 1)
+    }

@@ -1,0 +1,79 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ProbabilisticGraph
+from repro.graphs.generators import running_example, windmill_graph
+
+
+@pytest.fixture
+def empty_graph() -> ProbabilisticGraph:
+    return ProbabilisticGraph()
+
+
+@pytest.fixture
+def triangle() -> ProbabilisticGraph:
+    """A single triangle with mixed probabilities."""
+    g = ProbabilisticGraph()
+    g.add_edge("a", "b", 0.9)
+    g.add_edge("b", "c", 0.8)
+    g.add_edge("a", "c", 0.7)
+    return g
+
+
+@pytest.fixture
+def paper_graph() -> ProbabilisticGraph:
+    """The Figure 1 running example."""
+    return running_example()
+
+
+@pytest.fixture
+def k4() -> ProbabilisticGraph:
+    """Complete graph on 4 nodes, all probabilities 0.9."""
+    g = ProbabilisticGraph()
+    nodes = ["a", "b", "c", "d"]
+    for i, u in enumerate(nodes):
+        for v in nodes[:i]:
+            g.add_edge(u, v, 0.9)
+    return g
+
+
+@pytest.fixture
+def two_triangles_sharing_edge() -> ProbabilisticGraph:
+    """Two triangles glued along edge (a, b) — the smallest 4-ish structure."""
+    g = ProbabilisticGraph()
+    g.add_edge("a", "b", 0.9)
+    g.add_edge("a", "c", 0.8)
+    g.add_edge("b", "c", 0.8)
+    g.add_edge("a", "d", 0.7)
+    g.add_edge("b", "d", 0.7)
+    return g
+
+
+@pytest.fixture
+def windmill4() -> ProbabilisticGraph:
+    """The Lemma 2 windmill with 4 blades, p = 0.5."""
+    return windmill_graph(4, 0.5)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def random_probabilistic_graph(
+    n: int, density: float, seed: int
+) -> ProbabilisticGraph:
+    """Deterministic small random graph helper used across test modules."""
+    gen = np.random.default_rng(seed)
+    g = ProbabilisticGraph()
+    for u in range(n):
+        g.add_node(u)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if gen.random() < density:
+                g.add_edge(u, v, float(gen.uniform(0.05, 1.0)))
+    return g

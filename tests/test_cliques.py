@@ -1,0 +1,144 @@
+"""Unit tests for truss-accelerated clique finding."""
+
+import math
+
+import pytest
+
+from repro import ParameterError, ProbabilisticGraph
+from repro.apps.cliques import (
+    clique_probability,
+    maximum_clique,
+    maximum_reliable_clique,
+)
+from repro.graphs.generators import complete_graph, planted_truss_graph
+from tests.conftest import random_probabilistic_graph
+
+
+class TestCliqueProbability:
+    def test_triangle(self, triangle):
+        assert math.isclose(
+            clique_probability(triangle, ["a", "b", "c"]), 0.9 * 0.8 * 0.7
+        )
+
+    def test_single_node(self, triangle):
+        assert clique_probability(triangle, ["a"]) == 1.0
+
+    def test_non_clique_rejected(self, two_triangles_sharing_edge):
+        with pytest.raises(ParameterError):
+            clique_probability(
+                two_triangles_sharing_edge, ["a", "b", "c", "d"]
+            )
+
+
+class TestMaximumClique:
+    @pytest.mark.parametrize("n", [3, 4, 6])
+    def test_complete_graph(self, n):
+        g = complete_graph(n, 0.5)
+        assert len(maximum_clique(g)) == n
+
+    def test_planted_clique_found(self):
+        g, clique = planted_truss_graph(30, 6, background_density=0.05,
+                                        seed=3)
+        assert set(maximum_clique(g)) == set(clique)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        for seed in range(6):
+            g = random_probabilistic_graph(18, 0.4, seed)
+            ours = len(maximum_clique(g))
+            nxg = g.to_networkx()
+            theirs = max(
+                (len(c) for c in nx.find_cliques(nxg)), default=0
+            )
+            assert ours == theirs
+
+    def test_pruning_consistent_with_plain(self):
+        for seed in range(5):
+            g = random_probabilistic_graph(16, 0.45, seed)
+            fast = maximum_clique(g, use_truss_pruning=True)
+            slow = maximum_clique(g, use_truss_pruning=False)
+            assert len(fast) == len(slow)
+            # Both must actually be cliques.
+            clique_probability(g, fast)
+            clique_probability(g, slow)
+
+    def test_edgeless_graph(self):
+        g = ProbabilisticGraph()
+        g.add_node("x")
+        assert maximum_clique(g) == {"x"}
+        assert maximum_clique(ProbabilisticGraph()) == set()
+
+    def test_triangle_free(self):
+        g = ProbabilisticGraph([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        assert len(maximum_clique(g)) == 2
+
+
+class TestMaximumReliableClique:
+    def test_certain_clique(self):
+        g = complete_graph(5, 1.0)
+        clique, prob = maximum_reliable_clique(g, 0.9)
+        assert len(clique) == 5
+        assert prob == 1.0
+
+    def test_probability_threshold_shrinks_answer(self):
+        g = complete_graph(5, 0.9)
+        # K5 has 10 edges: prob 0.9^10 ~ 0.349; K4: 0.9^6 ~ 0.531;
+        # K3: 0.9^3 = 0.729.
+        full, p_full = maximum_reliable_clique(g, 0.3)
+        assert len(full) == 5 and math.isclose(p_full, 0.9 ** 10)
+        four, p_four = maximum_reliable_clique(g, 0.5)
+        assert len(four) == 4 and math.isclose(p_four, 0.9 ** 6)
+        three, p_three = maximum_reliable_clique(g, 0.7)
+        assert len(three) == 3 and math.isclose(p_three, 0.9 ** 3)
+
+    def test_weak_edges_pruned(self):
+        g = complete_graph(4, 0.95)
+        g.add_edge(0, 99, 0.05)  # cannot be in any 0.5-reliable clique
+        clique, _ = maximum_reliable_clique(g, 0.5)
+        assert 99 not in clique
+
+    def test_no_feasible_clique(self):
+        g = ProbabilisticGraph([(0, 1, 0.2)])
+        assert maximum_reliable_clique(g, 0.5) == (set(), 0.0)
+
+    def test_single_edge_fallback(self):
+        g = ProbabilisticGraph([(0, 1, 0.9), (2, 3, 0.8)])
+        clique, prob = maximum_reliable_clique(g, 0.5)
+        assert clique == {0, 1}
+        assert math.isclose(prob, 0.9)
+
+    def test_invalid_gamma(self, triangle):
+        with pytest.raises(ParameterError):
+            maximum_reliable_clique(triangle, 0.0)
+
+    def test_matches_bruteforce(self):
+        from itertools import combinations
+
+        for seed in range(4):
+            g = random_probabilistic_graph(10, 0.5, seed)
+            gamma = 0.3
+            best_size, best_prob = 0, 0.0
+            nodes = list(g.nodes())
+            for size in range(2, 11):
+                for combo in combinations(nodes, size):
+                    ok = all(
+                        g.has_edge(u, v)
+                        for i, u in enumerate(combo)
+                        for v in combo[:i]
+                    )
+                    if not ok:
+                        continue
+                    prob = clique_probability(g, combo)
+                    if prob >= gamma and (
+                        size > best_size
+                        or (size == best_size and prob > best_prob)
+                    ):
+                        best_size, best_prob = size, prob
+            clique, prob = maximum_reliable_clique(g, gamma)
+            assert len(clique) == max(best_size, 2 if clique else 0) or (
+                len(clique) == best_size
+            )
+            if best_size >= 2:
+                assert len(clique) == best_size
+                assert prob >= gamma * (1 - 1e-9)

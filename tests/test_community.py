@@ -1,0 +1,102 @@
+"""Unit tests for truss community search."""
+
+import pytest
+
+from repro import NodeNotFoundError, ParameterError, load_dataset
+from repro.apps.community import (
+    community_hierarchy,
+    global_truss_communities,
+    truss_community,
+)
+from repro.graphs.generators import planted_truss_graph, running_example
+
+
+@pytest.fixture(scope="module")
+def ppi():
+    return load_dataset("fruitfly", seed=42)
+
+
+class TestTrussCommunity:
+    def test_query_in_community(self, paper_graph):
+        community = truss_community(paper_graph, "v1", 0.125)
+        assert community is not None
+        assert community.has_node("v1")
+        # v1 sits in the local (4, 0.125)-truss H1.
+        assert set(community.nodes()) == {"q1", "q2", "v1", "v2", "v3"}
+
+    def test_specific_k(self, paper_graph):
+        community = truss_community(paper_graph, "p1", 0.125, k=3)
+        assert community is not None
+        assert community.has_node("p1")
+
+    def test_k_too_high_returns_none(self, paper_graph):
+        assert truss_community(paper_graph, "p1", 0.125, k=4) is None
+
+    def test_unknown_node(self, paper_graph):
+        with pytest.raises(NodeNotFoundError):
+            truss_community(paper_graph, "zzz", 0.5)
+
+    def test_invalid_k(self, paper_graph):
+        with pytest.raises(ParameterError):
+            truss_community(paper_graph, "v1", 0.5, k=1)
+
+    def test_impossible_gamma(self, paper_graph):
+        assert truss_community(paper_graph, "v1", 1.0, k=4) is None
+
+    def test_planted_clique_is_its_members_community(self):
+        g, clique = planted_truss_graph(25, 6, background_density=0.04,
+                                        seed=9)
+        community = truss_community(g, clique[0], 0.5)
+        assert set(community.nodes()) == set(clique)
+
+
+class TestCommunityHierarchy:
+    def test_nested(self, paper_graph):
+        hierarchy = community_hierarchy(paper_graph, "v1", 0.125)
+        assert sorted(hierarchy) == [2, 3, 4]
+        for k in (2, 3):
+            upper = set(hierarchy[k + 1].nodes())
+            lower = set(hierarchy[k].nodes())
+            assert upper <= lower
+
+    def test_every_level_contains_query(self, ppi):
+        # Pick a node inside a high-confidence complex.
+        from repro import local_truss_decomposition
+
+        local = local_truss_decomposition(ppi, 0.5)
+        top = local.maximal_trusses(local.k_max)[0]
+        query = next(top.nodes())
+        hierarchy = community_hierarchy(ppi, query, 0.5)
+        assert hierarchy
+        for community in hierarchy.values():
+            assert community.has_node(query)
+
+    def test_peripheral_node_small_hierarchy(self, paper_graph):
+        hierarchy = community_hierarchy(paper_graph, "p1", 0.125)
+        assert max(hierarchy) == 3  # p1 never reaches the k=4 core
+
+
+class TestGlobalCommunities:
+    def test_refinement_inside_local(self, paper_graph):
+        local = truss_community(paper_graph, "v1", 0.1)
+        communities = global_truss_communities(
+            paper_graph, "v1", 0.1, seed=3
+        )
+        assert communities
+        for c in communities:
+            assert c.has_node("v1")
+            assert set(c.nodes()) <= set(local.nodes())
+
+    def test_certain_triangle_survives_gamma_one(self, paper_graph):
+        # At gamma = 1 only the certain triangle {v1, v2, v3} remains a
+        # local truss, and it is its own global community.
+        communities = global_truss_communities(paper_graph, "v1", 1.0, seed=3)
+        assert communities
+        assert all(set(c.nodes()) == {"v1", "v2", "v3"} for c in communities)
+
+    def test_no_local_community_no_global(self, paper_graph):
+        # Damp the certain edges so nothing survives gamma = 1.
+        damped = paper_graph.copy()
+        for u, v in list(damped.edges()):
+            damped.set_probability(u, v, min(0.99, damped.probability(u, v)))
+        assert global_truss_communities(damped, "v1", 1.0, seed=3) == []

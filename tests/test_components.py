@@ -1,0 +1,90 @@
+"""Unit tests for connected components and edge clustering."""
+
+import pytest
+
+from repro import ProbabilisticGraph, connected_components, is_connected
+from repro.graphs.components import (
+    component_of,
+    edge_connected_components,
+    largest_connected_component,
+)
+
+
+def two_component_graph() -> ProbabilisticGraph:
+    g = ProbabilisticGraph()
+    g.add_edge("a", "b", 0.5)
+    g.add_edge("b", "c", 0.5)
+    g.add_edge("x", "y", 0.5)
+    g.add_node("lonely")
+    return g
+
+
+class TestConnectedComponents:
+    def test_components_partition_nodes(self):
+        g = two_component_graph()
+        comps = list(connected_components(g))
+        assert sorted(sorted(map(str, c)) for c in comps) == [
+            ["a", "b", "c"], ["lonely"], ["x", "y"],
+        ]
+
+    def test_empty_graph_has_no_components(self, empty_graph):
+        assert list(connected_components(empty_graph)) == []
+
+    def test_component_of(self):
+        g = two_component_graph()
+        assert component_of(g, "a") == {"a", "b", "c"}
+        assert component_of(g, "lonely") == {"lonely"}
+
+    def test_probabilities_ignored(self):
+        # An edge with probability 0 still connects structurally.
+        g = ProbabilisticGraph()
+        g.add_edge("a", "b", 0.0)
+        assert is_connected(g)
+
+
+class TestIsConnected:
+    def test_connected(self, triangle):
+        assert is_connected(triangle)
+
+    def test_disconnected(self):
+        assert not is_connected(two_component_graph())
+
+    def test_empty_not_connected(self, empty_graph):
+        assert not is_connected(empty_graph)
+
+    def test_single_node_connected(self):
+        g = ProbabilisticGraph()
+        g.add_node(1)
+        assert is_connected(g)
+
+
+class TestLargestComponent:
+    def test_largest(self):
+        g = two_component_graph()
+        largest = largest_connected_component(g)
+        assert set(largest.nodes()) == {"a", "b", "c"}
+        assert largest.number_of_edges() == 2
+
+    def test_empty(self, empty_graph):
+        assert largest_connected_component(empty_graph).number_of_nodes() == 0
+
+
+class TestEdgeConnectedComponents:
+    def test_clusters_by_shared_nodes(self):
+        g = two_component_graph()
+        clusters = edge_connected_components(g, list(g.edges()))
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [1, 2]
+
+    def test_subset_of_edges_may_split(self, k4):
+        # Removing the middle edges separates (a, b) from (c, d).
+        clusters = edge_connected_components(k4, [("a", "b"), ("c", "d")])
+        assert len(clusters) == 2
+
+    def test_empty_edge_list(self, k4):
+        assert edge_connected_components(k4, []) == []
+
+    def test_canonicalises_edge_order(self, triangle):
+        clusters = edge_connected_components(triangle, [("b", "a"), ("c", "b")])
+        assert len(clusters) == 1
+        assert ("a", "b") in clusters[0]

@@ -1,0 +1,56 @@
+"""Scaling behaviour of the synthetic datasets (the bench knob)."""
+
+import pytest
+
+from repro import DATASET_NAMES, dataset_statistics, load_dataset
+from repro.core.stats import profile_graph
+
+
+class TestScaleKnob:
+    @pytest.mark.parametrize("name", ["wikivote", "dblp", "livejournal"])
+    def test_monotone_in_scale(self, name):
+        sizes = [
+            load_dataset(name, seed=7, scale=s).number_of_edges()
+            for s in (0.2, 0.5, 1.0)
+        ]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_ordering_preserved_at_bench_scales(self):
+        # The GBU bench scales must keep fruitfly the smallest dataset.
+        from benchmarks.conftest import GBU_SCALES
+
+        edges = {
+            name: load_dataset(
+                name, seed=42, scale=GBU_SCALES[name]
+            ).number_of_edges()
+            for name in ("fruitfly", "livejournal", "orkut")
+        }
+        assert edges["fruitfly"] < edges["livejournal"]
+        assert edges["fruitfly"] < edges["orkut"]
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_small_scale_still_valid(self, name):
+        g = load_dataset(name, seed=3, scale=0.1)
+        stats = dataset_statistics(g)
+        assert stats["nodes"] >= 4
+        assert all(
+            0.0 <= p <= 1.0 for _, _, p in g.edges_with_probabilities()
+        )
+
+    def test_probability_model_survives_scaling(self):
+        # Flickr's Jaccard probabilities stay strictly positive at any
+        # scale; uniform datasets keep a ~0.5 median.
+        flickr = load_dataset("flickr", seed=5, scale=0.3)
+        assert all(p > 0 for _, _, p in flickr.edges_with_probabilities())
+        wiki = load_dataset("wikivote", seed=5, scale=0.3)
+        profile = profile_graph(wiki)
+        assert 0.35 <= profile.probability_median <= 0.65
+
+    def test_fragmentation_character_survives_scaling(self):
+        stats = dataset_statistics(load_dataset("fruitfly", seed=9,
+                                                scale=0.5))
+        assert stats["components"] > 20
+        stats = dataset_statistics(load_dataset("orkut", seed=9,
+                                                scale=0.2))
+        assert stats["components"] == 1

@@ -1,0 +1,164 @@
+"""Unit tests for the dataset registry and synthetic generators."""
+
+import pytest
+
+from repro import DATASET_NAMES, DatasetError, dataset_statistics, load_dataset
+from repro.datasets import dataset_spec
+from repro.datasets.probability_models import (
+    assign_confidence,
+    assign_exponential_collaboration,
+    assign_jaccard,
+    assign_uniform,
+)
+from repro import ParameterError, ProbabilisticGraph
+
+
+class TestRegistry:
+    def test_eight_datasets(self):
+        assert len(DATASET_NAMES) == 8
+        assert DATASET_NAMES[0] == "fruitfly"
+        assert DATASET_NAMES[-1] == "wise"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("facebook")
+
+    def test_spec_case_insensitive(self):
+        assert dataset_spec("FruitFly").name == "fruitfly"
+
+    def test_spec_metadata(self):
+        spec = dataset_spec("dblp")
+        assert spec.paper_nodes == 684911
+        assert "exp" in spec.probability_model
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_deterministic_under_seed(self, name):
+        a = load_dataset(name, seed=3)
+        b = load_dataset(name, seed=3)
+        assert a == b
+
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_probabilities_in_range(self, name):
+        g = load_dataset(name, seed=1)
+        assert all(
+            0.0 <= p <= 1.0 for _, _, p in g.edges_with_probabilities()
+        )
+
+    def test_scale_grows_graph(self):
+        small = load_dataset("wikivote", seed=1, scale=0.5)
+        large = load_dataset("wikivote", seed=1, scale=1.0)
+        assert small.number_of_nodes() < large.number_of_nodes()
+
+    def test_invalid_scale(self):
+        with pytest.raises(ParameterError):
+            load_dataset("wikivote", seed=1, scale=0.0)
+
+
+class TestExportDatasets:
+    def test_writes_all_eight(self, tmp_path):
+        from repro.datasets.registry import export_datasets
+        from repro.graphs.io import read_edge_list
+
+        paths = export_datasets(tmp_path, seed=3, scale=0.1)
+        assert len(paths) == 8
+        for path in paths:
+            g = read_edge_list(path, node_type=int)
+            assert g.number_of_edges() > 0
+
+    def test_compressed_round_trip(self, tmp_path):
+        from repro.datasets.registry import export_datasets
+        from repro.graphs.io import read_edge_list
+
+        paths = export_datasets(tmp_path, seed=3, scale=0.1, compress=True)
+        assert all(p.endswith(".txt.gz") for p in paths)
+        g = read_edge_list(paths[0], node_type=int)
+        original = load_dataset("fruitfly", seed=3, scale=0.1)
+        assert g.number_of_edges() == original.number_of_edges()
+
+
+class TestQualitativeShape:
+    def test_size_ordering_follows_paper(self):
+        # Table 1's relative ordering (by edges) must survive scaling.
+        sizes = {
+            name: load_dataset(name, seed=2).number_of_edges()
+            for name in ("fruitfly", "wikivote", "livejournal", "orkut")
+        }
+        assert sizes["fruitfly"] < sizes["wikivote"] < sizes["livejournal"]
+        assert sizes["livejournal"] < sizes["orkut"]
+
+    def test_fruitfly_fragmented(self):
+        stats = dataset_statistics(load_dataset("fruitfly", seed=2))
+        assert stats["components"] > 50
+        # Average degree ~ 2, like the paper's FruitFly.
+        assert stats["edges"] / stats["nodes"] < 2.5
+
+    def test_orkut_single_component(self):
+        stats = dataset_statistics(load_dataset("orkut", seed=2))
+        assert stats["components"] == 1
+
+    def test_dblp_many_components(self):
+        stats = dataset_statistics(load_dataset("dblp", seed=2))
+        assert stats["components"] > 10
+
+    def test_statistics_keys(self):
+        stats = dataset_statistics(load_dataset("fruitfly", seed=1))
+        assert set(stats) == {
+            "nodes", "edges", "max_degree",
+            "largest_cc_nodes", "largest_cc_edges", "components",
+        }
+
+
+class TestProbabilityModels:
+    @pytest.fixture
+    def path_graph(self):
+        return ProbabilisticGraph(
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 2, 1.0)]
+        )
+
+    def test_jaccard_positive_and_bounded(self, path_graph):
+        assign_jaccard(path_graph)
+        for _, _, p in path_graph.edges_with_probabilities():
+            assert 0.0 < p <= 1.0
+
+    def test_jaccard_values(self):
+        g = ProbabilisticGraph([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+        assign_jaccard(g)
+        # Triangle: closed neighbourhoods are identical -> Jaccard 1.
+        assert all(p == 1.0 for _, _, p in g.edges_with_probabilities())
+
+    def test_exponential_collaboration_bounds(self, path_graph):
+        assign_exponential_collaboration(path_graph, mu=2.0, seed=1)
+        import math
+
+        floor = 1.0 - math.exp(-1.0 / 2.0)  # c >= 1
+        for _, _, p in path_graph.edges_with_probabilities():
+            assert floor - 1e-12 <= p < 1.0
+
+    def test_exponential_invalid_mu(self, path_graph):
+        with pytest.raises(ParameterError):
+            assign_exponential_collaboration(path_graph, mu=0.0)
+
+    def test_uniform_bounds(self, path_graph):
+        assign_uniform(path_graph, 0.2, 0.3, seed=4)
+        for _, _, p in path_graph.edges_with_probabilities():
+            assert 0.2 <= p <= 0.3
+
+    def test_uniform_invalid(self, path_graph):
+        with pytest.raises(ParameterError):
+            assign_uniform(path_graph, 0.9, 0.1)
+
+    def test_confidence_bounds(self, path_graph):
+        assign_confidence(path_graph, 2.0, 2.0, seed=5)
+        for _, _, p in path_graph.edges_with_probabilities():
+            assert 0.0 <= p <= 1.0
+
+    def test_confidence_invalid(self, path_graph):
+        with pytest.raises(ParameterError):
+            assign_confidence(path_graph, -1.0, 2.0)
+
+    def test_models_deterministic(self, path_graph):
+        a = path_graph.copy()
+        b = path_graph.copy()
+        assign_uniform(a, seed=9)
+        assign_uniform(b, seed=9)
+        assert a == b

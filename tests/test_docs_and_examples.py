@@ -1,0 +1,56 @@
+"""Documentation and example-script smoke tests.
+
+Keeps the README-level promises honest: the package docstring's
+quickstart runs as a doctest, and the fast example scripts execute
+end to end as a user would run them.
+"""
+
+import doctest
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+import repro.graphs.probabilistic
+import repro.truss.dynamic
+
+_EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+#: The examples fast enough for the unit-test suite; the heavier ones
+#: (team_formation, ppi_modules, streaming_updates) run in CI-style
+#: sweeps via the benches that exercise the same code paths.
+_FAST_EXAMPLES = ("quickstart.py", "global_vs_local.py",
+                  "truss_frontier.py")
+
+
+class TestDoctests:
+    @pytest.mark.parametrize("module", [
+        repro,
+        repro.graphs.probabilistic,
+        repro.truss.dynamic,
+    ])
+    def test_module_doctests(self, module):
+        results = doctest.testmod(module, verbose=False)
+        assert results.failed == 0
+        assert results.attempted > 0  # the examples actually exist
+
+
+class TestExampleScripts:
+    @pytest.mark.parametrize("script", _FAST_EXAMPLES)
+    def test_example_runs_clean(self, script):
+        completed = subprocess.run(
+            [sys.executable, str(_EXAMPLES / script)],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr[-2000:]
+        assert completed.stdout.strip()
+
+    def test_all_examples_present(self):
+        names = {p.name for p in _EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py", "ppi_modules.py", "team_formation.py",
+            "global_vs_local.py", "cliques_and_communities.py",
+            "streaming_updates.py", "truss_frontier.py",
+        } <= names

@@ -1,0 +1,198 @@
+"""Unit tests for dynamic k-truss maintenance (deterministic + local)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EdgeNotFoundError,
+    ParameterError,
+    ProbabilisticGraph,
+    edge_key,
+    k_truss_subgraph,
+    local_truss_decomposition,
+)
+from repro.truss.dynamic import DynamicLocalTruss, DynamicTruss
+from repro.graphs.generators import complete_graph
+from tests.conftest import random_probabilistic_graph
+
+
+def _static_truss_edges(graph, k):
+    sub = k_truss_subgraph(graph, k)
+    return {edge_key(u, v) for u, v in sub.edges()}
+
+
+def _static_local_edges(graph, k, gamma):
+    result = local_truss_decomposition(graph, gamma)
+    return {e for e, tau in result.trussness.items() if tau >= k}
+
+
+class TestDynamicTruss:
+    def test_initial_state_matches_static(self):
+        for seed in range(4):
+            g = random_probabilistic_graph(18, 0.3, seed)
+            for k in (3, 4):
+                dt = DynamicTruss(g, k)
+                assert dt.truss_edges() == _static_truss_edges(g, k)
+
+    def test_invalid_k(self, triangle):
+        with pytest.raises(ParameterError):
+            DynamicTruss(triangle, 1)
+
+    def test_deletion_cascade(self):
+        g = complete_graph(4)
+        dt = DynamicTruss(g, 4)
+        assert len(dt.truss_edges()) == 6
+        dt.remove_edge(0, 1)
+        # K4 minus an edge has no 4-truss.
+        assert dt.truss_edges() == set()
+
+    def test_deletion_outside_truss_is_noop(self):
+        g = complete_graph(4)
+        g.add_edge(0, 99, 1.0)
+        dt = DynamicTruss(g, 4)
+        before = dt.truss_edges()
+        dt.remove_edge(0, 99)
+        assert dt.truss_edges() == before
+
+    def test_remove_missing_edge(self, triangle):
+        dt = DynamicTruss(triangle, 3)
+        with pytest.raises(EdgeNotFoundError):
+            dt.remove_edge("a", "zzz")
+
+    def test_insertion_completes_truss(self):
+        g = complete_graph(4)
+        g.remove_edge(0, 1)
+        dt = DynamicTruss(g, 4)
+        assert dt.truss_edges() == set()
+        dt.insert_edge(0, 1)
+        assert len(dt.truss_edges()) == 6
+
+    def test_random_update_stream_matches_static(self):
+        rng = np.random.default_rng(3)
+        g = random_probabilistic_graph(14, 0.4, 7)
+        k = 3
+        dt = DynamicTruss(g, k)
+        shadow = g.copy()
+        for step in range(40):
+            edges = list(shadow.edges())
+            if edges and rng.random() < 0.55:
+                u, v = edges[int(rng.integers(len(edges)))]
+                dt.remove_edge(u, v)
+                shadow.remove_edge(u, v)
+            else:
+                u = int(rng.integers(14))
+                v = int(rng.integers(14))
+                if u == v:
+                    continue
+                if shadow.has_node(u) and shadow.has_node(v) and \
+                        shadow.has_edge(u, v):
+                    continue
+                dt.insert_edge(u, v, 1.0)
+                shadow.add_edge(u, v, 1.0)
+            assert dt.truss_edges() == _static_truss_edges(shadow, k), (
+                f"divergence at step {step}"
+            )
+
+    def test_maximal_trusses_components(self):
+        g = ProbabilisticGraph()
+        for base in (0, 10):
+            for i in range(4):
+                for j in range(i):
+                    g.add_edge(base + i, base + j, 1.0)
+        dt = DynamicTruss(g, 4)
+        assert len(dt.maximal_trusses()) == 2
+
+    def test_in_truss_accessor(self):
+        g = complete_graph(4)
+        g.add_edge(0, 99, 1.0)
+        dt = DynamicTruss(g, 3)
+        assert dt.in_truss(0, 1)
+        assert not dt.in_truss(0, 99)
+
+
+class TestDynamicLocalTruss:
+    def test_initial_state_matches_algorithm1(self):
+        for seed in range(4):
+            g = random_probabilistic_graph(14, 0.4, seed)
+            for k, gamma in ((3, 0.3), (4, 0.15)):
+                dlt = DynamicLocalTruss(g, k, gamma)
+                assert dlt.truss_edges() == _static_local_edges(g, k, gamma)
+
+    def test_invalid_parameters(self, triangle):
+        with pytest.raises(ParameterError):
+            DynamicLocalTruss(triangle, 1, 0.5)
+        with pytest.raises(ParameterError):
+            DynamicLocalTruss(triangle, 3, 1.5)
+
+    def test_deletion_cascade_matches_static(self):
+        rng = np.random.default_rng(11)
+        g = random_probabilistic_graph(14, 0.45, 5)
+        k, gamma = 3, 0.2
+        dlt = DynamicLocalTruss(g, k, gamma)
+        shadow = g.copy()
+        edges = list(shadow.edges())
+        rng.shuffle(edges)
+        for u, v in edges[:10]:
+            dlt.remove_edge(u, v)
+            shadow.remove_edge(u, v)
+            assert dlt.truss_edges() == _static_local_edges(shadow, k, gamma)
+
+    def test_insertion_matches_static(self):
+        g = complete_graph(4, 0.9)
+        g.remove_edge(0, 1)
+        k, gamma = 4, 0.3
+        dlt = DynamicLocalTruss(g, k, gamma)
+        assert dlt.truss_edges() == set()
+        dlt.insert_edge(0, 1, 0.9)
+        shadow = complete_graph(4, 0.9)
+        assert dlt.truss_edges() == _static_local_edges(shadow, k, gamma)
+
+    def test_reweighting_edge(self):
+        g = complete_graph(4, 0.9)
+        k, gamma = 4, 0.3
+        dlt = DynamicLocalTruss(g, k, gamma)
+        assert len(dlt.truss_edges()) == 6
+        # Crushing one edge's probability evicts the whole K4 at k=4.
+        dlt.insert_edge(0, 1, 0.01)
+        shadow = complete_graph(4, 0.9)
+        shadow.set_probability(0, 1, 0.01)
+        assert dlt.truss_edges() == _static_local_edges(shadow, k, gamma)
+
+    def test_random_update_stream_matches_static(self):
+        rng = np.random.default_rng(9)
+        g = random_probabilistic_graph(12, 0.45, 2)
+        k, gamma = 3, 0.25
+        dlt = DynamicLocalTruss(g, k, gamma)
+        shadow = g.copy()
+        for step in range(30):
+            edges = list(shadow.edges())
+            if edges and rng.random() < 0.55:
+                u, v = edges[int(rng.integers(len(edges)))]
+                dlt.remove_edge(u, v)
+                shadow.remove_edge(u, v)
+            else:
+                u = int(rng.integers(12))
+                v = int(rng.integers(12))
+                if u == v or (
+                    shadow.has_node(u) and shadow.has_node(v)
+                    and shadow.has_edge(u, v)
+                ):
+                    continue
+                p = float(rng.uniform(0.1, 1.0))
+                dlt.insert_edge(u, v, p)
+                shadow.add_edge(u, v, p)
+            assert dlt.truss_edges() == _static_local_edges(shadow, k, gamma), (
+                f"divergence at step {step}"
+            )
+
+    def test_remove_missing_edge(self, triangle):
+        dlt = DynamicLocalTruss(triangle, 3, 0.2)
+        with pytest.raises(EdgeNotFoundError):
+            dlt.remove_edge("a", "zzz")
+
+    def test_accessors(self, k4):
+        dlt = DynamicLocalTruss(k4, 3, 0.2)
+        assert dlt.k == 3
+        assert dlt.gamma == 0.2
+        assert dlt.in_truss("a", "b")
+        assert len(dlt.maximal_trusses()) == 1

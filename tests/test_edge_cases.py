@@ -1,0 +1,175 @@
+"""Edge-case and failure-injection tests across the whole stack."""
+
+import math
+
+import pytest
+
+from repro import (
+    GlobalTrussOracle,
+    ProbabilisticGraph,
+    WorldSampleSet,
+    alpha_exact,
+    eta_core_decomposition,
+    gamma_truss_decomposition,
+    global_truss_decomposition,
+    local_truss_decomposition,
+    probabilistic_density,
+    truss_decomposition,
+)
+from repro.graphs.generators import complete_graph
+
+
+class TestZeroProbabilityEdges:
+    """p = 0 edges exist structurally but never materialise."""
+
+    @pytest.fixture
+    def ghost_triangle(self):
+        g = ProbabilisticGraph(
+            [("a", "b", 0.0), ("b", "c", 0.9), ("a", "c", 0.9)]
+        )
+        return g
+
+    def test_deterministic_truss_sees_structure(self, ghost_triangle):
+        tau = truss_decomposition(ghost_triangle)
+        assert all(t == 3 for t in tau.values())
+
+    def test_local_decomposition_kills_ghost(self, ghost_triangle):
+        result = local_truss_decomposition(ghost_triangle, 0.5)
+        assert result.trussness[("a", "b")] == 1
+        # The other two edges lose their only triangle (its q includes
+        # the ghost edge's 0), dropping them to 2-trusses.
+        assert result.trussness[("b", "c")] == 2
+
+    def test_alpha_zero_for_ghost(self, ghost_triangle):
+        alpha = alpha_exact(ghost_triangle, 2)
+        assert alpha[("a", "b")] == 0.0
+
+    def test_sampling_never_draws_ghost(self, ghost_triangle):
+        samples = WorldSampleSet.from_graph(ghost_triangle, 100, seed=1)
+        assert samples.edge_frequency("a", "b") == 0.0
+
+    def test_global_decomposition_survives(self, ghost_triangle):
+        result = global_truss_decomposition(
+            ghost_triangle, 0.5, seed=1, n_samples=200
+        )
+        for _, truss in result.all_trusses():
+            assert not truss.has_edge("a", "b")
+
+
+class TestCertainGraphs:
+    """With all p = 1 everything must reduce to deterministic notions."""
+
+    def test_local_equals_deterministic(self):
+        g = complete_graph(6, 1.0)
+        result = local_truss_decomposition(g, 1.0)
+        assert result.trussness == truss_decomposition(g)
+
+    def test_global_equals_deterministic_trusses(self):
+        g = complete_graph(5, 1.0)
+        result = global_truss_decomposition(
+            g, 1.0, method="gtd", seed=1, n_samples=50
+        )
+        assert result.k_max == 5
+        assert len(result.trusses[5]) == 1
+        assert result.trusses[5][0].number_of_edges() == 10
+
+    def test_eta_core_certain(self):
+        g = complete_graph(5, 1.0)
+        core = eta_core_decomposition(g, 1.0)
+        assert all(c == 4 for c in core.values())
+
+    def test_alpha_certain_truss_is_one(self):
+        g = complete_graph(4, 1.0)
+        alpha = alpha_exact(g, 4)
+        assert all(math.isclose(a, 1.0) for a in alpha.values())
+
+
+class TestDegenerateShapes:
+    def test_single_node(self):
+        g = ProbabilisticGraph()
+        g.add_node("only")
+        assert local_truss_decomposition(g, 0.5).k_max == 0
+        assert eta_core_decomposition(g, 0.5) == {"only": 0}
+        assert probabilistic_density(g) == 0.0
+
+    def test_two_isolated_nodes(self):
+        g = ProbabilisticGraph()
+        g.add_nodes(["x", "y"])
+        result = global_truss_decomposition(g, 0.5, seed=1, n_samples=10)
+        assert result.trusses == {}
+
+    def test_parallel_triangles_share_nothing(self):
+        # Two vertex-disjoint triangles must each be separate maximal
+        # trusses at every level and for both semantics.
+        g = ProbabilisticGraph()
+        for base in ("x", "y"):
+            g.add_edge(f"{base}1", f"{base}2", 0.9)
+            g.add_edge(f"{base}2", f"{base}3", 0.9)
+            g.add_edge(f"{base}1", f"{base}3", 0.9)
+        local = local_truss_decomposition(g, 0.5)
+        assert len(local.maximal_trusses(3)) == 2
+        result = global_truss_decomposition(
+            g, 0.5, method="gtd", seed=1, n_samples=1500
+        )
+        assert len(result.trusses[3]) == 2
+
+    def test_star_has_no_triangles(self):
+        g = ProbabilisticGraph([("hub", i, 0.9) for i in range(6)])
+        local = local_truss_decomposition(g, 0.5)
+        assert local.k_max == 2
+        gamma = gamma_truss_decomposition(g, 3)
+        assert all(v == 0.0 for v in gamma.gamma_trussness.values())
+
+
+class TestOracleRobustness:
+    def test_oracle_on_disconnected_candidate(self):
+        g = ProbabilisticGraph([("a", "b", 1.0), ("x", "y", 1.0)])
+        samples = WorldSampleSet.from_graph(g, 50, seed=1)
+        oracle = GlobalTrussOracle(samples)
+        # The candidate spans two components: never connected-spanning.
+        assert not oracle.satisfies(g, 2, 0.1)
+        estimates = oracle.alpha_estimates(g, 2)
+        assert all(a == 0.0 for a in estimates.values())
+
+    def test_oracle_single_certain_edge(self):
+        g = ProbabilisticGraph([("a", "b", 1.0)])
+        samples = WorldSampleSet.from_graph(g, 50, seed=1)
+        oracle = GlobalTrussOracle(samples)
+        assert oracle.satisfies(g, 2, 1.0)
+        assert not oracle.satisfies(g, 3, 0.01)
+
+    def test_estimates_and_satisfies_agree(self):
+        # satisfies' early-exit fast paths must never contradict the
+        # plain estimator.
+        from tests.conftest import random_probabilistic_graph
+
+        for seed in range(5):
+            g = random_probabilistic_graph(9, 0.5, seed)
+            if g.number_of_edges() < 3:
+                continue
+            samples = WorldSampleSet.from_graph(g, 300, seed=seed)
+            oracle = GlobalTrussOracle(samples)
+            for k in (2, 3):
+                estimates = oracle.alpha_estimates(g, k)
+                m = min(estimates.values())
+                for gamma in (0.1, 0.4, 0.8):
+                    fresh = GlobalTrussOracle(samples)  # bypass cache
+                    expected = (
+                        g.number_of_edges() > 0
+                        and m >= gamma * (1 - 1e-9)
+                    )
+                    assert fresh.satisfies(g, k, gamma) == expected
+
+
+class TestMixedNodeTypes:
+    def test_int_and_str_nodes_coexist(self):
+        g = ProbabilisticGraph()
+        g.add_edge(1, "a", 0.9)
+        g.add_edge("a", (2, 3), 0.9)
+        g.add_edge((2, 3), 1, 0.9)
+        local = local_truss_decomposition(g, 0.5)
+        assert local.k_max == 3
+        result = global_truss_decomposition(
+            g, 0.3, method="gtd", seed=1, n_samples=500
+        )
+        assert result.k_max >= 2

@@ -1,0 +1,101 @@
+"""Unit tests for the exhaustive global-truss enumeration oracle."""
+
+import math
+
+import pytest
+
+from repro import ParameterError, ProbabilisticGraph
+from repro.core.exact_enum import (
+    enumerate_global_trusses,
+    exact_global_decomposition,
+)
+from repro.graphs.generators import complete_graph, running_example, windmill_graph
+
+
+class TestEnumerateGlobalTrusses:
+    def test_paper_h2_h3(self):
+        g = running_example()
+        trusses = enumerate_global_trusses(g, 4, 0.125)
+        found = {frozenset(t.nodes()) for t in trusses}
+        assert found == {
+            frozenset({"q1", "v1", "v2", "v3"}),
+            frozenset({"q2", "v1", "v2", "v3"}),
+        }
+
+    def test_windmill_lemma2_count(self):
+        # n = 4 blades, gamma = p^(3*ceil(n/2)): C(4, 2) = 6 maximal
+        # global 3-trusses, each a union of exactly 2 blades.
+        n, p = 4, 0.5
+        g = windmill_graph(n, p)
+        gamma = p ** (3 * math.ceil(n / 2))
+        trusses = enumerate_global_trusses(g, 3, gamma)
+        assert len(trusses) == math.comb(n, math.ceil(n / 2))
+        for t in trusses:
+            assert t.number_of_edges() == 6  # two blades
+
+    def test_certain_clique(self):
+        g = complete_graph(4, 1.0)
+        trusses = enumerate_global_trusses(g, 4, 1.0)
+        assert len(trusses) == 1
+        assert trusses[0].number_of_edges() == 6
+
+    def test_no_answers_above_achievable_gamma(self, triangle):
+        # Full-triangle world probability is 0.9*0.8*0.7 = 0.504.
+        assert enumerate_global_trusses(triangle, 3, 0.6) == []
+        assert len(enumerate_global_trusses(triangle, 3, 0.5)) == 1
+
+    def test_answers_are_mutually_non_nested(self):
+        g = windmill_graph(3, 0.6)
+        trusses = enumerate_global_trusses(g, 3, 0.2)
+        keys = [frozenset(t.edges()) for t in trusses]
+        for i, a in enumerate(keys):
+            for b in keys[i + 1:]:
+                assert not (a <= b or b <= a)
+
+    def test_invalid_parameters(self, triangle):
+        with pytest.raises(ParameterError):
+            enumerate_global_trusses(triangle, 1, 0.5)
+        with pytest.raises(ParameterError):
+            enumerate_global_trusses(triangle, 3, 0.0)
+
+    def test_size_limit(self):
+        g = complete_graph(7, 0.9)  # 21 candidate edges > 14
+        with pytest.raises(ParameterError):
+            enumerate_global_trusses(g, 3, 0.1)
+
+
+class TestExactGlobalDecomposition:
+    def test_running_example_full(self):
+        g = running_example()
+        # Restrict to the 4-truss core (11 edges total is fine, but the
+        # candidate pruning reduces to <= 14 edges anyway).
+        result = exact_global_decomposition(g, 0.125, max_k=4)
+        assert sorted(result) == [2, 3, 4]
+        found4 = {frozenset(t.nodes()) for t in result[4]}
+        assert frozenset({"q1", "v1", "v2", "v3"}) in found4
+
+    def test_k_monotone_union(self):
+        g = windmill_graph(3, 0.7)
+        result = exact_global_decomposition(g, 0.3, max_k=3)
+        for k in sorted(result):
+            if k - 1 in result:
+                lower = {e for t in result[k - 1] for e in t.edges()}
+                upper = {e for t in result[k] for e in t.edges()}
+                assert upper <= lower
+
+    def test_matches_sampled_gtd(self):
+        """The sampled GTD (large N) must agree with exact enumeration
+        on which node sets are maximal at the top k."""
+        from repro import global_truss_decomposition
+
+        g = running_example()
+        exact = exact_global_decomposition(g, 0.1, max_k=4)
+        sampled = global_truss_decomposition(
+            g, 0.1, method="gtd", seed=5, n_samples=3000
+        )
+        exact_top = {frozenset(t.nodes()) for t in exact[4]}
+        sampled_top = {frozenset(t.nodes()) for t in sampled.trusses[4]}
+        assert exact_top == sampled_top
+
+    def test_empty_graph(self, empty_graph):
+        assert exact_global_decomposition(empty_graph, 0.5) == {}

@@ -1,0 +1,57 @@
+"""Unit tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import (
+    DatasetError,
+    DecompositionError,
+    EdgeNotFoundError,
+    GraphError,
+    InvalidProbabilityError,
+    NodeNotFoundError,
+    ParameterError,
+    ProbabilisticGraph,
+    ReproError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (GraphError, NodeNotFoundError, EdgeNotFoundError,
+                    InvalidProbabilityError, ParameterError, DatasetError,
+                    DecompositionError):
+            assert issubclass(exc, ReproError)
+
+    def test_lookup_errors_are_key_errors(self):
+        assert issubclass(NodeNotFoundError, KeyError)
+        assert issubclass(EdgeNotFoundError, KeyError)
+
+    def test_value_errors(self):
+        assert issubclass(InvalidProbabilityError, ValueError)
+        assert issubclass(ParameterError, ValueError)
+
+    def test_messages_readable(self):
+        assert "node 'x'" in str(NodeNotFoundError("x"))
+        assert "edge ('a', 'b')" in str(EdgeNotFoundError("a", "b"))
+
+
+class TestCatchability:
+    def test_catch_all_library_errors_with_base(self):
+        g = ProbabilisticGraph()
+        with pytest.raises(ReproError):
+            g.remove_node("ghost")
+        with pytest.raises(ReproError):
+            g.add_edge("a", "b", 2.0)
+
+    def test_catch_as_stdlib_types(self):
+        g = ProbabilisticGraph()
+        with pytest.raises(KeyError):
+            g.probability("a", "b")
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", -1.0)
+
+    def test_attributes_preserved(self):
+        err = EdgeNotFoundError("u", "v")
+        assert err.u == "u" and err.v == "v"
+        err = NodeNotFoundError(42)
+        assert err.node == 42

@@ -1,0 +1,85 @@
+"""Unit tests for the naive expected-support truss semantics."""
+
+import math
+
+import pytest
+
+from repro import ParameterError, ProbabilisticGraph, local_truss_decomposition
+from repro.core.expected import (
+    expected_support,
+    expected_truss_decomposition,
+    maximal_expected_trusses,
+)
+from repro.graphs.generators import complete_graph
+from repro.truss.decomposition import truss_decomposition
+
+
+class TestExpectedSupport:
+    def test_triangle(self, triangle):
+        # E[sup(a,b)] = p(a,c) * p(b,c) = 0.7 * 0.8.
+        assert math.isclose(expected_support(triangle, "a", "b"), 0.56)
+
+    def test_no_triangles(self):
+        g = ProbabilisticGraph([(0, 1, 0.5)])
+        assert expected_support(g, 0, 1) == 0.0
+
+    def test_linear_in_triangles(self, k4):
+        # Each K4 edge has two apexes contributing 0.81 each.
+        assert math.isclose(expected_support(k4, "a", "b"), 2 * 0.81)
+
+
+class TestExpectedDecomposition:
+    def test_certain_graph_matches_deterministic(self):
+        for n in (4, 5):
+            g = complete_graph(n, 1.0)
+            tau_e = expected_truss_decomposition(g)
+            tau = truss_decomposition(g)
+            for e, t in tau.items():
+                assert math.isclose(tau_e[e], t)
+
+    def test_uniform_clique_value(self):
+        g = complete_graph(4, 0.9)
+        tau_e = expected_truss_decomposition(g)
+        # Max-min peel on K4: every edge ends at 2 + 2 * 0.81.
+        for value in tau_e.values():
+            assert math.isclose(value, 2 + 2 * 0.81)
+
+    def test_empty(self, empty_graph):
+        assert expected_truss_decomposition(empty_graph) == {}
+
+    def test_maximal_trusses_threshold(self):
+        g = complete_graph(4, 0.9)
+        assert len(maximal_expected_trusses(g, 3)) == 1
+        assert maximal_expected_trusses(g, 4) == []  # 3.62 < 4
+
+    def test_invalid_k(self, triangle):
+        with pytest.raises(ParameterError):
+            maximal_expected_trusses(triangle, 1)
+
+
+class TestSemanticsGap:
+    def test_semantics_inversion(self):
+        """The paper's implicit argument: expectation cannot tell solid
+        structure from flimsy redundancy, probability mass can. Here the
+        two semantics *invert* their ranking of a flimsy K5 versus a
+        solid triangle."""
+        flimsy = complete_graph(5, 0.71)   # E[sup] = 3 * 0.71^2 = 1.51
+        solid = ProbabilisticGraph(
+            [("a", "b", 0.95), ("b", "c", 0.95), ("a", "c", 0.95)]
+        )                                  # E[sup] = 0.9
+
+        tau_e_flimsy = expected_truss_decomposition(flimsy)
+        tau_e_solid = expected_truss_decomposition(solid)
+        # Expected semantics: the K5 clears truss order 3, the solid
+        # triangle does not (0.9 < 1).
+        assert min(tau_e_flimsy.values()) >= 3.0
+        assert max(tau_e_solid.values()) < 3.0
+
+        # Probability-mass semantics at gamma = 0.8: the solid triangle
+        # IS a local 3-truss (Pr[sup >= 1] * p = 0.9 * 0.95 ~ 0.86)...
+        solid_local = local_truss_decomposition(solid, 0.8)
+        assert all(t == 3 for t in solid_local.trussness.values())
+        # ... while the flimsy K5's edges are not (Pr[sup >= 1] * p =
+        # (1 - (1 - 0.5)^3) * 0.71 ~ 0.62 < 0.8).
+        flimsy_local = local_truss_decomposition(flimsy, 0.8)
+        assert all(t <= 2 for t in flimsy_local.trussness.values())

@@ -1,0 +1,95 @@
+"""Unit tests for visualization exports (DOT / JSON hierarchy / GEXF)."""
+
+import io
+import json
+
+import pytest
+
+from repro import local_truss_decomposition, truss_decomposition
+from repro.graphs.export import (
+    hierarchy_to_dict,
+    hierarchy_to_json,
+    to_dot,
+    write_gexf,
+)
+from repro.graphs.generators import running_example
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return running_example()
+
+
+@pytest.fixture(scope="module")
+def local_result(graph):
+    return local_truss_decomposition(graph, 0.125)
+
+
+class TestDot:
+    def test_structure(self, graph):
+        dot = to_dot(graph)
+        assert dot.startswith("graph")
+        assert dot.rstrip().endswith("}")
+        # Every node and edge appears.
+        for node in graph.nodes():
+            assert f'"{node}"' in dot
+        assert dot.count(" -- ") == graph.number_of_edges()
+
+    def test_probability_labels(self, graph):
+        dot = to_dot(graph)
+        assert 'label="0.50"' in dot
+        assert 'label="1.00"' in dot
+
+    def test_trussness_colours(self, graph):
+        tau = truss_decomposition(graph)
+        dot = to_dot(graph, trussness=tau)
+        assert "color=" in dot
+        assert 'tooltip="trussness 4"' in dot
+
+    def test_quoting_weird_labels(self):
+        from repro import ProbabilisticGraph
+
+        g = ProbabilisticGraph([('he said "hi"', "b", 0.5)])
+        dot = to_dot(g)
+        assert '\\"hi\\"' in dot
+
+
+class TestHierarchyExport:
+    def test_dict_shape(self, local_result):
+        doc = hierarchy_to_dict(local_result)
+        assert doc["gamma"] == 0.125
+        assert doc["k_max"] == 4
+        assert len(doc["levels"]) == 3  # k = 2, 3, 4
+        top = doc["levels"][-1]
+        assert top["k"] == 4
+        assert top["n_trusses"] == 1
+        truss = top["trusses"][0]
+        assert truss["n_nodes"] == 5
+        assert truss["n_edges"] == 9
+        assert 0.0 <= truss["density"] <= 1.0
+
+    def test_json_round_trip(self, local_result):
+        text = hierarchy_to_json(local_result)
+        doc = json.loads(text)
+        assert doc["k_max"] == 4
+
+    def test_json_to_stream_and_file(self, local_result, tmp_path):
+        buf = io.StringIO()
+        hierarchy_to_json(local_result, buf)
+        assert json.loads(buf.getvalue())["k_max"] == 4
+        path = tmp_path / "hierarchy.json"
+        hierarchy_to_json(local_result, path)
+        assert json.loads(path.read_text())["k_max"] == 4
+
+
+class TestGexf:
+    def test_written_with_attributes(self, graph, tmp_path):
+        import networkx as nx
+
+        tau = truss_decomposition(graph)
+        path = tmp_path / "graph.gexf"
+        write_gexf(graph, path, trussness=tau)
+        back = nx.read_gexf(path)
+        assert back.number_of_edges() == graph.number_of_edges()
+        attrs = {d.get("trussness") for _, _, d in back.edges(data=True)}
+        assert 4 in attrs or "4" in attrs

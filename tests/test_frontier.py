@@ -1,0 +1,100 @@
+"""Unit tests for the complete (k, gamma) truss frontier."""
+
+import math
+
+import pytest
+
+from repro import ParameterError, local_truss_decomposition
+from repro.core.frontier import truss_frontier
+from repro.graphs.generators import complete_graph, running_example
+from tests.conftest import random_probabilistic_graph
+
+
+@pytest.fixture(scope="module")
+def paper_frontier():
+    return truss_frontier(running_example())
+
+
+class TestFrontierShape:
+    def test_k_max_matches_structure(self, paper_frontier):
+        assert paper_frontier.k_max == 4
+
+    def test_rows_non_increasing(self, paper_frontier):
+        for row in paper_frontier.frontier.values():
+            assert all(a >= b - 1e-12 for a, b in zip(row, row[1:]))
+
+    def test_row_lengths(self, paper_frontier):
+        for row in paper_frontier.frontier.values():
+            assert len(row) == paper_frontier.k_max - 1
+
+    def test_empty_graph(self, empty_graph):
+        frontier = truss_frontier(empty_graph)
+        assert frontier.k_max == 0
+        assert frontier.frontier == {}
+
+
+class TestKnownValues:
+    def test_paper_boundary_values(self, paper_frontier):
+        # (q1, v1) at k = 4: the binding H1 threshold, exactly 0.125.
+        assert math.isclose(paper_frontier.gamma_at("q1", "v1", 4), 0.125)
+        # p1's edges never reach k = 4.
+        assert paper_frontier.gamma_at("p1", "q1", 4) == 0.0
+
+    def test_gamma_beyond_feasible_is_zero(self, paper_frontier):
+        assert paper_frontier.gamma_at("v1", "v2", 99) == 0.0
+
+    def test_trussness_at_matches_algorithm1(self, paper_frontier):
+        g = running_example()
+        for gamma in (0.05, 0.125, 0.2, 0.5, 0.9):
+            local = local_truss_decomposition(g, gamma)
+            for e, tau in local.trussness.items():
+                assert paper_frontier.trussness_at(*e, gamma) == tau
+
+    def test_maximal_trusses_match_algorithm1(self, paper_frontier):
+        g = running_example()
+        for gamma, k in ((0.125, 4), (0.2, 3)):
+            via_frontier = {
+                frozenset(t.edges())
+                for t in paper_frontier.maximal_trusses(k, gamma)
+            }
+            local = local_truss_decomposition(g, gamma)
+            via_local = {
+                frozenset(t.edges()) for t in local.maximal_trusses(k)
+            }
+            assert via_frontier == via_local
+
+    def test_edge_profile(self, paper_frontier):
+        profile = paper_frontier.edge_profile("q1", "v1")
+        ks = [k for k, _ in profile]
+        assert ks == [2, 3, 4]
+        gammas = [g for _, g in profile]
+        assert gammas == sorted(gammas, reverse=True)
+
+    def test_uniform_clique(self):
+        frontier = truss_frontier(complete_graph(4, 0.9))
+        # k = 2 frontier is p(e); k = 4 is p * Pr[both triangles].
+        assert math.isclose(frontier.gamma_at(0, 1, 2), 0.9)
+        assert math.isclose(frontier.gamma_at(0, 1, 4), 0.9 * 0.81 ** 2)
+
+
+class TestRandomConsistency:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_frontier_answers_arbitrary_queries(self, seed):
+        g = random_probabilistic_graph(14, 0.4, seed)
+        frontier = truss_frontier(g)
+        for gamma in (0.1, 0.45, 0.8):
+            local = local_truss_decomposition(g, gamma)
+            for e, tau in local.trussness.items():
+                assert frontier.trussness_at(*e, gamma) == tau
+
+
+class TestValidation:
+    def test_invalid_parameters(self, paper_frontier):
+        with pytest.raises(ParameterError):
+            paper_frontier.gamma_at("q1", "v1", 1)
+        with pytest.raises(ParameterError):
+            paper_frontier.trussness_at("q1", "v1", 0.0)
+        with pytest.raises(ParameterError):
+            paper_frontier.maximal_trusses(1, 0.5)
+        with pytest.raises(ParameterError):
+            paper_frontier.maximal_trusses(3, 2.0)

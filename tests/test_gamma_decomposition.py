@@ -1,0 +1,128 @@
+"""Unit tests for the fixed-k gamma decomposition (paper §7 extension)."""
+
+import math
+
+import pytest
+
+from repro import (
+    ParameterError,
+    ProbabilisticGraph,
+    gamma_truss_decomposition,
+    local_truss_decomposition,
+)
+from repro.graphs.generators import complete_graph, running_example
+from tests.conftest import random_probabilistic_graph
+
+
+class TestBasics:
+    def test_invalid_k(self, triangle):
+        with pytest.raises(ParameterError):
+            gamma_truss_decomposition(triangle, 1)
+
+    def test_empty_graph(self, empty_graph):
+        result = gamma_truss_decomposition(empty_graph, 3)
+        assert result.gamma_trussness == {}
+        assert result.thresholds() == []
+
+    def test_input_not_modified(self, paper_graph):
+        before = paper_graph.copy()
+        gamma_truss_decomposition(paper_graph, 3)
+        assert paper_graph == before
+
+    def test_every_edge_assigned(self, paper_graph):
+        result = gamma_truss_decomposition(paper_graph, 4)
+        assert set(result.gamma_trussness) == set(paper_graph.edges())
+
+    def test_gamma_of_accessor(self, paper_graph):
+        result = gamma_truss_decomposition(paper_graph, 4)
+        assert result.gamma_of("v1", "q1") == result.gamma_trussness[
+            ("q1", "v1")
+        ]
+
+    def test_invalid_gamma_query(self, paper_graph):
+        result = gamma_truss_decomposition(paper_graph, 3)
+        with pytest.raises(ParameterError):
+            result.maximal_trusses_at(0.0)
+
+
+class TestKnownValues:
+    def test_k2_is_max_min_probability(self):
+        # At k = 2 the value of an edge is just p(e); the gamma-trussness
+        # of each edge in a path is the running max-min — here simply its
+        # own probability (removing the weakest never helps the others).
+        g = ProbabilisticGraph([(0, 1, 0.3), (1, 2, 0.8), (2, 3, 0.5)])
+        result = gamma_truss_decomposition(g, 2)
+        assert math.isclose(result.gamma_of(0, 1), 0.3)
+        assert math.isclose(result.gamma_of(1, 2), 0.8)
+        assert math.isclose(result.gamma_of(2, 3), 0.5)
+
+    def test_paper_h1_boundary(self):
+        # H1's binding constraint at k = 4 is sigma(2) p = 0.125: the
+        # gamma-trussness of every H1 edge at k = 4 is >= 0.125, and the
+        # decomposition at gamma = 0.125 recovers exactly H1.
+        g = running_example()
+        result = gamma_truss_decomposition(g, 4)
+        trusses = result.maximal_trusses_at(0.125)
+        assert len(trusses) == 1
+        assert set(trusses[0].nodes()) == {"q1", "q2", "v1", "v2", "v3"}
+
+    def test_uniform_clique(self):
+        # In K4 with p = 0.9 everywhere, all edges share one gamma value.
+        g = complete_graph(4, 0.9)
+        result = gamma_truss_decomposition(g, 4)
+        values = set(round(v, 12) for v in result.gamma_trussness.values())
+        assert len(values) == 1
+        # sigma(2) = (0.81)^2 per edge... with two triangles each of
+        # q = 0.81: Pr[sup >= 2] = 0.81^2; times p = 0.9.
+        assert math.isclose(
+            next(iter(result.gamma_trussness.values())),
+            (0.81 ** 2) * 0.9,
+        )
+
+    def test_structurally_impossible_edges_get_zero(self):
+        g = ProbabilisticGraph([(0, 1, 0.9)])  # no triangles at all
+        result = gamma_truss_decomposition(g, 3)
+        assert result.gamma_of(0, 1) == 0.0
+        assert result.maximal_trusses_at(0.5) == []
+
+
+class TestConsistencyWithLocalDecomposition:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_matches_local_decomposition_at_every_threshold(self, seed, k):
+        """The defining property: for any gamma,
+        {e : gamma_k(e) >= gamma} == {e : tau_gamma(e) >= k}."""
+        g = random_probabilistic_graph(14, 0.4, seed)
+        result = gamma_truss_decomposition(g, k)
+        for gamma in (0.05, 0.2, 0.5, 0.8):
+            via_gamma = {
+                e for e, v in result.gamma_trussness.items()
+                if v >= gamma * (1 - 1e-9)
+            }
+            local = local_truss_decomposition(g, gamma)
+            via_local = {
+                e for e, tau in local.trussness.items() if tau >= k
+            }
+            assert via_gamma == via_local
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_thresholds_are_exact_transition_points(self, seed):
+        g = random_probabilistic_graph(12, 0.45, seed)
+        k = 3
+        result = gamma_truss_decomposition(g, k)
+        for gamma in result.thresholds():
+            at = {frozenset(t.edges())
+                  for t in result.maximal_trusses_at(gamma)}
+            just_above = {
+                frozenset(t.edges())
+                for t in result.maximal_trusses_at(min(1.0, gamma * (1 + 1e-6)))
+            }
+            # Crossing the threshold strictly shrinks the edge set.
+            assert {e for s in just_above for e in s} < {
+                e for s in at for e in s
+            } or (not just_above and at)
+
+    def test_hierarchy_keys_descending(self, paper_graph):
+        result = gamma_truss_decomposition(paper_graph, 3)
+        keys = list(result.hierarchy())
+        assert keys == sorted(keys, reverse=True)

@@ -1,0 +1,200 @@
+"""Unit tests for the random-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro import ParameterError, connected_components, is_connected
+from repro.graphs.generators import (
+    barabasi_albert_graph,
+    beta_probabilities,
+    complete_graph,
+    duplication_divergence_graph,
+    gnp_graph,
+    planted_truss_graph,
+    powerlaw_cluster_graph,
+    running_example,
+    uniform_probabilities,
+    windmill_graph,
+)
+
+
+class TestRunningExample:
+    def test_shape(self):
+        g = running_example()
+        assert g.number_of_nodes() == 6
+        assert g.number_of_edges() == 11
+
+    def test_probabilities_match_paper(self):
+        g = running_example()
+        assert g.probability("q1", "v1") == 0.5
+        assert g.probability("v1", "v2") == 1.0
+        assert g.probability("p1", "q1") == 0.7
+        # H3's probability 0.125 requires all q2 edges at 0.5.
+        for v in ("v1", "v2", "v3"):
+            assert g.probability("q2", v) == 0.5
+
+
+class TestWindmill:
+    def test_blade_count(self):
+        g = windmill_graph(5)
+        assert g.number_of_nodes() == 11  # hub + 2 per blade
+        assert g.number_of_edges() == 15  # 3 per blade
+
+    def test_hub_degree(self):
+        g = windmill_graph(4, hub="center")
+        assert g.degree("center") == 8
+
+    def test_uniform_probability(self):
+        g = windmill_graph(3, 0.25)
+        assert all(p == 0.25 for _, _, p in g.edges_with_probabilities())
+
+    def test_invalid_blades(self):
+        with pytest.raises(ParameterError):
+            windmill_graph(0)
+
+
+class TestCompleteGraph:
+    @pytest.mark.parametrize("n,m", [(0, 0), (1, 0), (2, 1), (5, 10)])
+    def test_sizes(self, n, m):
+        g = complete_graph(n)
+        assert g.number_of_nodes() == n
+        assert g.number_of_edges() == m
+
+    def test_negative_n(self):
+        with pytest.raises(ParameterError):
+            complete_graph(-1)
+
+
+class TestGnp:
+    def test_deterministic_under_seed(self):
+        a = gnp_graph(30, 0.2, seed=7, probability=0.5)
+        b = gnp_graph(30, 0.2, seed=7, probability=0.5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = gnp_graph(30, 0.3, seed=1)
+        b = gnp_graph(30, 0.3, seed=2)
+        assert a != b
+
+    def test_density_extremes(self):
+        assert gnp_graph(10, 0.0, seed=1).number_of_edges() == 0
+        assert gnp_graph(10, 1.0, seed=1).number_of_edges() == 45
+
+    def test_callable_probability(self):
+        g = gnp_graph(20, 0.5, seed=3, probability=uniform_probabilities(0.2, 0.4))
+        probs = [p for _, _, p in g.edges_with_probabilities()]
+        assert probs and all(0.2 <= p <= 0.4 for p in probs)
+
+    def test_invalid_density(self):
+        with pytest.raises(ParameterError):
+            gnp_graph(10, 1.5, seed=1)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_connectivity(self):
+        g = barabasi_albert_graph(80, 3, seed=5)
+        assert g.number_of_nodes() == 80
+        # Each of the 77 arrivals adds exactly 3 edges.
+        assert g.number_of_edges() == 77 * 3
+        assert is_connected(g)
+
+    def test_invalid_m(self):
+        with pytest.raises(ParameterError):
+            barabasi_albert_graph(5, 5, seed=1)
+        with pytest.raises(ParameterError):
+            barabasi_albert_graph(5, 0, seed=1)
+
+    def test_deterministic(self):
+        assert barabasi_albert_graph(40, 2, seed=9) == barabasi_albert_graph(
+            40, 2, seed=9
+        )
+
+
+class TestPowerlawCluster:
+    def test_size(self):
+        g = powerlaw_cluster_graph(60, 4, 0.5, seed=2)
+        assert g.number_of_nodes() == 60
+        assert g.number_of_edges() == 56 * 4
+
+    def test_clustering_higher_with_triangle_steps(self):
+        from repro.core.metrics import clustering_coefficient
+
+        flat = powerlaw_cluster_graph(150, 4, 0.0, seed=3)
+        clustered = powerlaw_cluster_graph(150, 4, 0.9, seed=3)
+        assert clustering_coefficient(clustered) > clustering_coefficient(flat)
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            powerlaw_cluster_graph(10, 0, 0.5, seed=1)
+        with pytest.raises(ParameterError):
+            powerlaw_cluster_graph(10, 2, 1.5, seed=1)
+
+    def test_deterministic(self):
+        a = powerlaw_cluster_graph(50, 3, 0.4, seed=11)
+        b = powerlaw_cluster_graph(50, 3, 0.4, seed=11)
+        assert a == b
+
+
+class TestDuplicationDivergence:
+    def test_size(self):
+        g = duplication_divergence_graph(50, 0.3, seed=4)
+        assert g.number_of_nodes() == 50
+
+    def test_sparser_with_lower_retention(self):
+        sparse = duplication_divergence_graph(100, 0.1, seed=6)
+        dense = duplication_divergence_graph(100, 0.9, seed=6)
+        assert sparse.number_of_edges() < dense.number_of_edges()
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            duplication_divergence_graph(2, 0.5, seed=1)
+        with pytest.raises(ParameterError):
+            duplication_divergence_graph(10, 1.5, seed=1)
+
+
+class TestPlantedTruss:
+    def test_clique_is_planted(self):
+        g, clique = planted_truss_graph(40, 6, seed=8)
+        assert len(clique) == 6
+        for i, u in enumerate(clique):
+            for v in clique[:i]:
+                assert g.has_edge(u, v)
+                assert g.probability(u, v) == 0.95
+
+    def test_planted_clique_is_top_local_truss(self):
+        from repro import local_truss_decomposition
+
+        g, clique = planted_truss_graph(
+            30, 6, background_density=0.03, seed=8
+        )
+        result = local_truss_decomposition(g, gamma=0.5)
+        top = result.maximal_trusses(result.k_max)
+        assert len(top) == 1
+        assert set(top[0].nodes()) == set(clique)
+
+    def test_invalid_clique_size(self):
+        with pytest.raises(ParameterError):
+            planted_truss_graph(10, 2, seed=1)
+
+
+class TestProbabilitySamplers:
+    def test_uniform_bounds(self):
+        sampler = uniform_probabilities(0.3, 0.6)
+        rng = np.random.default_rng(0)
+        values = [sampler(rng) for _ in range(200)]
+        assert all(0.3 <= v <= 0.6 for v in values)
+
+    def test_uniform_invalid(self):
+        with pytest.raises(ParameterError):
+            uniform_probabilities(0.9, 0.1)
+
+    def test_beta_bounds(self):
+        sampler = beta_probabilities(2.0, 5.0)
+        rng = np.random.default_rng(0)
+        values = [sampler(rng) for _ in range(200)]
+        assert all(0.0 <= v <= 1.0 for v in values)
+        assert np.mean(values) < 0.5  # Beta(2, 5) skews low
+
+    def test_beta_invalid(self):
+        with pytest.raises(ParameterError):
+            beta_probabilities(0.0, 1.0)

@@ -1,0 +1,64 @@
+"""Unit tests for the h-index-iteration truss decomposition."""
+
+import pytest
+
+from repro import ParameterError, ProbabilisticGraph, truss_decomposition
+from repro.truss.hindex import h_index, truss_decomposition_hindex
+from repro.graphs.generators import complete_graph, powerlaw_cluster_graph
+from tests.conftest import random_probabilistic_graph
+
+
+class TestHIndex:
+    @pytest.mark.parametrize("values,expected", [
+        ([], 0),
+        ([0], 0),
+        ([1], 1),
+        ([5], 1),
+        ([1, 1], 1),
+        ([2, 2], 2),
+        ([3, 3, 3], 3),
+        ([5, 4, 3, 2, 1], 3),
+        ([10, 10, 1], 2),
+        ([0, 0, 0], 0),
+    ])
+    def test_known_values(self, values, expected):
+        assert h_index(values) == expected
+
+    def test_order_independent(self):
+        assert h_index([1, 5, 2, 4, 3]) == h_index([5, 4, 3, 2, 1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ParameterError):
+            h_index([1, -1])
+
+
+class TestHIndexDecomposition:
+    def test_complete_graphs(self):
+        for n in (3, 4, 5, 6):
+            g = complete_graph(n)
+            tau = truss_decomposition_hindex(g)
+            assert all(t == n for t in tau.values())
+
+    def test_empty_graph(self, empty_graph):
+        assert truss_decomposition_hindex(empty_graph) == {}
+
+    def test_paper_example(self, paper_graph):
+        assert truss_decomposition_hindex(paper_graph) == \
+            truss_decomposition(paper_graph)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_peeling_random(self, seed):
+        g = random_probabilistic_graph(20, 0.3, seed)
+        assert truss_decomposition_hindex(g) == truss_decomposition(g)
+
+    def test_matches_peeling_clustered(self):
+        g = powerlaw_cluster_graph(80, 4, 0.6, seed=5)
+        assert truss_decomposition_hindex(g) == truss_decomposition(g)
+
+    def test_bounded_rounds_is_upper_bound(self):
+        # A truncated iteration yields valid upper bounds on trussness.
+        g = powerlaw_cluster_graph(60, 4, 0.6, seed=9)
+        exact = truss_decomposition(g)
+        partial = truss_decomposition_hindex(g, max_rounds=1)
+        for e, t in exact.items():
+            assert partial[e] >= t

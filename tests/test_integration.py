@@ -1,0 +1,129 @@
+"""Integration tests: full pipelines across modules, dataset to answer."""
+
+import pytest
+
+from repro import (
+    GlobalTrussOracle,
+    SupportProbability,
+    WorldSampleSet,
+    dataset_statistics,
+    eta_core_decomposition,
+    global_truss_decomposition,
+    load_dataset,
+    local_truss_decomposition,
+    probabilistic_clustering_coefficient,
+    probabilistic_density,
+)
+from repro.graphs.components import is_connected
+
+
+@pytest.fixture(scope="module")
+def fruitfly():
+    return load_dataset("fruitfly", seed=42)
+
+
+class TestFruitflyPipeline:
+    def test_local_hierarchy_is_consistent(self, fruitfly):
+        result = local_truss_decomposition(fruitfly, 0.5)
+        assert result.k_max >= 4
+        hierarchy = result.hierarchy()
+        for k, trusses in hierarchy.items():
+            for truss in trusses:
+                assert is_connected(truss)
+                for u, v in truss.edges():
+                    sp = SupportProbability.from_edge(truss, u, v)
+                    assert (
+                        sp.tail(k - 2) * truss.probability(u, v)
+                        >= 0.5 * (1 - 1e-9)
+                    )
+
+    def test_global_gbu_pipeline(self, fruitfly):
+        result = global_truss_decomposition(
+            fruitfly, 0.5, method="gbu", seed=7
+        )
+        assert result.k_max >= 4
+        samples = WorldSampleSet.from_graph(fruitfly, 150, seed=99)
+        # Answers satisfy their own definition against fresh samples,
+        # within sampling tolerance: use a relaxed gamma.
+        oracle = GlobalTrussOracle(samples)
+        for k, truss in result.all_trusses():
+            if k < 4:
+                continue
+            estimates = oracle.alpha_estimates(truss, k)
+            assert min(estimates.values()) >= 0.5 - 0.2
+
+    def test_global_denser_than_local(self, fruitfly):
+        gamma = 0.5
+        local = local_truss_decomposition(fruitfly, gamma)
+        global_result = global_truss_decomposition(
+            fruitfly, gamma, method="gbu", seed=7, local_result=local
+        )
+        k = min(local.k_max, global_result.k_max)
+        local_density = _mean(
+            probabilistic_density(t) for t in local.maximal_trusses(k)
+        )
+        global_density = _mean(
+            probabilistic_density(t) for t in global_result.trusses[k]
+        )
+        assert global_density >= local_density * 0.9  # near-always strictly >
+
+    def test_gtd_feasible_on_fruitfly_high_gamma(self, fruitfly):
+        # The paper: GTD finishes on FruitFly for gamma >= 0.7.
+        result = global_truss_decomposition(
+            fruitfly, 0.9, method="gtd", seed=7, max_states=200_000
+        )
+        assert result.k_max >= 2
+
+
+class TestCrossModelComparison:
+    def test_truss_tighter_than_core(self, fruitfly):
+        """Section 6.4's shape: the top truss is smaller and denser than
+        the top core at the same threshold."""
+        gamma = 0.5
+        local = local_truss_decomposition(fruitfly, gamma)
+        core = eta_core_decomposition(fruitfly, gamma)
+        k_t = local.k_max
+        k_c = max(core.values())
+        truss_nodes = {
+            u for t in local.maximal_trusses(k_t) for u in t.nodes()
+        }
+        core_nodes = [u for u, c in core.items() if c >= k_c]
+        truss_sub = fruitfly.subgraph(truss_nodes)
+        core_sub = fruitfly.subgraph(core_nodes)
+        assert probabilistic_density(truss_sub) >= probabilistic_density(core_sub)
+        # k_tmax <= k_cmax + 1 always; the paper observes k_tmax < k_cmax.
+        assert k_t <= k_c + 1
+
+
+class TestDatasetsDecompose:
+    @pytest.mark.parametrize("name", ["wikivote", "dblp", "biomine"])
+    def test_local_decomposition_runs_clean(self, name):
+        g = load_dataset(name, seed=1, scale=0.3)
+        result = local_truss_decomposition(g, 0.5)
+        stats = dataset_statistics(g)
+        assert len(result.trussness) == stats["edges"]
+        assert result.k_max >= 2
+
+    def test_metrics_on_top_trusses(self):
+        g = load_dataset("dblp", seed=1, scale=0.3)
+        result = local_truss_decomposition(g, 0.3)
+        for truss in result.maximal_trusses(result.k_max):
+            assert 0.0 <= probabilistic_density(truss) <= 1.0
+            assert 0.0 <= probabilistic_clustering_coefficient(truss) <= 1 + 1e-9
+
+
+class TestIORoundTripThroughDecomposition:
+    def test_save_load_decompose(self, tmp_path, fruitfly):
+        from repro import read_json_graph, write_json_graph
+
+        path = tmp_path / "fruitfly.json"
+        write_json_graph(fruitfly, path)
+        loaded = read_json_graph(path)
+        a = local_truss_decomposition(fruitfly, 0.5).trussness
+        b = local_truss_decomposition(loaded, 0.5).trussness
+        assert a == b
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,112 @@
+"""Unit tests for graph I/O round trips and error handling."""
+
+import io
+
+import pytest
+
+from repro import (
+    GraphError,
+    ProbabilisticGraph,
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+
+
+@pytest.fixture
+def sample() -> ProbabilisticGraph:
+    g = ProbabilisticGraph()
+    g.add_edge("a", "b", 0.25)
+    g.add_edge("b", "c", 1.0)
+    g.add_edge("a", "c", 0.7071067811865476)  # check float fidelity
+    return g
+
+
+class TestEdgeList:
+    def test_round_trip_file(self, sample, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(sample, path)
+        back = read_edge_list(path)
+        assert back == sample
+
+    def test_round_trip_stream(self, sample):
+        buf = io.StringIO()
+        write_edge_list(sample, buf)
+        buf.seek(0)
+        assert read_edge_list(buf) == sample
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\na b 0.5\n   \nb c 0.75\n"
+        g = read_edge_list(io.StringIO(text))
+        assert g.number_of_edges() == 2
+
+    def test_two_field_lines_use_default(self):
+        g = read_edge_list(io.StringIO("a b\n"), default_probability=0.4)
+        assert g.probability("a", "b") == 0.4
+
+    def test_node_type_conversion(self):
+        g = read_edge_list(io.StringIO("1 2 0.5\n"), node_type=int)
+        assert g.has_edge(1, 2)
+        assert not g.has_node("1")
+
+    def test_custom_delimiter(self):
+        g = read_edge_list(io.StringIO("a,b,0.5\n"), delimiter=",")
+        assert g.probability("a", "b") == 0.5
+
+    def test_bad_field_count(self):
+        with pytest.raises(GraphError, match="expected 2 or 3 fields"):
+            read_edge_list(io.StringIO("a b 0.5 extra\n"))
+
+    def test_bad_probability(self):
+        with pytest.raises(GraphError, match="not a number"):
+            read_edge_list(io.StringIO("a b oops\n"))
+
+    def test_header_written(self, sample):
+        buf = io.StringIO()
+        write_edge_list(sample, buf)
+        assert buf.getvalue().startswith("# probabilistic edge list")
+
+    def test_no_header(self, sample):
+        buf = io.StringIO()
+        write_edge_list(sample, buf, header=False)
+        assert not buf.getvalue().startswith("#")
+
+
+class TestGzip:
+    def test_edge_list_gz_round_trip(self, sample, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        write_edge_list(sample, path)
+        # The file really is gzip-compressed ...
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        # ... and round-trips transparently.
+        assert read_edge_list(path) == sample
+
+    def test_json_gz_round_trip(self, sample, tmp_path):
+        path = tmp_path / "graph.json.gz"
+        write_json_graph(sample, path)
+        assert read_json_graph(path) == sample
+
+
+class TestJson:
+    def test_round_trip_preserves_isolated_nodes(self, sample, tmp_path):
+        sample.add_node("isolated")
+        path = tmp_path / "graph.json"
+        write_json_graph(sample, path)
+        back = read_json_graph(path)
+        assert back == sample
+        assert back.has_node("isolated")
+
+    def test_round_trip_stream(self, sample):
+        buf = io.StringIO()
+        write_json_graph(sample, buf)
+        buf.seek(0)
+        assert read_json_graph(buf) == sample
+
+    def test_rejects_foreign_document(self):
+        with pytest.raises(GraphError, match="not a repro"):
+            read_json_graph(io.StringIO('{"hello": "world"}'))
+
+    def test_rejects_non_object(self):
+        with pytest.raises(GraphError):
+            read_json_graph(io.StringIO("[1, 2, 3]"))

@@ -1,0 +1,70 @@
+"""Property-based round-trip tests for I/O and export formats."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ProbabilisticGraph,
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+from repro.graphs.export import to_dot
+
+probabilities = st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False, allow_infinity=False)
+labels = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd")),
+    min_size=1, max_size=6,
+)
+
+
+@st.composite
+def labelled_graphs(draw):
+    names = draw(st.lists(labels, min_size=2, max_size=8, unique=True))
+    g = ProbabilisticGraph()
+    for name in names:
+        g.add_node(name)
+    for i, u in enumerate(names):
+        for v in names[:i]:
+            if draw(st.booleans()):
+                g.add_edge(u, v, draw(probabilities))
+    return g
+
+
+class TestEdgeListRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(labelled_graphs())
+    def test_round_trip_preserves_edges(self, g):
+        buf = io.StringIO()
+        write_edge_list(g, buf)
+        buf.seek(0)
+        back = read_edge_list(buf)
+        assert set(back.edges()) == set(g.edges())
+        for u, v in g.edges():
+            assert back.probability(u, v) == g.probability(u, v)
+
+
+class TestJsonRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(labelled_graphs())
+    def test_round_trip_preserves_everything(self, g):
+        buf = io.StringIO()
+        write_json_graph(g, buf)
+        buf.seek(0)
+        assert read_json_graph(buf) == g
+
+
+class TestDotWellFormed:
+    @settings(max_examples=30, deadline=None)
+    @given(labelled_graphs())
+    def test_dot_mentions_every_element(self, g):
+        dot = to_dot(g)
+        assert dot.count(" -- ") == g.number_of_edges()
+        for node in g.nodes():
+            assert f'"{node}"' in dot
+        # Balanced braces, single graph block.
+        assert dot.count("{") == dot.count("}") == 1

@@ -1,0 +1,73 @@
+"""Unit tests for the deterministic k-core substrate."""
+
+import pytest
+
+from repro import (
+    ParameterError,
+    ProbabilisticGraph,
+    core_decomposition,
+    k_core_subgraph,
+    max_core_number,
+)
+from repro.graphs.generators import complete_graph
+
+
+class TestCoreDecomposition:
+    def test_complete_graph(self):
+        for n in (3, 5, 7):
+            core = core_decomposition(complete_graph(n))
+            assert all(c == n - 1 for c in core.values())
+
+    def test_path(self):
+        g = ProbabilisticGraph([(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+        core = core_decomposition(g)
+        assert all(c == 1 for c in core.values())
+
+    def test_star(self):
+        g = ProbabilisticGraph([(0, i, 1.0) for i in range(1, 8)])
+        core = core_decomposition(g)
+        assert all(c == 1 for c in core.values())
+
+    def test_clique_with_tail(self):
+        g = complete_graph(4)
+        g.add_edge(3, 10, 1.0)
+        g.add_edge(10, 11, 1.0)
+        core = core_decomposition(g)
+        assert core[0] == 3
+        assert core[10] == 1
+        assert core[11] == 1
+
+    def test_isolated_node(self):
+        g = ProbabilisticGraph()
+        g.add_node("x")
+        assert core_decomposition(g) == {"x": 0}
+
+    def test_empty(self, empty_graph):
+        assert core_decomposition(empty_graph) == {}
+
+    def test_matches_networkx(self, rng):
+        import networkx as nx
+
+        from tests.conftest import random_probabilistic_graph
+
+        for seed in range(5):
+            g = random_probabilistic_graph(25, 0.2, seed)
+            ours = core_decomposition(g)
+            theirs = nx.core_number(g.to_networkx())
+            assert ours == theirs
+
+
+class TestKCoreSubgraph:
+    def test_extracts_clique(self):
+        g = complete_graph(5)
+        g.add_edge(0, 100, 1.0)
+        sub = k_core_subgraph(g, 4)
+        assert set(sub.nodes()) == {0, 1, 2, 3, 4}
+
+    def test_invalid_k(self, k4):
+        with pytest.raises(ParameterError):
+            k_core_subgraph(k4, -1)
+
+    def test_max_core_number(self, k4, empty_graph):
+        assert max_core_number(k4) == 3
+        assert max_core_number(empty_graph) == 0

@@ -1,0 +1,62 @@
+"""Unit tests for the fixpoint-iteration local decomposition."""
+
+import pytest
+
+from repro import ParameterError, local_truss_decomposition
+from repro.core.local_iterative import local_truss_decomposition_iterative
+from repro.graphs.generators import (
+    complete_graph,
+    powerlaw_cluster_graph,
+    running_example,
+)
+from repro.datasets.probability_models import assign_uniform
+from tests.conftest import random_probabilistic_graph
+
+
+class TestIterativeDecomposition:
+    def test_invalid_gamma(self, triangle):
+        with pytest.raises(ParameterError):
+            local_truss_decomposition_iterative(triangle, -0.5)
+
+    def test_empty(self, empty_graph):
+        assert local_truss_decomposition_iterative(empty_graph, 0.5) == {}
+
+    def test_paper_example(self):
+        g = running_example()
+        for gamma in (0.05, 0.125, 0.3, 0.7):
+            iterative = local_truss_decomposition_iterative(g, gamma)
+            peeling = local_truss_decomposition(g, gamma).trussness
+            assert iterative == peeling
+
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("gamma", [0.1, 0.4, 0.8])
+    def test_matches_peeling_random(self, seed, gamma):
+        g = random_probabilistic_graph(16, 0.35, seed)
+        iterative = local_truss_decomposition_iterative(g, gamma)
+        peeling = local_truss_decomposition(g, gamma).trussness
+        assert iterative == peeling
+
+    def test_matches_peeling_clustered(self):
+        import numpy as np
+
+        rng = np.random.default_rng(4)
+        g = assign_uniform(
+            powerlaw_cluster_graph(70, 5, 0.6, seed=rng), seed=rng
+        )
+        for gamma in (0.2, 0.6):
+            iterative = local_truss_decomposition_iterative(g, gamma)
+            peeling = local_truss_decomposition(g, gamma).trussness
+            assert iterative == peeling
+
+    def test_certain_clique(self):
+        g = complete_graph(6, 1.0)
+        result = local_truss_decomposition_iterative(g, 1.0)
+        assert all(t == 6 for t in result.values())
+
+    def test_low_probability_edges_level_one(self):
+        from repro import ProbabilisticGraph
+
+        g = ProbabilisticGraph([(0, 1, 0.2), (1, 2, 0.9), (0, 2, 0.9)])
+        result = local_truss_decomposition_iterative(g, 0.5)
+        assert result[(0, 1)] == 1
+        assert result[(1, 2)] == 2  # its only triangle uses the dead edge

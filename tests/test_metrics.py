@@ -1,0 +1,108 @@
+"""Unit tests for the probabilistic cohesiveness metrics (Eqs. 12-13)."""
+
+import math
+
+import pytest
+
+from repro import (
+    ProbabilisticGraph,
+    clustering_coefficient,
+    probabilistic_clustering_coefficient,
+    probabilistic_density,
+)
+from repro.core.metrics import expected_edge_count
+from repro.graphs.generators import complete_graph
+
+
+class TestDensity:
+    def test_certain_clique_density_one(self):
+        assert math.isclose(probabilistic_density(complete_graph(5, 1.0)), 1.0)
+
+    def test_uniform_probability_scales_density(self):
+        assert math.isclose(probabilistic_density(complete_graph(5, 0.4)), 0.4)
+
+    def test_single_edge(self):
+        g = ProbabilisticGraph([("a", "b", 0.6)])
+        assert math.isclose(probabilistic_density(g), 0.6)
+
+    def test_sparse_graph(self):
+        g = ProbabilisticGraph([(0, 1, 1.0)])
+        g.add_node(2)
+        # 1 expected edge over C(3,2) = 3 pairs.
+        assert math.isclose(probabilistic_density(g), 1 / 3)
+
+    def test_degenerate_graphs(self, empty_graph):
+        assert probabilistic_density(empty_graph) == 0.0
+        single = ProbabilisticGraph()
+        single.add_node("x")
+        assert probabilistic_density(single) == 0.0
+
+    def test_expected_edge_count(self, triangle):
+        assert math.isclose(expected_edge_count(triangle), 0.9 + 0.8 + 0.7)
+
+
+class TestPCC:
+    def test_certain_clique_pcc_one(self):
+        assert math.isclose(
+            probabilistic_clustering_coefficient(complete_graph(5, 1.0)), 1.0
+        )
+
+    def test_triangle_formula(self, triangle):
+        # One triangle, wedge mass = sum over the three centres.
+        p_ab, p_bc, p_ac = 0.9, 0.8, 0.7
+        tri = p_ab * p_bc * p_ac
+        wedges = p_ab * p_ac + p_ab * p_bc + p_bc * p_ac
+        expected = 3 * tri / wedges
+        assert math.isclose(
+            probabilistic_clustering_coefficient(triangle), expected
+        )
+
+    def test_triangle_free_graph_zero(self):
+        g = ProbabilisticGraph([(0, 1, 0.9), (1, 2, 0.9)])
+        assert probabilistic_clustering_coefficient(g) == 0.0
+
+    def test_single_edge_zero(self):
+        g = ProbabilisticGraph([("a", "b", 0.5)])
+        assert probabilistic_clustering_coefficient(g) == 0.0
+
+    def test_empty(self, empty_graph):
+        assert probabilistic_clustering_coefficient(empty_graph) == 0.0
+
+    def test_uniform_probability_scaling(self):
+        # For K_n with uniform p, PCC = 3 * T * p^3 / (W * p^2) = CC * p.
+        for p in (0.3, 0.8):
+            g = complete_graph(6, p)
+            assert math.isclose(
+                probabilistic_clustering_coefficient(g), p, rel_tol=1e-9
+            )
+
+    def test_bounded_by_one(self):
+        from tests.conftest import random_probabilistic_graph
+
+        for seed in range(5):
+            g = random_probabilistic_graph(15, 0.4, seed)
+            value = probabilistic_clustering_coefficient(g)
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+
+class TestDeterministicCC:
+    def test_clique(self):
+        assert math.isclose(clustering_coefficient(complete_graph(5, 0.2)), 1.0)
+
+    def test_star_zero(self):
+        g = ProbabilisticGraph([(0, i, 1.0) for i in range(1, 6)])
+        assert clustering_coefficient(g) == 0.0
+
+    def test_matches_networkx_transitivity(self):
+        import networkx as nx
+
+        from tests.conftest import random_probabilistic_graph
+
+        for seed in range(5):
+            g = random_probabilistic_graph(20, 0.3, seed)
+            ours = clustering_coefficient(g)
+            theirs = nx.transitivity(g.to_networkx())
+            assert math.isclose(ours, theirs, abs_tol=1e-12)
+
+    def test_empty(self, empty_graph):
+        assert clustering_coefficient(empty_graph) == 0.0

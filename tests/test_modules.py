@@ -1,0 +1,92 @@
+"""Unit tests for the functional-module detection pipeline."""
+
+import pytest
+
+from repro import ParameterError, ProbabilisticGraph, load_dataset
+from repro.apps.modules import Module, detect_modules
+from repro.graphs.generators import complete_graph, planted_truss_graph
+
+
+@pytest.fixture(scope="module")
+def ppi():
+    return load_dataset("fruitfly", seed=42)
+
+
+class TestParameters:
+    def test_invalid_gamma(self, triangle):
+        with pytest.raises(ParameterError):
+            detect_modules(triangle, 1.5)
+
+    def test_invalid_min_k(self, triangle):
+        with pytest.raises(ParameterError):
+            detect_modules(triangle, 0.5, min_k=1)
+
+    def test_invalid_min_nodes(self, triangle):
+        with pytest.raises(ParameterError):
+            detect_modules(triangle, 0.5, min_nodes=1)
+
+
+class TestLocalDetection:
+    def test_ppi_modules_found(self, ppi):
+        modules = detect_modules(ppi, 0.5)
+        assert modules
+        assert all(isinstance(m, Module) for m in modules)
+        assert all(m.k >= 3 for m in modules)
+        assert all(m.n_nodes >= 3 for m in modules)
+
+    def test_ranked_by_score(self, ppi):
+        modules = detect_modules(ppi, 0.5)
+        scores = [m.score for m in modules]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_top_module_is_the_planted_complex(self, ppi):
+        # The highest-scoring module on fruitfly is a high-confidence
+        # planted complex: k >= 5 and near-clique density.
+        top = detect_modules(ppi, 0.5)[0]
+        assert top.k >= 5
+        assert top.density > 0.8
+
+    def test_no_duplicate_node_sets(self, ppi):
+        modules = detect_modules(ppi, 0.5)
+        keys = [frozenset(m.nodes) for m in modules]
+        assert len(keys) == len(set(keys))
+
+    def test_max_modules_truncates(self, ppi):
+        assert len(detect_modules(ppi, 0.5, max_modules=3)) == 3
+
+    def test_min_nodes_filters(self):
+        g = complete_graph(3, 0.95)  # only a 3-node triangle
+        assert detect_modules(g, 0.5, min_nodes=4) == []
+        assert len(detect_modules(g, 0.5, min_nodes=3)) == 1
+
+    def test_planted_clique_detected(self):
+        g, clique = planted_truss_graph(30, 6, background_density=0.04,
+                                        seed=5)
+        modules = detect_modules(g, 0.5)
+        assert modules
+        assert modules[0].nodes == set(clique)
+
+    def test_empty_result_on_hopeless_gamma(self, ppi):
+        assert detect_modules(ppi, 1.0, min_k=4) == []
+
+
+class TestGlobalRefinement:
+    def test_refined_modules_valid(self, ppi):
+        modules = detect_modules(ppi, 0.5, refine_global=True, seed=3,
+                                 max_modules=10)
+        assert modules
+        kinds = {m.kind for m in modules}
+        assert "global" in kinds  # at least some refinements succeed
+
+    def test_refinement_never_increases_size(self, ppi):
+        local = {
+            frozenset(m.nodes): m for m in detect_modules(ppi, 0.5)
+        }
+        refined = detect_modules(ppi, 0.5, refine_global=True, seed=3)
+        biggest_local = max(m.n_nodes for m in local.values())
+        assert all(m.n_nodes <= biggest_local for m in refined)
+
+    def test_module_repr(self, ppi):
+        module = detect_modules(ppi, 0.5)[0]
+        text = repr(module)
+        assert "Module(" in text and "score=" in text

@@ -1,0 +1,137 @@
+"""Unit tests for the probabilistic (k, eta)-core comparator."""
+
+import math
+
+import pytest
+
+from repro import (
+    EtaDegree,
+    ParameterError,
+    ProbabilisticGraph,
+    core_decomposition,
+    eta_core_decomposition,
+    eta_core_subgraph,
+    max_eta_core_number,
+)
+from repro.graphs.generators import complete_graph
+from tests.conftest import random_probabilistic_graph
+
+
+class TestEtaDegree:
+    def test_certain_edges(self):
+        d = EtaDegree([1.0, 1.0, 1.0])
+        assert d.eta_degree(0.5) == 3
+        assert d.eta_degree(1.0) == 3
+
+    def test_tail(self):
+        d = EtaDegree([0.5, 0.5])
+        assert math.isclose(d.tail(1), 0.75)
+        assert math.isclose(d.tail(2), 0.25)
+
+    def test_eta_degree_threshold(self):
+        d = EtaDegree([0.5, 0.5])
+        assert d.eta_degree(0.7) == 1    # Pr[deg >= 1] = 0.75
+        assert d.eta_degree(0.76) == 0
+        assert d.eta_degree(0.2) == 2    # Pr[deg >= 2] = 0.25
+
+    def test_no_edges(self):
+        assert EtaDegree([]).eta_degree(0.5) == 0
+
+    def test_invalid_eta(self):
+        with pytest.raises(ParameterError):
+            EtaDegree([0.5]).eta_degree(0.0)
+
+    def test_remove_incident_edge(self):
+        d = EtaDegree([0.5, 0.8])
+        d.remove_incident_edge(0.8)
+        assert d.max_degree == 1
+        assert math.isclose(d.tail(1), 0.5)
+
+    def test_from_node(self, triangle):
+        d = EtaDegree.from_node(triangle, "a")
+        assert d.max_degree == 2
+        assert math.isclose(d.tail(2), 0.9 * 0.7)
+
+
+class TestEtaCoreDecomposition:
+    def test_certain_graph_matches_deterministic(self):
+        # With all p = 1 and any eta, the eta-core equals the k-core.
+        for seed in range(4):
+            g = random_probabilistic_graph(20, 0.3, seed)
+            for u, v in list(g.edges()):
+                g.set_probability(u, v, 1.0)
+            assert eta_core_decomposition(g, 0.5) == core_decomposition(g)
+
+    def test_monotone_in_eta(self):
+        g = random_probabilistic_graph(20, 0.4, 7)
+        loose = eta_core_decomposition(g, 0.1)
+        strict = eta_core_decomposition(g, 0.9)
+        for u in g.nodes():
+            assert strict[u] <= loose[u]
+
+    def test_complete_graph(self):
+        g = complete_graph(5, 0.9)
+        core = eta_core_decomposition(g, 0.5)
+        # Every node has Binomial(4, 0.9) degree; Pr[deg >= 4] = 0.9^4 ~ 0.656.
+        assert all(c == 4 for c in core.values())
+        strict = eta_core_decomposition(g, 0.7)
+        assert all(c == 3 for c in strict.values())
+
+    def test_empty(self, empty_graph):
+        assert eta_core_decomposition(empty_graph, 0.5) == {}
+
+    def test_invalid_eta(self, triangle):
+        with pytest.raises(ParameterError):
+            eta_core_decomposition(triangle, 0.0)
+
+    def test_definition_on_output(self):
+        # Every node of the (k, eta)-core has Pr[deg >= k] >= eta within it.
+        g = random_probabilistic_graph(18, 0.4, 3)
+        eta = 0.4
+        core = eta_core_decomposition(g, eta)
+        k = max(core.values())
+        sub = eta_core_subgraph(g, k, eta)
+        for u in sub.nodes():
+            d = EtaDegree.from_node(sub, u)
+            assert d.tail(k) >= eta - 1e-9
+
+    def test_peeling_matches_naive(self):
+        # Cross-check against a naive iterative-deletion implementation.
+        def naive(graph, eta):
+            work = graph.copy()
+            core = {}
+            k = 0
+            while work.number_of_nodes():
+                changed = True
+                while changed:
+                    changed = False
+                    for u in list(work.nodes()):
+                        d = EtaDegree.from_node(work, u)
+                        if d.eta_degree(eta) <= k:
+                            core[u] = k
+                            work.remove_node(u)
+                            changed = True
+                k += 1
+            return core
+
+        for seed in range(4):
+            g = random_probabilistic_graph(14, 0.4, seed)
+            eta = 0.3
+            assert eta_core_decomposition(g, eta) == naive(g, eta)
+
+
+class TestEtaCoreSubgraph:
+    def test_extracts_dense_part(self):
+        g = complete_graph(5, 0.95)
+        g.add_edge(0, 100, 0.95)
+        sub = eta_core_subgraph(g, 4, 0.5)
+        assert set(sub.nodes()) == {0, 1, 2, 3, 4}
+
+    def test_invalid_k(self, triangle):
+        with pytest.raises(ParameterError):
+            eta_core_subgraph(triangle, -1, 0.5)
+
+    def test_max_eta_core_number(self, empty_graph):
+        assert max_eta_core_number(empty_graph, 0.5) == 0
+        g = complete_graph(4, 1.0)
+        assert max_eta_core_number(g, 0.5) == 3

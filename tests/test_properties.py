@@ -1,0 +1,199 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ProbabilisticGraph,
+    SupportProbability,
+    local_truss_decomposition,
+    support_pmf,
+    support_pmf_bruteforce,
+    support_tail,
+    truss_decomposition,
+)
+from repro.core.pcore import EtaDegree, eta_core_decomposition
+from repro.truss.kcore import core_decomposition
+
+probabilities = st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False, allow_infinity=False)
+q_lists = st.lists(probabilities, min_size=0, max_size=10)
+
+
+@st.composite
+def probabilistic_graphs(draw, max_nodes=12):
+    """Random small probabilistic graphs with arbitrary probabilities."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                edges.append((u, v, draw(probabilities)))
+    g = ProbabilisticGraph(edges)
+    for u in range(n):
+        g.add_node(u)
+    return g
+
+
+class TestSupportPmfProperties:
+    @given(q_lists)
+    def test_pmf_is_distribution(self, qs):
+        f = support_pmf(qs)
+        assert len(f) == len(qs) + 1
+        assert all(x >= -1e-12 for x in f)
+        assert math.isclose(sum(f), 1.0, abs_tol=1e-9)
+
+    @given(st.lists(probabilities, min_size=0, max_size=8))
+    def test_dp_matches_bruteforce(self, qs):
+        assert np.allclose(support_pmf(qs), support_pmf_bruteforce(qs),
+                           atol=1e-9)
+
+    @given(q_lists)
+    def test_tail_monotone(self, qs):
+        sigma = support_tail(support_pmf(qs))
+        assert all(a >= b - 1e-9 for a, b in zip(sigma, sigma[1:]))
+        assert math.isclose(sigma[0], 1.0)
+
+    @given(q_lists, probabilities)
+    def test_mean_matches_sum_of_qs(self, qs, _):
+        f = support_pmf(qs)
+        mean = sum(i * p for i, p in enumerate(f))
+        assert math.isclose(mean, sum(qs), abs_tol=1e-8)
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=0.99), min_size=1,
+                    max_size=10),
+           st.data())
+    def test_remove_triangle_inverts_convolution(self, qs, data):
+        idx = data.draw(st.integers(min_value=0, max_value=len(qs) - 1))
+        sp = SupportProbability(qs)
+        sp.remove_triangle(qs[idx])
+        remaining = qs[:idx] + qs[idx + 1:]
+        assert np.allclose(sp.pmf, support_pmf(remaining), atol=1e-7)
+
+    @given(q_lists, st.floats(min_value=0.001, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1.0))
+    def test_level_consistent_with_tails(self, qs, gamma, p_edge):
+        sp = SupportProbability(qs)
+        level = sp.level(gamma, p_edge)
+        if level == 1:
+            assert p_edge < gamma
+        else:
+            t = level - 2
+            # The chosen level passes; level + 1 must fail.
+            assert sp.tail(t) * p_edge >= gamma * (1 - 1e-6)
+            if t + 1 <= sp.max_support:
+                assert sp.tail(t + 1) * p_edge < gamma
+
+
+class TestLocalDecompositionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(probabilistic_graphs(), st.floats(min_value=0.05, max_value=0.95))
+    def test_dp_equals_baseline(self, g, gamma):
+        dp = local_truss_decomposition(g, gamma, method="dp")
+        baseline = local_truss_decomposition(g, gamma, method="baseline")
+        assert dp.trussness == baseline.trussness
+
+    @settings(max_examples=30, deadline=None)
+    @given(probabilistic_graphs())
+    def test_certain_graph_reduces_to_deterministic(self, g):
+        for u, v in list(g.edges()):
+            g.set_probability(u, v, 1.0)
+        result = local_truss_decomposition(g, 0.7)
+        assert result.trussness == truss_decomposition(g)
+
+    @settings(max_examples=25, deadline=None)
+    @given(probabilistic_graphs(), st.floats(min_value=0.05, max_value=0.9))
+    def test_trussness_antitone_in_gamma(self, g, gamma):
+        loose = local_truss_decomposition(g, gamma)
+        strict = local_truss_decomposition(g, min(1.0, gamma + 0.1))
+        for e in g.edges():
+            assert strict.trussness[e] <= loose.trussness[e]
+
+    @settings(max_examples=25, deadline=None)
+    @given(probabilistic_graphs(), st.floats(min_value=0.05, max_value=0.95))
+    def test_definition_holds_on_outputs(self, g, gamma):
+        result = local_truss_decomposition(g, gamma)
+        for k in range(2, result.k_max + 1):
+            for truss in result.maximal_trusses(k):
+                for u, v in truss.edges():
+                    sp = SupportProbability.from_edge(truss, u, v)
+                    assert (
+                        sp.tail(k - 2) * truss.probability(u, v)
+                        >= gamma * (1 - 1e-6)
+                    )
+
+
+class TestEtaCoreProperties:
+    @given(q_lists, st.floats(min_value=0.01, max_value=1.0))
+    def test_eta_degree_bounds(self, qs, eta):
+        d = EtaDegree(qs)
+        k = d.eta_degree(eta)
+        assert 0 <= k <= len(qs)
+        if k > 0:
+            assert d.tail(k) >= eta * (1 - 1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(probabilistic_graphs())
+    def test_certain_graph_matches_kcore(self, g):
+        for u, v in list(g.edges()):
+            g.set_probability(u, v, 1.0)
+        assert eta_core_decomposition(g, 0.6) == core_decomposition(g)
+
+    @settings(max_examples=20, deadline=None)
+    @given(probabilistic_graphs(), st.floats(min_value=0.05, max_value=0.85))
+    def test_core_numbers_antitone_in_eta(self, g, eta):
+        loose = eta_core_decomposition(g, eta)
+        strict = eta_core_decomposition(g, min(1.0, eta + 0.1))
+        for u in g.nodes():
+            assert strict[u] <= loose[u]
+
+
+class TestDeterministicTrussProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(probabilistic_graphs())
+    def test_trussness_at_most_core_plus_one(self, g):
+        # Known relation: tau(e) <= min(core(u), core(v)) + 1.
+        tau = truss_decomposition(g)
+        core = core_decomposition(g)
+        for (u, v), t in tau.items():
+            assert t <= min(core[u], core[v]) + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(probabilistic_graphs())
+    def test_trussness_lower_bounded_by_two(self, g):
+        tau = truss_decomposition(g)
+        assert all(t >= 2 for t in tau.values())
+
+    @settings(max_examples=20, deadline=None)
+    @given(probabilistic_graphs())
+    def test_ktruss_subgraph_stable(self, g):
+        from repro import k_truss_subgraph
+
+        tau = truss_decomposition(g)
+        if not tau:
+            return
+        k = max(tau.values())
+        sub = k_truss_subgraph(g, k)
+        # Its own decomposition must keep every edge at level >= k.
+        sub_tau = truss_decomposition(sub)
+        assert all(t >= k for t in sub_tau.values())
+
+
+class TestSamplingProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(probabilistic_graphs(max_nodes=8), st.integers(0, 2 ** 31 - 1))
+    def test_projection_consistency(self, g, seed):
+        """Theorem 3's mechanics: projecting whole-graph samples onto a
+        subgraph is the same as reading the subgraph's edge columns."""
+        from repro import WorldSampleSet
+
+        if g.number_of_edges() < 2:
+            return
+        samples = WorldSampleSet.from_graph(g, 32, seed=seed)
+        edges = list(g.edges())[: max(1, g.number_of_edges() // 2)]
+        matrix = samples.presence_matrix(edges)
+        for j, (u, v) in enumerate(edges):
+            assert np.array_equal(matrix[:, j], samples.edge_bits(u, v))

@@ -1,0 +1,164 @@
+"""Additional property-based tests for the extension modules."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    ProbabilisticGraph,
+    edge_key,
+    gamma_truss_decomposition,
+    local_truss_decomposition,
+    truss_decomposition,
+)
+from repro.core.expected import expected_truss_decomposition
+from repro.core.local_iterative import local_truss_decomposition_iterative
+from repro.truss.dynamic import DynamicLocalTruss, DynamicTruss
+from repro.truss.hindex import h_index, truss_decomposition_hindex
+
+probabilities = st.floats(min_value=0.0, max_value=1.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def probabilistic_graphs(draw, max_nodes=10):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if draw(st.booleans()):
+                edges.append((u, v, draw(probabilities)))
+    g = ProbabilisticGraph(edges)
+    for u in range(n):
+        g.add_node(u)
+    return g
+
+
+class TestHIndexProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=30), max_size=25))
+    def test_h_index_definition(self, values):
+        h = h_index(values)
+        assert sum(1 for v in values if v >= h) >= h
+        if h < len(values):
+            assert sum(1 for v in values if v >= h + 1) < h + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(probabilistic_graphs())
+    def test_hindex_equals_peeling(self, g):
+        assert truss_decomposition_hindex(g) == truss_decomposition(g)
+
+
+class TestIterativeEqualsPeeling:
+    @settings(max_examples=25, deadline=None)
+    @given(probabilistic_graphs(),
+           st.floats(min_value=0.05, max_value=0.95))
+    def test_fixpoint_equals_algorithm1(self, g, gamma):
+        iterative = local_truss_decomposition_iterative(g, gamma)
+        peeling = local_truss_decomposition(g, gamma).trussness
+        assert iterative == peeling
+
+
+class TestGammaDecompositionProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(probabilistic_graphs(), st.integers(min_value=2, max_value=4))
+    def test_gamma_trussness_bounds(self, g, k):
+        result = gamma_truss_decomposition(g, k)
+        for e, value in result.gamma_trussness.items():
+            assert 0.0 <= value <= 1.0 + 1e-9
+            # An edge's gamma-trussness never exceeds its probability
+            # (sigma(k-2) <= 1 for every subgraph).
+            assert value <= g.probability(*e) + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(probabilistic_graphs())
+    def test_gamma_trussness_antitone_in_k(self, g):
+        lower = gamma_truss_decomposition(g, 2).gamma_trussness
+        higher = gamma_truss_decomposition(g, 3).gamma_trussness
+        for e in lower:
+            assert higher[e] <= lower[e] + 1e-9
+
+
+class TestExpectedSemanticsProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(probabilistic_graphs())
+    def test_expected_trussness_bounded_by_structural(self, g):
+        tau_e = expected_truss_decomposition(g)
+        tau = truss_decomposition(g)
+        for e, value in tau_e.items():
+            # Expected support <= structural support pointwise, so the
+            # max-min value cannot exceed the deterministic trussness.
+            assert value <= tau[e] + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(probabilistic_graphs())
+    def test_certain_graph_collapses_to_deterministic(self, g):
+        for u, v in list(g.edges()):
+            g.set_probability(u, v, 1.0)
+        tau_e = expected_truss_decomposition(g)
+        tau = truss_decomposition(g)
+        for e in tau:
+            assert math.isclose(tau_e[e], tau[e])
+
+
+class TestDynamicMaintenanceProperties:
+    @settings(max_examples=12, deadline=None)
+    @given(probabilistic_graphs(max_nodes=8),
+           st.lists(st.integers(min_value=0, max_value=10 ** 6),
+                    min_size=1, max_size=12))
+    def test_dynamic_truss_random_streams(self, g, stream):
+        k = 3
+        dt = DynamicTruss(g, k)
+        shadow = g.copy()
+        nodes = sorted(shadow.nodes())
+        for token in stream:
+            edges = sorted(shadow.edges())
+            if edges and token % 2 == 0:
+                u, v = edges[token % len(edges)]
+                dt.remove_edge(u, v)
+                shadow.remove_edge(u, v)
+            else:
+                u = nodes[token % len(nodes)]
+                v = nodes[(token // 7) % len(nodes)]
+                if u == v:
+                    continue
+                dt.insert_edge(u, v, 1.0)
+                shadow.add_edge(u, v, 1.0)
+            from repro import k_truss_subgraph
+
+            expected = {
+                edge_key(a, b)
+                for a, b in k_truss_subgraph(shadow, k).edges()
+            }
+            assert dt.truss_edges() == expected
+
+    @settings(max_examples=10, deadline=None)
+    @given(probabilistic_graphs(max_nodes=7),
+           st.lists(st.tuples(
+               st.integers(min_value=0, max_value=10 ** 6),
+               st.floats(min_value=0.05, max_value=1.0),
+           ), min_size=1, max_size=8))
+    def test_dynamic_local_truss_random_streams(self, g, stream):
+        k, gamma = 3, 0.3
+        dlt = DynamicLocalTruss(g, k, gamma)
+        shadow = g.copy()
+        nodes = sorted(shadow.nodes())
+        for token, p in stream:
+            edges = sorted(shadow.edges())
+            if edges and token % 2 == 0:
+                u, v = edges[token % len(edges)]
+                dlt.remove_edge(u, v)
+                shadow.remove_edge(u, v)
+            else:
+                u = nodes[token % len(nodes)]
+                v = nodes[(token // 5) % len(nodes)]
+                if u == v:
+                    continue
+                dlt.insert_edge(u, v, p)
+                shadow.add_edge(u, v, p)
+            static = local_truss_decomposition(shadow, gamma)
+            expected = {
+                e for e, tau in static.trussness.items() if tau >= k
+            }
+            assert dlt.truss_edges() == expected

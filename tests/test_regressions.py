@@ -1,0 +1,91 @@
+"""Fixed-seed regression snapshots.
+
+These pin exact decomposition outcomes on the seeded datasets: if a
+change to a generator or algorithm silently shifts semantics, one of
+these fails before anything subtler does. Update the expected values
+ONLY after confirming the change is intentional and correct.
+"""
+
+import pytest
+
+from repro import (
+    dataset_statistics,
+    eta_core_decomposition,
+    load_dataset,
+    local_truss_decomposition,
+    truss_decomposition,
+)
+from repro.graphs.generators import running_example
+
+
+class TestDatasetSnapshots:
+    def test_fruitfly_shape(self):
+        stats = dataset_statistics(load_dataset("fruitfly", seed=42))
+        assert stats["nodes"] == 461
+        assert stats["edges"] == 587
+        assert stats["components"] == 103
+
+    def test_wikivote_shape(self):
+        stats = dataset_statistics(load_dataset("wikivote", seed=42))
+        assert stats["nodes"] == 350
+        assert stats["edges"] == 2887
+        assert stats["components"] == 1
+
+    def test_fruitfly_kmax_profile(self):
+        g = load_dataset("fruitfly", seed=42)
+        profile = {
+            gamma: local_truss_decomposition(g, gamma).k_max
+            for gamma in (0.1, 0.5, 0.9)
+        }
+        assert profile == {0.1: 6, 0.5: 6, 0.9: 5}
+
+    def test_fruitfly_truss_counts_at_half(self):
+        g = load_dataset("fruitfly", seed=42)
+        result = local_truss_decomposition(g, 0.5)
+        counts = {
+            k: len(result.maximal_trusses(k))
+            for k in range(3, result.k_max + 1)
+        }
+        # Snapshot; the k = 6 truss is the planted K6 complex.
+        assert counts[6] == 1
+        assert counts[5] >= counts[6]
+        assert counts[3] >= counts[4] >= counts[5]
+
+    def test_wikivote_deterministic_kmax(self):
+        g = load_dataset("wikivote", seed=42)
+        tau = truss_decomposition(g)
+        # The densest planted pocket sustains a structural 13-truss.
+        assert max(tau.values()) == 13
+
+    def test_dblp_eta_core_max(self):
+        g = load_dataset("dblp", seed=42)
+        core = eta_core_decomposition(g, 0.5)
+        assert max(core.values()) == 4
+
+
+class TestRunningExampleSnapshot:
+    def test_exact_trussness_map(self):
+        g = running_example()
+        result = local_truss_decomposition(g, 0.125)
+        expected = {
+            ("p1", "q1"): 3,
+            ("p1", "v1"): 3,
+            ("q1", "v1"): 4,
+            ("q1", "v2"): 4,
+            ("q1", "v3"): 4,
+            ("q2", "v1"): 4,
+            ("q2", "v2"): 4,
+            ("q2", "v3"): 4,
+            ("v1", "v2"): 4,
+            ("v1", "v3"): 4,
+            ("v2", "v3"): 4,
+        }
+        assert result.trussness == expected
+
+    def test_trussness_at_tighter_gamma(self):
+        g = running_example()
+        result = local_truss_decomposition(g, 0.2)
+        # At gamma = 0.2 the 0.125-probability witnesses no longer carry
+        # k = 4; the certain triangle keeps k = 3 alive.
+        assert result.k_max == 3
+        assert result.trussness[("v1", "v2")] == 3

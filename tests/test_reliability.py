@@ -1,0 +1,129 @@
+"""Unit tests for network reliability and the Theorem 1 reduction."""
+
+import math
+
+import pytest
+
+from repro import NodeNotFoundError, ParameterError, ProbabilisticGraph, alpha_exact
+from repro.core.reliability import (
+    network_reliability_exact,
+    network_reliability_mc,
+    theorem1_gadget,
+    two_terminal_reliability_exact,
+    two_terminal_reliability_mc,
+)
+from repro.graphs.generators import complete_graph
+from tests.conftest import random_probabilistic_graph
+
+
+class TestExactReliability:
+    def test_single_edge(self):
+        g = ProbabilisticGraph([("a", "b", 0.7)])
+        assert math.isclose(network_reliability_exact(g), 0.7)
+
+    def test_series(self):
+        # Path a-b-c: connected iff both edges exist.
+        g = ProbabilisticGraph([("a", "b", 0.7), ("b", "c", 0.6)])
+        assert math.isclose(network_reliability_exact(g), 0.42)
+
+    def test_triangle_closed_form(self):
+        # Triangle with p everywhere: R = p^3 + 3 p^2 (1 - p).
+        p = 0.5
+        g = complete_graph(3, p)
+        expected = p ** 3 + 3 * p ** 2 * (1 - p)
+        assert math.isclose(network_reliability_exact(g), expected)
+
+    def test_degenerate_cases(self, empty_graph):
+        assert network_reliability_exact(empty_graph) == 0.0
+        single = ProbabilisticGraph()
+        single.add_node("x")
+        assert network_reliability_exact(single) == 1.0
+        disconnected = ProbabilisticGraph([(0, 1, 1.0), (2, 3, 1.0)])
+        assert network_reliability_exact(disconnected) == 0.0
+
+    def test_certain_connected_graph(self):
+        g = complete_graph(5, 1.0)
+        assert network_reliability_exact(g) == 1.0
+
+    def test_size_limit(self):
+        g = complete_graph(8, 0.5)  # 28 edges
+        with pytest.raises(ParameterError):
+            network_reliability_exact(g)
+
+
+class TestMonteCarloReliability:
+    def test_converges_to_exact(self):
+        g = complete_graph(4, 0.6)
+        exact = network_reliability_exact(g)
+        estimate = network_reliability_mc(g, n_samples=6000, seed=3)
+        assert abs(estimate - exact) < 0.02
+
+    def test_certain_graph(self):
+        g = complete_graph(4, 1.0)
+        assert network_reliability_mc(g, n_samples=50, seed=1) == 1.0
+
+    def test_degenerate(self, empty_graph):
+        assert network_reliability_mc(empty_graph, n_samples=10, seed=1) == 0.0
+
+
+class TestTwoTerminal:
+    def test_direct_edge_plus_detour(self):
+        # s-t edge (0.5) or detour via m (0.6 * 0.6).
+        g = ProbabilisticGraph(
+            [("s", "t", 0.5), ("s", "m", 0.6), ("m", "t", 0.6)]
+        )
+        expected = 1 - (1 - 0.5) * (1 - 0.36)
+        assert math.isclose(
+            two_terminal_reliability_exact(g, "s", "t"), expected
+        )
+
+    def test_same_node(self, triangle):
+        assert two_terminal_reliability_exact(triangle, "a", "a") == 1.0
+
+    def test_unknown_node(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            two_terminal_reliability_exact(triangle, "a", "zzz")
+
+    def test_st_at_least_global(self):
+        # s-t reliability upper-bounds all-terminal reliability.
+        for seed in range(3):
+            g = random_probabilistic_graph(6, 0.6, seed)
+            from repro.graphs.components import is_connected
+
+            if not is_connected(g):
+                continue
+            nodes = sorted(g.nodes())
+            st = two_terminal_reliability_exact(g, nodes[0], nodes[1])
+            overall = network_reliability_exact(g)
+            assert st >= overall - 1e-12
+
+    def test_mc_converges(self):
+        g = ProbabilisticGraph(
+            [("s", "t", 0.5), ("s", "m", 0.6), ("m", "t", 0.6)]
+        )
+        exact = two_terminal_reliability_exact(g, "s", "t")
+        estimate = two_terminal_reliability_mc(g, "s", "t",
+                                               n_samples=6000, seed=5)
+        assert abs(estimate - exact) < 0.02
+
+
+class TestTheorem1Reduction:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_alpha2_equals_reliability(self, seed):
+        """Theorem 1: conn(G) == alpha_2(H, pendant edge)."""
+        g = random_probabilistic_graph(5, 0.7, seed)
+        from repro.graphs.components import is_connected
+
+        if g.number_of_edges() == 0 or not is_connected(g):
+            pytest.skip("needs a connected base graph")
+        anchor = next(g.nodes())
+        gadget, pendant_edge = theorem1_gadget(g, anchor)
+        alpha = alpha_exact(gadget, 2)
+        reliability = network_reliability_exact(g)
+        assert math.isclose(alpha[pendant_edge], reliability, rel_tol=1e-9)
+
+    def test_gadget_validation(self, triangle):
+        with pytest.raises(NodeNotFoundError):
+            theorem1_gadget(triangle, "zzz")
+        with pytest.raises(ParameterError):
+            theorem1_gadget(triangle, "a", pendant="b")

@@ -1,0 +1,85 @@
+"""Unit tests for graph statistics and profiles."""
+
+import math
+
+import pytest
+
+from repro import ProbabilisticGraph
+from repro.core.stats import (
+    GraphProfile,
+    degree_histogram,
+    expected_triangle_count,
+    probability_quantiles,
+    profile_graph,
+)
+from repro.graphs.generators import complete_graph
+
+
+class TestDegreeHistogram:
+    def test_triangle(self, triangle):
+        assert degree_histogram(triangle) == {2: 3}
+
+    def test_star(self):
+        g = ProbabilisticGraph([("hub", i, 1.0) for i in range(4)])
+        assert degree_histogram(g) == {4: 1, 1: 4}
+
+    def test_empty(self, empty_graph):
+        assert degree_histogram(empty_graph) == {}
+
+
+class TestProbabilityQuantiles:
+    def test_median(self, triangle):
+        q = probability_quantiles(triangle)
+        assert q[0.0] == 0.7
+        assert q[0.5] == 0.8
+        assert q[1.0] == 0.9
+
+    def test_empty(self, empty_graph):
+        q = probability_quantiles(empty_graph)
+        assert all(v == 0.0 for v in q.values())
+
+    def test_invalid_quantile(self, triangle):
+        with pytest.raises(ValueError):
+            probability_quantiles(triangle, quantiles=(1.5,))
+
+
+class TestExpectedTriangles:
+    def test_triangle(self, triangle):
+        assert math.isclose(
+            expected_triangle_count(triangle), 0.9 * 0.8 * 0.7
+        )
+
+    def test_k4(self, k4):
+        assert math.isclose(expected_triangle_count(k4), 4 * 0.9 ** 3)
+
+    def test_triangle_free(self):
+        g = ProbabilisticGraph([(0, 1, 1.0), (1, 2, 1.0)])
+        assert expected_triangle_count(g) == 0.0
+
+
+class TestProfile:
+    def test_complete_graph_profile(self):
+        g = complete_graph(5, 0.8)
+        profile = profile_graph(g)
+        assert profile.nodes == 5
+        assert profile.edges == 10
+        assert profile.max_degree == 4
+        assert math.isclose(profile.mean_degree, 4.0)
+        assert math.isclose(profile.expected_edges, 8.0)
+        assert profile.structural_triangles == 10
+        assert math.isclose(profile.expected_triangles, 10 * 0.8 ** 3)
+        assert math.isclose(profile.density, 0.8)
+        assert math.isclose(profile.pcc, 0.8)
+        assert math.isclose(profile.clustering, 1.0)
+        assert profile.probability_median == 0.8
+
+    def test_empty_profile(self, empty_graph):
+        profile = profile_graph(empty_graph)
+        assert profile.nodes == 0
+        assert profile.mean_degree == 0.0
+
+    def test_as_dict_round_trip(self, k4):
+        profile = profile_graph(k4)
+        doc = profile.as_dict()
+        assert doc["edges"] == 6
+        assert set(doc) == set(GraphProfile.__dataclass_fields__)

@@ -1,0 +1,207 @@
+"""Unit tests for edge support probabilities (Algorithm 2 DP + Eq. 8)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import (
+    EdgeNotFoundError,
+    ParameterError,
+    SupportProbability,
+    support_pmf,
+    support_pmf_bruteforce,
+    support_tail,
+    triangle_probabilities,
+)
+from repro.graphs.generators import running_example
+
+
+class TestTriangleProbabilities:
+    def test_paper_edge(self):
+        g = running_example()
+        qs = triangle_probabilities(g, "q1", "v1")
+        # Apexes: v2 (0.5 * 1), v3 (0.5 * 1), p1 (0.7 * 0.7).
+        assert set(qs) == {"v2", "v3", "p1"}
+        assert math.isclose(qs["v2"], 0.5)
+        assert math.isclose(qs["p1"], 0.49)
+
+    def test_missing_edge(self):
+        g = running_example()
+        with pytest.raises(EdgeNotFoundError):
+            triangle_probabilities(g, "p1", "v3")
+
+    def test_no_triangles(self):
+        from repro import ProbabilisticGraph
+
+        g = ProbabilisticGraph([(0, 1, 0.5)])
+        assert triangle_probabilities(g, 0, 1) == {}
+
+
+class TestSupportPmf:
+    def test_no_triangles(self):
+        assert support_pmf([]) == [1.0]
+
+    def test_single_triangle(self):
+        f = support_pmf([0.3])
+        assert math.isclose(f[0], 0.7)
+        assert math.isclose(f[1], 0.3)
+
+    def test_certain_triangles(self):
+        f = support_pmf([1.0, 1.0])
+        assert f == [0.0, 0.0, 1.0]
+
+    def test_impossible_triangles(self):
+        f = support_pmf([0.0, 0.0, 0.0])
+        assert f[0] == 1.0
+        assert sum(f[1:]) == 0.0
+
+    def test_sums_to_one(self):
+        f = support_pmf([0.1, 0.5, 0.9, 0.33])
+        assert math.isclose(sum(f), 1.0)
+
+    @pytest.mark.parametrize(
+        "qs",
+        [
+            [0.5], [0.2, 0.8], [0.3, 0.3, 0.3], [0.9, 0.1, 0.5, 0.7],
+            [1.0, 0.5], [0.0, 0.5, 1.0],
+        ],
+    )
+    def test_matches_bruteforce(self, qs):
+        assert np.allclose(support_pmf(qs), support_pmf_bruteforce(qs))
+
+    def test_invalid_probability(self):
+        with pytest.raises(ParameterError):
+            support_pmf([1.5])
+
+
+class TestSupportTail:
+    def test_tail_of_pmf(self):
+        sigma = support_tail([0.2, 0.5, 0.3])
+        assert math.isclose(sigma[0], 1.0)
+        assert math.isclose(sigma[1], 0.8)
+        assert math.isclose(sigma[2], 0.3)
+
+    def test_monotone_non_increasing(self):
+        sigma = support_tail(support_pmf([0.4, 0.6, 0.1, 0.8]))
+        assert all(a >= b - 1e-12 for a, b in zip(sigma, sigma[1:]))
+
+    def test_starts_at_one(self):
+        assert support_tail([1.0])[0] == 1.0
+
+
+class TestSupportProbabilityObject:
+    def test_from_edge_matches_function(self):
+        g = running_example()
+        sp = SupportProbability.from_edge(g, "q1", "v1")
+        qs = list(triangle_probabilities(g, "q1", "v1").values())
+        assert np.allclose(sp.pmf, support_pmf(qs))
+
+    def test_max_support(self):
+        sp = SupportProbability([0.5, 0.5, 0.5])
+        assert sp.max_support == 3
+
+    def test_probability_eq_out_of_range(self):
+        sp = SupportProbability([0.5])
+        assert sp.probability_eq(-1) == 0.0
+        assert sp.probability_eq(5) == 0.0
+
+    def test_tail_boundaries(self):
+        sp = SupportProbability([0.5, 0.5])
+        assert sp.tail(0) == 1.0
+        assert sp.tail(-3) == 1.0
+        assert sp.tail(3) == 0.0
+
+    def test_add_then_remove_round_trip(self):
+        sp = SupportProbability([0.3, 0.7])
+        before = sp.pmf
+        sp.add_triangle(0.42)
+        sp.remove_triangle(0.42)
+        assert np.allclose(sp.pmf, before)
+
+    def test_remove_triangle_matches_recompute(self):
+        qs = [0.3, 0.7, 0.55, 0.9]
+        sp = SupportProbability(qs)
+        sp.remove_triangle(0.55)
+        assert np.allclose(sp.pmf, support_pmf([0.3, 0.7, 0.9]), atol=1e-12)
+
+    def test_remove_certain_triangle_shifts(self):
+        sp = SupportProbability([1.0, 0.5])
+        sp.remove_triangle(1.0)
+        assert np.allclose(sp.pmf, support_pmf([0.5]))
+
+    def test_remove_impossible_triangle(self):
+        sp = SupportProbability([0.0, 0.5])
+        sp.remove_triangle(0.0)
+        assert np.allclose(sp.pmf, support_pmf([0.5]))
+
+    def test_remove_from_empty_raises(self):
+        sp = SupportProbability([])
+        with pytest.raises(ParameterError):
+            sp.remove_triangle(0.5)
+
+    def test_remove_invalid_probability(self):
+        sp = SupportProbability([0.5])
+        with pytest.raises(ParameterError):
+            sp.remove_triangle(-0.1)
+
+    def test_repeated_removals_stay_accurate(self):
+        # The Eq. 8 deconvolution must not accumulate damaging error even
+        # after many removals (this is what makes the DP method viable).
+        # The tracked error bound triggers an exact rebuild from the
+        # remaining factors whenever the deconvolution becomes
+        # ill-conditioned (near-0.5 removals), so drift stays at
+        # float-dust levels unconditionally.
+        rng = np.random.default_rng(0)
+        qs = list(rng.uniform(0.05, 0.95, size=40))
+        sp = SupportProbability(qs)
+        order = list(rng.permutation(len(qs)))
+        remaining = list(qs)
+        for idx in sorted(order[:35], reverse=True):
+            sp.remove_triangle(remaining[idx])
+            del remaining[idx]
+        assert np.allclose(sp.pmf, support_pmf(remaining), atol=1e-10)
+
+    def test_from_pmf_validates(self):
+        with pytest.raises(ParameterError):
+            SupportProbability.from_pmf([0.5, 0.2])
+        sp = SupportProbability.from_pmf([0.25, 0.75])
+        assert sp.max_support == 1
+
+    def test_copy_independent(self):
+        sp = SupportProbability([0.5, 0.5])
+        clone = sp.copy()
+        clone.remove_triangle(0.5)
+        assert sp.max_support == 2
+        assert clone.max_support == 1
+
+
+class TestLevel:
+    def test_low_edge_probability_level_one(self):
+        sp = SupportProbability([0.9, 0.9])
+        assert sp.level(gamma=0.5, edge_probability=0.3) == 1
+
+    def test_no_triangles_level_two(self):
+        sp = SupportProbability([])
+        assert sp.level(gamma=0.5, edge_probability=0.9) == 2
+
+    def test_level_uses_tail_times_edge_probability(self):
+        # One triangle with q = 0.8, edge p = 0.5: sigma(1) * p = 0.4.
+        sp = SupportProbability([0.8])
+        assert sp.level(gamma=0.39, edge_probability=0.5) == 3
+        assert sp.level(gamma=0.41, edge_probability=0.5) == 2
+
+    def test_level_exact_threshold_passes(self):
+        # sigma(2) * p = 0.125 exactly — the paper's H1 boundary case.
+        sp = SupportProbability([0.5, 0.5])
+        assert sp.level(gamma=0.125, edge_probability=0.5) == 4
+
+    def test_level_monotone_in_gamma(self):
+        sp = SupportProbability([0.3, 0.6, 0.9])
+        levels = [sp.level(g, 0.8) for g in (0.01, 0.1, 0.3, 0.6, 0.9)]
+        assert levels == sorted(levels, reverse=True)
+
+    def test_invalid_gamma(self):
+        sp = SupportProbability([0.5])
+        with pytest.raises(ParameterError):
+            sp.level(gamma=1.5, edge_probability=0.5)
