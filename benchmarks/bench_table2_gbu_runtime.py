@@ -8,21 +8,29 @@ datasets run at a reduced scale (REPRO_BENCH_SCALE, default 0.3) — the
 *shape* across gamma and across datasets is what this bench checks.
 """
 
+import os
 import time
 
 import pytest
-
-from repro import global_truss_decomposition, local_truss_decomposition
 
 from benchmarks.conftest import (
     ALL_DATASETS,
     bench_scale,
     cached_dataset,
     print_header,
+    resumable_global,
     run_once,
 )
 
 _GAMMAS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+#: Optional per-cell wall-clock budget (seconds). A cell that hits it
+#: reports its completed levels and leaves a checkpoint behind, which
+#: the next invocation of the bench resumes instead of starting over.
+_CELL_DEADLINE = (
+    float(os.environ["REPRO_BENCH_DEADLINE"])
+    if "REPRO_BENCH_DEADLINE" in os.environ else None
+)
 
 
 @pytest.mark.parametrize("dataset", ALL_DATASETS)
@@ -36,10 +44,13 @@ def test_table2_gbu_runtime(benchmark, dataset):
     def sweep():
         for gamma in _GAMMAS:
             t0 = time.perf_counter()
-            result = global_truss_decomposition(
-                graph, gamma, method="gbu", seed=1
+            partial = resumable_global(
+                graph, gamma, method="gbu", seed=1,
+                tag=f"table2_{dataset}_g{gamma}",
+                deadline=_CELL_DEADLINE,
             )
             elapsed = time.perf_counter() - t0
+            result = partial.result
             n_trusses = sum(len(v) for v in result.trusses.values())
             rows.append((gamma, elapsed, result.k_max, n_trusses))
         return rows

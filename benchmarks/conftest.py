@@ -77,6 +77,41 @@ def run_once(benchmark, fn, *args, **kwargs):
                               rounds=1, iterations=1, warmup_rounds=0)
 
 
+def resumable_global(graph, gamma, *, tag: str, seed: int = SEED,
+                     method: str = "gbu", deadline: float | None = None,
+                     **kwargs):
+    """Run a global decomposition under the runtime harness, resumably.
+
+    Checkpoints live under ``bench_results/checkpoints/<tag>`` so a
+    bench killed mid-sweep (deadline, Ctrl-C, crash) continues from its
+    last batch boundary on the next invocation — bit-identical to an
+    uninterrupted run. A checkpoint whose run already completed is
+    cleared first so every finished bench starts fresh.
+
+    Returns the :class:`repro.runtime.PartialResult`.
+    """
+    from pathlib import Path
+
+    from repro.runtime import Budget, CheckpointStore, run_global
+
+    ck_dir = (Path(__file__).resolve().parent.parent
+              / "bench_results" / "checkpoints" / tag)
+    store = CheckpointStore(ck_dir)
+    if store.exists():
+        try:
+            finished = store.load_manifest().get("status") == "complete"
+        except Exception:
+            finished = True  # corrupt: clear and start over
+        if finished:
+            store.clear()
+    budget = Budget(deadline=deadline) if deadline is not None else None
+    return run_global(
+        graph, gamma, method=method, seed=seed, budget=budget,
+        checkpoint_dir=ck_dir, resume=store.exists(), on_corrupt="restart",
+        **kwargs,
+    )
+
+
 def save_rows(name: str, header: list[str], rows) -> str:
     """Append a bench's data rows to ``bench_results/<name>.csv``.
 

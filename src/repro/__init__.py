@@ -17,10 +17,14 @@ See README.md for the full tour and DESIGN.md for the paper mapping.
 """
 
 from repro.exceptions import (
+    BudgetExceededError,
+    CheckpointError,
+    ComputationInterrupted,
     DatasetError,
     DecompositionError,
     EdgeNotFoundError,
     GraphError,
+    GraphParseError,
     InvalidProbabilityError,
     NodeNotFoundError,
     ParameterError,
@@ -81,15 +85,24 @@ from repro.core import (
     triangle_probabilities,
 )
 from repro.datasets import DATASET_NAMES, dataset_statistics, load_dataset
+from repro.runtime import (
+    Budget,
+    InterruptGuard,
+    PartialResult,
+    run_global,
+    run_local,
+    run_reliability,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
     # exceptions
     "ReproError", "GraphError", "NodeNotFoundError", "EdgeNotFoundError",
     "InvalidProbabilityError", "ParameterError", "DatasetError",
-    "DecompositionError",
+    "GraphParseError", "DecompositionError", "BudgetExceededError",
+    "CheckpointError", "ComputationInterrupted",
     # graphs
     "ProbabilisticGraph", "edge_key", "connected_components", "is_connected",
     "largest_connected_component", "WorldSampleSet", "hoeffding_sample_size",
@@ -111,4 +124,7 @@ __all__ = [
     "probabilistic_clustering_coefficient", "clustering_coefficient",
     # datasets
     "DATASET_NAMES", "load_dataset", "dataset_statistics",
+    # runtime (budgets, checkpoint/resume, graceful degradation)
+    "Budget", "InterruptGuard", "PartialResult",
+    "run_global", "run_local", "run_reliability",
 ]

@@ -20,11 +20,22 @@ import sys
 from pathlib import Path
 
 from repro.datasets import DATASET_NAMES, dataset_statistics, load_dataset
+from repro.exceptions import (
+    CheckpointError,
+    ComputationInterrupted,
+    DatasetError,
+)
 from repro.graphs.io import read_edge_list, read_json_graph
 from repro.graphs.probabilistic import ProbabilisticGraph
 from repro.core.local import local_truss_decomposition
-from repro.core.global_decomp import global_truss_decomposition
 from repro.core.metrics import probabilistic_density
+from repro.runtime import (
+    Budget,
+    InterruptGuard,
+    run_global,
+    run_local,
+    run_reliability,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -83,9 +94,24 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_budget(args: argparse.Namespace) -> Budget | None:
+    """Build the cooperative budget requested on the command line."""
+    deadline = getattr(args, "deadline", None)
+    max_samples = getattr(args, "max_samples", None)
+    if deadline is None and max_samples is None:
+        return None
+    return Budget(deadline=deadline, max_samples=max_samples)
+
+
 def _cmd_local(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.seed)
-    result = local_truss_decomposition(graph, args.gamma, method=args.method)
+    with InterruptGuard() as guard:
+        partial = run_local(
+            graph, args.gamma, method=args.method,
+            budget=_make_budget(args), checkpoint_dir=args.checkpoint,
+            resume=args.resume, progress=guard.check,
+        )
+    result = partial.result
     print(f"gamma={args.gamma} k_max={result.k_max}")
     for k in range(2, result.k_max + 1):
         trusses = result.maximal_trusses(k)
@@ -97,16 +123,26 @@ def _cmd_local(args: argparse.Namespace) -> int:
         if args.verbose:
             for t in trusses:
                 print(f"    nodes={sorted(map(str, t.nodes()))}")
+    if partial.degraded or not partial.complete:
+        print(partial.summary())
     return 0
 
 
 def _cmd_global(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.seed)
-    result = global_truss_decomposition(
-        graph, args.gamma, epsilon=args.epsilon, delta=args.delta,
-        method=args.method, seed=args.seed, max_k=args.max_k,
-    )
-    print(f"gamma={args.gamma} method={args.method} "
+    with InterruptGuard() as guard:
+        partial = run_global(
+            graph, args.gamma, epsilon=args.epsilon, delta=args.delta,
+            method=args.method, seed=args.seed, max_k=args.max_k,
+            batch_size=args.batch_size, budget=_make_budget(args),
+            checkpoint_dir=args.checkpoint, resume=args.resume,
+            progress=guard.check,
+        )
+    result = partial.result
+    if result is None:
+        print(partial.summary())
+        return 1
+    print(f"gamma={args.gamma} method={result.method} "
           f"N={result.n_samples} k_max={result.k_max}")
     for k in sorted(result.trusses):
         trusses = result.trusses[k]
@@ -115,6 +151,8 @@ def _cmd_global(args: argparse.Namespace) -> int:
             for t in trusses:
                 print(f"    nodes={sorted(map(str, t.nodes()))} "
                       f"density={probabilistic_density(t):.4f}")
+    if partial.degraded or not partial.complete:
+        print(partial.summary())
     return 0
 
 
@@ -219,20 +257,25 @@ def _cmd_community(args: argparse.Namespace) -> int:
 
 
 def _cmd_reliability(args: argparse.Namespace) -> int:
-    from repro.core.reliability import (
-        network_reliability_exact,
-        network_reliability_mc,
-    )
+    from repro.core.reliability import network_reliability_exact
 
     graph = _load_graph(args.graph, args.seed)
-    estimate = network_reliability_mc(
-        graph, n_samples=args.samples, seed=args.seed
-    )
-    print(f"Monte-Carlo reliability ({args.samples} samples): "
-          f"{estimate:.4f}")
+    with InterruptGuard() as guard:
+        partial = run_reliability(
+            graph, n_samples=args.samples, seed=args.seed,
+            budget=_make_budget(args), checkpoint_dir=args.checkpoint,
+            resume=args.resume, progress=guard.check,
+        )
+    if partial.result is None:
+        print(partial.summary())
+        return 1
+    print(f"Monte-Carlo reliability ({partial.n_samples_drawn} samples): "
+          f"{partial.result:.4f}")
     if graph.number_of_edges() <= 22:
         exact = network_reliability_exact(graph)
         print(f"exact reliability: {exact:.6f}")
+    if partial.degraded or not partial.complete:
+        print(partial.summary())
     return 0
 
 
@@ -316,6 +359,22 @@ def _cmd_team(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_runtime_options(p: argparse.ArgumentParser) -> None:
+    """Robustness options shared by the long-running subcommands."""
+    g = p.add_argument_group("robustness")
+    g.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="wall-clock budget; on breach, return an honestly "
+                        "degraded partial result instead of failing")
+    g.add_argument("--max-samples", type=int, default=None, metavar="N",
+                   help="cap on Monte-Carlo samples actually drawn")
+    g.add_argument("--checkpoint", default=None, metavar="DIR",
+                   help="write resumable snapshots to DIR at every batch "
+                        "boundary")
+    g.add_argument("--resume", action="store_true",
+                   help="continue from the checkpoint in --checkpoint DIR "
+                        "(bit-identical to an uninterrupted run)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -344,6 +403,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gamma", type=float, required=True)
     p.add_argument("--method", choices=["dp", "baseline"], default="dp")
     p.add_argument("--verbose", action="store_true")
+    _add_runtime_options(p)
     p.set_defaults(func=_cmd_local)
 
     p = sub.add_parser("global", help="global (k, gamma)-truss decomposition")
@@ -353,7 +413,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--delta", type=float, default=0.1)
     p.add_argument("--method", choices=["gbu", "gtd"], default="gbu")
     p.add_argument("--max-k", type=int, default=None)
+    p.add_argument("--batch-size", type=int, default=25,
+                   help="sampling rows per checkpoint/budget boundary")
     p.add_argument("--verbose", action="store_true")
+    _add_runtime_options(p)
     p.set_defaults(func=_cmd_global)
 
     p = sub.add_parser(
@@ -393,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("reliability", help="network reliability estimate")
     p.add_argument("graph", help="dataset name or graph file")
     p.add_argument("--samples", type=int, default=2000)
+    _add_runtime_options(p)
     p.set_defaults(func=_cmd_reliability)
 
     p = sub.add_parser("export", help="export a graph for visualization")
@@ -425,10 +489,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    An interrupted computation (SIGINT, cooperative) exits 130 with a
+    one-line pointer to the checkpoint instead of a traceback; a corrupt
+    or malformed input graph exits 2 with the parser's diagnostic.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ComputationInterrupted as err:
+        where = err.checkpoint_path
+        if where:
+            print(f"interrupted — partial results at {where}",
+                  file=sys.stderr)
+        else:
+            print("interrupted — no checkpoint written "
+                  "(rerun with --checkpoint DIR to make runs resumable)",
+                  file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except (DatasetError, CheckpointError) as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

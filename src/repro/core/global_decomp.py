@@ -123,11 +123,24 @@ def _prune_to_structural_ktruss(
 def _edge_subgraphs_of_components(
     graph: ProbabilisticGraph, edges: set[Edge]
 ) -> list[ProbabilisticGraph]:
-    """Split ``edges`` into connected clusters and materialise subgraphs."""
-    return [
-        graph.edge_subgraph(cluster)
+    """Split ``edges`` into connected clusters and materialise subgraphs.
+
+    Clusters and their edges are sorted before materialisation so the
+    component processing order — and hence GBU's random-stream
+    consumption — depends only on the edge *contents*, never on set
+    iteration order. Checkpoint resume relies on this: a run restarted
+    at a level boundary must consume the restored RNG stream exactly as
+    the uninterrupted run would have.
+    """
+    def edge_sort_key(e: Edge):
+        return (str(e[0]), str(e[1]))
+
+    ordered = [
+        sorted(cluster, key=edge_sort_key)
         for cluster in edge_connected_components(graph, edges)
     ]
+    ordered.sort(key=lambda cluster: edge_sort_key(cluster[0]))
+    return [graph.edge_subgraph(cluster) for cluster in ordered]
 
 
 def top_down_search(
@@ -136,6 +149,7 @@ def top_down_search(
     component: ProbabilisticGraph,
     gamma: float,
     max_states: int | None = None,
+    progress=None,
 ) -> list[ProbabilisticGraph]:
     """Algorithm 4: exact DFS for all satisfying trusses within ``component``.
 
@@ -147,7 +161,10 @@ def top_down_search(
     ``max_states`` bounds the number of distinct residual edge-sets
     explored; exceeding it raises :class:`DecompositionError` — this is
     how callers emulate the paper's "GTD cannot finish in reasonable
-    time" observations without hanging.
+    time" observations without hanging. ``progress`` (a hook taking a
+    :class:`~repro.runtime.progress.ProgressEvent`) is notified with a
+    ``"gtd-state"`` event per explored residual state and may abort the
+    search by raising.
     """
     answers: dict[frozenset[Edge], ProbabilisticGraph] = {}
     visited: set[frozenset[Edge]] = set()
@@ -162,6 +179,12 @@ def top_down_search(
             raise DecompositionError(
                 f"top-down search exceeded {max_states} explored states at k={k}"
             )
+        if progress is not None:
+            from repro.runtime.progress import ProgressEvent
+
+            progress(ProgressEvent(
+                "gtd-state", step=len(visited), detail={"k": k},
+            ))
         if oracle.satisfies(candidate, k, gamma):
             answers[key] = candidate
             continue
@@ -186,6 +209,7 @@ def bottom_up_search(
     rng: np.random.Generator | int | None = None,
     skip_covered: bool = True,
     seed_order: str = "probability-desc",
+    progress=None,
 ) -> list[ProbabilisticGraph]:
     """Algorithm 5: heuristic bottom-up growth of satisfying trusses.
 
@@ -224,7 +248,14 @@ def bottom_up_search(
             "seed_order must be 'probability-desc', 'probability-asc' "
             f"or 'random', got {seed_order!r}"
         )
-    for u0, v0, _ in ranked:
+    for seed_index, (u0, v0, _) in enumerate(ranked):
+        if progress is not None:
+            from repro.runtime.progress import ProgressEvent
+
+            progress(ProgressEvent(
+                "gbu-seed", step=seed_index, total=len(ranked),
+                detail={"k": k},
+            ))
         if skip_covered and edge_key(u0, v0) in covered:
             continue
         # alpha_hat(seed) can never exceed the seed's world frequency.
@@ -267,9 +298,16 @@ def _grow_candidate(
         # Apexes available in the component but not yet forming a
         # triangle with (u, v) inside the candidate.
         in_candidate = candidate.common_neighbors(u, v)
-        available = [
-            w for w in component.common_neighbors(u, v) if w not in in_candidate
-        ]
+        # Canonical order: common_neighbors returns a set, whose
+        # iteration order varies with PYTHONHASHSEED — left unsorted,
+        # rng.choice would pick different apexes in different processes,
+        # breaking cross-process run reproducibility (and checkpoint
+        # resume, which always happens in a fresh process).
+        available = sorted(
+            (w for w in component.common_neighbors(u, v)
+             if w not in in_candidate),
+            key=lambda w: (str(type(w).__name__), str(w)),
+        )
         if len(available) < deficit:
             return None
         # Paper: when more than k - 2 triangles are available, pick k - 2
@@ -354,6 +392,9 @@ def global_truss_decomposition(
     samples: WorldSampleSet | None = None,
     max_k: int | None = None,
     max_states: int | None = None,
+    progress=None,
+    start_k: int = 2,
+    initial_trusses: dict[int, list[ProbabilisticGraph]] | None = None,
 ) -> GlobalTrussResult:
     """Algorithm 3: find all maximal (eps, delta)-approximate global trusses.
 
@@ -380,6 +421,18 @@ def global_truss_decomposition(
         Stop after this k even if candidates remain.
     max_states:
         GTD state budget per component (see :func:`top_down_search`).
+    progress:
+        Optional progress hook (see :mod:`repro.runtime.progress`),
+        notified with ``"global-level"`` at the start of each k,
+        ``"global-level-done"`` (carrying the level's trusses in
+        ``detail``) after each k, and forwarded into the searches and
+        the Monte-Carlo oracle. A hook that raises aborts the
+        decomposition at that boundary.
+    start_k, initial_trusses:
+        Checkpoint-resume support: begin the k loop at ``start_k`` with
+        ``initial_trusses`` (``{k: [trusses]}`` for every level below
+        ``start_k``) taken as already computed. The default runs from
+        scratch.
 
     Returns
     -------
@@ -395,11 +448,19 @@ def global_truss_decomposition(
         raise ParameterError(f"method must be one of {_METHODS}, got {method!r}")
     rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
 
+    if start_k < 2:
+        raise ParameterError(f"start_k must be at least 2, got {start_k}")
+    if start_k > 2 and initial_trusses is None:
+        raise ParameterError(
+            "resuming at start_k > 2 requires initial_trusses"
+        )
+
     if n_samples is None:
         n_samples = hoeffding_sample_size(epsilon, delta)
     if samples is None:
-        samples = WorldSampleSet.from_graph(graph, n_samples, seed=rng)
-    oracle = GlobalTrussOracle(samples)
+        samples = WorldSampleSet.from_graph(graph, n_samples, seed=rng,
+                                            progress=progress)
+    oracle = GlobalTrussOracle(samples, progress=progress)
 
     if local_result is None:
         local_result = local_truss_decomposition(graph, gamma)
@@ -413,13 +474,27 @@ def global_truss_decomposition(
         graph=graph, gamma=gamma, epsilon=epsilon, delta=delta,
         n_samples=samples.n_samples, method=method,
     )
+    if initial_trusses:
+        for level, trusses in initial_trusses.items():
+            result.trusses[level] = list(trusses)
 
-    # S_1 = all edges of G (Eq. 11's base case).
-    prev_union: set[Edge] = {edge_key(u, v) for u, v in graph.edges()}
-    k = 2
+    if start_k == 2:
+        # S_1 = all edges of G (Eq. 11's base case).
+        prev_union: set[Edge] = {edge_key(u, v) for u, v in graph.edges()}
+    else:
+        prev_union = set()
+        for t in result.trusses.get(start_k - 1, []):
+            prev_union |= {edge_key(u, v) for u, v in t.edges()}
+    k = start_k
     while prev_union:
         if max_k is not None and k > max_k:
             break
+        if progress is not None:
+            from repro.runtime.progress import ProgressEvent
+
+            progress(ProgressEvent(
+                "global-level", step=k, detail={"method": method},
+            ))
         local_edges = {e for e, tau in local_result.trussness.items() if tau >= k}
         candidates = local_edges & prev_union
         candidates = _prune_to_structural_ktruss(graph, candidates, k)
@@ -429,9 +504,11 @@ def global_truss_decomposition(
         for piece in _edge_subgraphs_of_components(graph, candidates):
             if method == "gtd":
                 trusses = top_down_search(oracle, k, piece, gamma,
-                                          max_states=max_states)
+                                          max_states=max_states,
+                                          progress=progress)
             else:
-                trusses = bottom_up_search(oracle, k, piece, gamma, rng=rng)
+                trusses = bottom_up_search(oracle, k, piece, gamma, rng=rng,
+                                           progress=progress)
             for t in trusses:
                 found.setdefault(frozenset(t.edges()), t)
         # Line 12: keep only the maximal answers.
@@ -439,6 +516,17 @@ def global_truss_decomposition(
         if not maximal:
             break
         result.trusses[k] = list(maximal.values())
+        if progress is not None:
+            from repro.runtime.progress import ProgressEvent
+
+            # Emitted *after* the level is recorded: a hook that raises
+            # here (budget, interrupt) loses no completed work, and a
+            # checkpointing hook sees the finished level in ``detail``.
+            progress(ProgressEvent(
+                "global-level-done", step=k,
+                detail={"k": k, "trusses": list(maximal.values()),
+                        "method": method},
+            ))
         prev_union = set().union(*maximal.keys())
         k += 1
     return result

@@ -226,11 +226,27 @@ class GlobalTrussOracle:
     of size-qualified worlds containing ``e``).
     """
 
-    def __init__(self, samples: WorldSampleSet):
+    #: Candidate evaluations between progress-hook notifications; the
+    #: finest-grained cancellation point inside a GTD/GBU level.
+    _PROGRESS_INTERVAL = 32
+
+    def __init__(self, samples: WorldSampleSet, progress=None):
         self._samples = samples
         self._cache: dict[tuple[frozenset[Edge], frozenset[Node], int],
                           dict[Edge, float]] = {}
         self._frequency: dict[Edge, float] = {}
+        self._progress = progress
+        self._evaluations = 0
+
+    def _tick(self) -> None:
+        """Emit an ``oracle-eval`` event every few candidate evaluations."""
+        self._evaluations += 1
+        if self._progress is None or (
+                self._evaluations % self._PROGRESS_INTERVAL):
+            return
+        from repro.runtime.progress import ProgressEvent
+
+        self._progress(ProgressEvent("oracle-eval", step=self._evaluations))
 
     @property
     def n_samples(self) -> int:
@@ -340,6 +356,7 @@ class GlobalTrussOracle:
         edges = list(edges)
         if not edges:
             return False
+        self._tick()
         node_list = list(nodes)
         threshold = gamma * (1.0 - 1e-9)
         key = (frozenset(edges), frozenset(node_list), k)

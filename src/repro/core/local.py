@@ -138,10 +138,18 @@ class LocalTrussResult:
         return {k: self.maximal_trusses(k) for k in range(2, self.k_max + 1)}
 
 
+#: Peeled edges between two progress-hook notifications. Small enough
+#: that a budget breach overshoots by a fraction of a second even on the
+#: large synthetic networks, large enough to keep the hook off the
+#: per-edge hot path.
+_PROGRESS_INTERVAL = 64
+
+
 def local_truss_decomposition(
     graph: ProbabilisticGraph,
     gamma: float,
     method: str = "dp",
+    progress=None,
 ) -> LocalTrussResult:
     """Run Algorithm 1: compute the local trussness of every edge.
 
@@ -155,6 +163,13 @@ def local_truss_decomposition(
         ``"dp"`` uses the Eq. (8) O(k_e) incremental update;
         ``"baseline"`` recomputes affected PMFs from scratch after each
         removal (the Figure 5 baseline).
+    progress:
+        Optional progress hook, called with a ``"local-peel"``
+        :class:`~repro.runtime.progress.ProgressEvent` every
+        ``_PROGRESS_INTERVAL`` peeled edges. A hook that raises aborts
+        the peeling; the trussness assigned so far (which is final —
+        peeling emits tau in nondecreasing order) is attached to the
+        exception's ``partial`` attribute when it has one.
 
     Returns
     -------
@@ -177,8 +192,26 @@ def local_truss_decomposition(
 
     queue = _LevelBuckets(levels)
     trussness: dict[Edge, int] = {}
+    n_edges = len(levels)
     k = 1
     while queue:
+        if progress is not None and trussness and (
+                len(trussness) % _PROGRESS_INTERVAL == 0):
+            from repro.runtime.progress import ProgressEvent
+
+            try:
+                progress(ProgressEvent(
+                    "local-peel", step=len(trussness), total=n_edges,
+                ))
+            except Exception as err:
+                # Salvage the final tau values assigned so far for
+                # callers that report partial results.
+                if getattr(err, "partial", None) is None:
+                    try:
+                        err.partial = dict(trussness)
+                    except AttributeError:  # exceptions with __slots__
+                        pass
+                raise
         e, lvl = queue.pop_min()
         # Running max mirrors deterministic truss peeling: an edge whose
         # level cascaded below the current stage still met the stage-k

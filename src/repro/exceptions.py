@@ -16,7 +16,11 @@ __all__ = [
     "InvalidProbabilityError",
     "ParameterError",
     "DatasetError",
+    "GraphParseError",
     "DecompositionError",
+    "BudgetExceededError",
+    "CheckpointError",
+    "ComputationInterrupted",
 ]
 
 
@@ -63,5 +67,79 @@ class DatasetError(ReproError):
     """A named dataset is unknown or could not be generated/loaded."""
 
 
+class GraphParseError(DatasetError, GraphError):
+    """A graph file is truncated, corrupt, or otherwise malformed.
+
+    Carries the offending location so parse failures in large edge lists
+    are actionable: ``source`` is the file name (None for anonymous
+    streams), ``lineno`` the 1-based line number, and ``token`` the text
+    that could not be interpreted.
+    """
+
+    def __init__(self, message, *, source=None, lineno=None, token=None):
+        where = []
+        if source is not None:
+            where.append(str(source))
+        if lineno is not None:
+            where.append(f"line {lineno}")
+        prefix = f"{': '.join(where)}: " if where else ""
+        super().__init__(f"{prefix}{message}")
+        self.source = source
+        self.lineno = lineno
+        self.token = token
+
+
 class DecompositionError(ReproError):
     """A decomposition could not be carried out on the given input."""
+
+
+class BudgetExceededError(ReproError):
+    """A cooperative execution budget was exhausted.
+
+    Raised at a batch boundary by a budget-checking progress hook (see
+    :class:`repro.runtime.Budget`). ``resource`` names the limit that
+    tripped (``"deadline"``, ``"samples"``, or ``"memory"``), ``limit``
+    and ``observed`` quantify it, and ``partial`` optionally carries
+    whatever partial state the interrupted computation could salvage.
+    """
+
+    def __init__(self, resource, limit, observed, message=None, partial=None):
+        if message is None:
+            message = (
+                f"{resource} budget exceeded: observed {observed!r} "
+                f"against limit {limit!r}"
+            )
+        super().__init__(message)
+        self.resource = resource
+        self.limit = limit
+        self.observed = observed
+        self.partial = partial
+        #: The :class:`repro.runtime.Budget` that raised, set by its
+        #: ``check``; lets callers distinguish soft from hard budgets.
+        self.budget = None
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or validated.
+
+    Covers missing or corrupt manifests, checksum mismatches on sample
+    batches, unsupported checkpoint format versions, and resuming with
+    parameters different from those the checkpoint was created with.
+    """
+
+
+class ComputationInterrupted(ReproError):
+    """A long-running computation was cooperatively interrupted.
+
+    Raised at the next batch boundary after a SIGINT (real, via
+    :class:`repro.runtime.InterruptGuard`, or injected by the fault
+    harness) so that checkpoints stay consistent. ``partial`` optionally
+    carries salvaged partial state and ``checkpoint_path`` the directory
+    holding the last consistent snapshot, if any.
+    """
+
+    def __init__(self, message="computation interrupted", partial=None,
+                 checkpoint_path=None):
+        super().__init__(message)
+        self.partial = partial
+        self.checkpoint_path = checkpoint_path

@@ -18,7 +18,7 @@ from collections.abc import Callable, Hashable
 from pathlib import Path
 from typing import Any
 
-from repro.exceptions import GraphError
+from repro.exceptions import GraphParseError, InvalidProbabilityError
 from repro.graphs.probabilistic import ProbabilisticGraph
 
 __all__ = [
@@ -42,6 +42,14 @@ def _open_maybe(path_or_file: Any, mode: str):
     return open(path, mode, encoding="utf-8"), True
 
 
+def _source_name(path_or_file: Any, handle: Any) -> str | None:
+    """Best-effort name of the data source for error messages."""
+    if not (hasattr(path_or_file, "read") or hasattr(path_or_file, "write")):
+        return str(path_or_file)
+    name = getattr(handle, "name", None)
+    return str(name) if isinstance(name, str) else None
+
+
 def read_edge_list(
     path_or_file: Any,
     delimiter: str | None = None,
@@ -63,31 +71,72 @@ def read_edge_list(
         Converter applied to node labels (e.g. ``int``).
     default_probability:
         Probability assigned to two-field lines.
+
+    Raises
+    ------
+    GraphParseError
+        On malformed lines (wrong field count, non-numeric or
+        out-of-range probability, unconvertible node label) and on
+        truncated or corrupt inputs (a ``.gz`` file cut short, bytes
+        that do not decode as UTF-8). The error carries ``source``,
+        ``lineno``, and the offending ``token``, e.g. a file sliced
+        mid-record fails with the exact line left dangling.
     """
     handle, should_close = _open_maybe(path_or_file, "r")
+    source = _source_name(path_or_file, handle)
     graph = ProbabilisticGraph()
+    lineno = 0
     try:
-        for lineno, raw in enumerate(handle, start=1):
-            line = raw.strip()
-            if not line or line.startswith("#"):
-                continue
-            fields = line.split(delimiter)
-            if len(fields) == 2:
-                u, v = fields
-                p = default_probability
-            elif len(fields) == 3:
-                u, v, p_str = fields
+        try:
+            for lineno, raw in enumerate(handle, start=1):
+                line = raw.strip()
+                if not line or line.startswith("#"):
+                    continue
+                fields = line.split(delimiter)
+                if len(fields) == 2:
+                    u, v = fields
+                    p = default_probability
+                elif len(fields) == 3:
+                    u, v, p_str = fields
+                    try:
+                        p = float(p_str)
+                    except ValueError:
+                        raise GraphParseError(
+                            f"probability {p_str!r} is not a number",
+                            source=source, lineno=lineno, token=p_str,
+                        ) from None
+                else:
+                    raise GraphParseError(
+                        f"expected 2 or 3 fields, got {len(fields)} "
+                        "(file truncated mid-record?)",
+                        source=source, lineno=lineno, token=line,
+                    )
                 try:
-                    p = float(p_str)
-                except ValueError:
-                    raise GraphError(
-                        f"line {lineno}: probability {p_str!r} is not a number"
+                    u_label, v_label = node_type(u), node_type(v)
+                except (ValueError, TypeError) as err:
+                    raise GraphParseError(
+                        f"node label could not be converted: {err}",
+                        source=source, lineno=lineno, token=line,
                     ) from None
-            else:
-                raise GraphError(
-                    f"line {lineno}: expected 2 or 3 fields, got {len(fields)}"
-                )
-            graph.add_edge(node_type(u), node_type(v), p)
+                try:
+                    graph.add_edge(u_label, v_label, p)
+                except InvalidProbabilityError as err:
+                    raise GraphParseError(
+                        str(err), source=source, lineno=lineno,
+                        token=str(p),
+                    ) from None
+        except (EOFError, OSError) as err:
+            # gzip raises EOFError ("Compressed file ended before the
+            # end-of-stream marker") or BadGzipFile on truncation.
+            raise GraphParseError(
+                f"input truncated or unreadable: {err}",
+                source=source, lineno=lineno or None,
+            ) from err
+        except UnicodeDecodeError as err:
+            raise GraphParseError(
+                f"input is not valid UTF-8 text: {err}",
+                source=source, lineno=lineno or None,
+            ) from err
     finally:
         if should_close:
             handle.close()
@@ -144,17 +193,41 @@ def write_json_graph(graph: ProbabilisticGraph, path_or_file: Any) -> None:
 
 
 def read_json_graph(path_or_file: Any) -> ProbabilisticGraph:
-    """Deserialise a graph written by :func:`write_json_graph`."""
+    """Deserialise a graph written by :func:`write_json_graph`.
+
+    Raises :class:`GraphParseError` on corrupt or truncated JSON, a
+    wrong format tag, or malformed node/edge entries; the error names
+    the source file and, for syntax errors, the offending line.
+    """
     handle, should_close = _open_maybe(path_or_file, "r")
+    source = _source_name(path_or_file, handle)
     try:
-        doc = json.load(handle)
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            raise GraphParseError(
+                f"corrupt or truncated JSON: {err.msg}",
+                source=source, lineno=err.lineno,
+            ) from None
+        except (EOFError, OSError, UnicodeDecodeError) as err:
+            raise GraphParseError(
+                f"input truncated or unreadable: {err}", source=source,
+            ) from err
     finally:
         if should_close:
             handle.close()
     if not isinstance(doc, dict) or doc.get("format") != "repro-probabilistic-graph":
-        raise GraphError("not a repro probabilistic-graph JSON document")
+        raise GraphParseError(
+            "not a repro probabilistic-graph JSON document", source=source
+        )
     graph = ProbabilisticGraph()
-    graph.add_nodes(doc.get("nodes", []))
-    for u, v, p in doc.get("edges", []):
-        graph.add_edge(u, v, p)
+    try:
+        graph.add_nodes(doc.get("nodes", []))
+        for entry in doc.get("edges", []):
+            u, v, p = entry
+            graph.add_edge(u, v, p)
+    except (InvalidProbabilityError, ValueError, TypeError) as err:
+        raise GraphParseError(
+            f"malformed node/edge entry: {err}", source=source
+        ) from err
     return graph

@@ -24,8 +24,10 @@ from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
 
 __all__ = [
     "hoeffding_sample_size",
+    "hoeffding_epsilon",
     "sample_possible_world",
     "sample_possible_worlds",
+    "SampleBatcher",
     "WorldSampleSet",
 ]
 
@@ -46,6 +48,20 @@ def hoeffding_sample_size(epsilon: float, delta: float) -> int:
     if not 0.0 < delta <= 1.0:
         raise ParameterError(f"delta must be in (0, 1], got {delta}")
     return math.ceil(math.log(2.0 / delta) / (2.0 * epsilon * epsilon))
+
+
+def hoeffding_epsilon(n_samples: int, delta: float) -> float:
+    """Invert the Hoeffding bound: the epsilon that ``N`` samples buy.
+
+    ``epsilon = sqrt(ln(2/delta) / (2 N))`` — this is how a run cut
+    short after ``N' < N`` samples reports its honestly widened accuracy
+    instead of pretending to the requested one.
+    """
+    if n_samples <= 0:
+        raise ParameterError(f"n_samples must be positive, got {n_samples}")
+    if not 0.0 < delta <= 1.0:
+        raise ParameterError(f"delta must be in (0, 1], got {delta}")
+    return math.sqrt(math.log(2.0 / delta) / (2.0 * n_samples))
 
 
 def sample_possible_world(
@@ -69,6 +85,127 @@ def sample_possible_worlds(
     Convenience wrapper around :meth:`WorldSampleSet.from_graph`.
     """
     return WorldSampleSet.from_graph(graph, n_samples, seed=seed)
+
+
+class SampleBatcher:
+    """Incremental, checkpointable possible-world sampler.
+
+    Draws the ``n_samples x m`` presence matrix in row batches. Because
+    numpy's ``Generator.random`` fills arrays from one sequential
+    stream, drawing in batches is *bit-identical* to a single-shot draw
+    with the same seed — the property the checkpoint/resume machinery
+    relies on: a run killed between batches resumes from the serialised
+    RNG state (:meth:`rng_state`/:meth:`set_rng_state`) and produces the
+    same worlds as an uninterrupted run.
+    """
+
+    def __init__(
+        self,
+        graph: ProbabilisticGraph,
+        n_samples: int,
+        batch_size: int,
+        seed: int | np.random.Generator | None = None,
+    ):
+        if n_samples <= 0:
+            raise ParameterError(f"n_samples must be positive, got {n_samples}")
+        if batch_size <= 0:
+            raise ParameterError(f"batch_size must be positive, got {batch_size}")
+        self._rng = (
+            seed
+            if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self._edges: list[Edge] = []
+        probs: list[float] = []
+        for u, v, p in graph.edges_with_probabilities():
+            self._edges.append((u, v))
+            probs.append(p)
+        self._probs = np.asarray(probs)
+        self.n_samples = n_samples
+        self.batch_size = batch_size
+        self._batches: list[np.ndarray] = []
+
+    @property
+    def edges(self) -> list[Edge]:
+        """Column order of the presence matrices (copy)."""
+        return list(self._edges)
+
+    @property
+    def n_batches(self) -> int:
+        """Total number of batches a full draw takes."""
+        return -(-self.n_samples // self.batch_size)
+
+    @property
+    def batches_drawn(self) -> int:
+        return len(self._batches)
+
+    @property
+    def samples_drawn(self) -> int:
+        return sum(b.shape[0] for b in self._batches)
+
+    def batch_rows(self, index: int) -> int:
+        """Row count of batch ``index`` (the last one may be short)."""
+        if not 0 <= index < self.n_batches:
+            raise ParameterError(
+                f"batch index {index} out of range [0, {self.n_batches})"
+            )
+        return min(self.batch_size, self.n_samples - index * self.batch_size)
+
+    def rng_state(self) -> dict:
+        """JSON-serialisable RNG state (valid between batches)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: dict) -> None:
+        """Restore an RNG state captured by :meth:`rng_state`."""
+        self._rng.bit_generator.state = state
+
+    def load_batch(self, presence: np.ndarray) -> None:
+        """Append a previously drawn batch (checkpoint resume path)."""
+        presence = np.asarray(presence, dtype=bool)
+        expected = (self.batch_rows(self.batches_drawn), len(self._edges))
+        if presence.shape != expected:
+            raise ParameterError(
+                f"resumed batch has shape {presence.shape}, expected {expected}"
+            )
+        self._batches.append(presence)
+
+    def draw_presence(self, rows: int) -> np.ndarray:
+        """Draw ``rows`` worlds from the RNG stream without retaining them.
+
+        Streaming consumers (e.g. reliability estimation) classify each
+        batch and discard it; this keeps the draw order — hence the
+        bit-exact RNG stream — identical to :meth:`draw_next`.
+        """
+        if self._edges:
+            return self._rng.random((rows, len(self._edges))) < self._probs
+        return np.zeros((rows, 0), dtype=bool)
+
+    def draw_next(self) -> np.ndarray:
+        """Draw and retain the next batch; returns its presence matrix."""
+        if self.batches_drawn >= self.n_batches:
+            raise ParameterError("all batches have already been drawn")
+        presence = self.draw_presence(self.batch_rows(self.batches_drawn))
+        self._batches.append(presence)
+        return presence
+
+    def result(self, partial_ok: bool = False) -> "WorldSampleSet":
+        """Assemble the drawn batches into a :class:`WorldSampleSet`.
+
+        With ``partial_ok`` a prefix of the batches suffices (the
+        graceful-degradation path); otherwise all batches are required.
+        """
+        if not partial_ok and self.batches_drawn < self.n_batches:
+            raise ParameterError(
+                f"only {self.batches_drawn} of {self.n_batches} batches drawn"
+            )
+        if not self._batches:
+            raise ParameterError("no sample batches drawn yet")
+        presence = (
+            self._batches[0]
+            if len(self._batches) == 1
+            else np.concatenate(self._batches, axis=0)
+        )
+        return WorldSampleSet(presence, self._edges)
 
 
 class WorldSampleSet:
@@ -103,25 +240,52 @@ class WorldSampleSet:
         graph: ProbabilisticGraph,
         n_samples: int,
         seed: int | np.random.Generator | None = None,
+        batch_size: int | None = None,
+        progress=None,
     ) -> "WorldSampleSet":
-        """Draw ``n_samples`` worlds from ``graph`` with a seedable RNG."""
+        """Draw ``n_samples`` worlds from ``graph`` with a seedable RNG.
+
+        With ``batch_size`` the draw happens in row batches and
+        ``progress`` (a hook taking a
+        :class:`~repro.runtime.progress.ProgressEvent`) is called after
+        each batch — the cooperative cancellation point budgets and
+        interrupt guards use. Batched and single-shot draws are
+        bit-identical for the same seed.
+        """
         if n_samples <= 0:
             raise ParameterError(f"n_samples must be positive, got {n_samples}")
-        rng = (
-            seed
-            if isinstance(seed, np.random.Generator)
-            else np.random.default_rng(seed)
+        if batch_size is None and progress is None:
+            rng = (
+                seed
+                if isinstance(seed, np.random.Generator)
+                else np.random.default_rng(seed)
+            )
+            edges: list[Edge] = []
+            probs: list[float] = []
+            for u, v, p in graph.edges_with_probabilities():
+                edges.append((u, v))
+                probs.append(p)
+            if edges:
+                presence = rng.random((n_samples, len(edges))) < np.asarray(probs)
+            else:
+                presence = np.zeros((n_samples, 0), dtype=bool)
+            return cls(presence, edges)
+
+        from repro.runtime.progress import ProgressEvent
+
+        batcher = SampleBatcher(
+            graph, n_samples, batch_size or n_samples, seed=seed
         )
-        edges: list[Edge] = []
-        probs: list[float] = []
-        for u, v, p in graph.edges_with_probabilities():
-            edges.append((u, v))
-            probs.append(p)
-        if edges:
-            presence = rng.random((n_samples, len(edges))) < np.asarray(probs)
-        else:
-            presence = np.zeros((n_samples, 0), dtype=bool)
-        return cls(presence, edges)
+        while batcher.batches_drawn < batcher.n_batches:
+            batcher.draw_next()
+            if progress is not None:
+                progress(ProgressEvent(
+                    "sample-batch",
+                    step=batcher.batches_drawn - 1,
+                    total=batcher.n_batches,
+                    detail={"samples_drawn": batcher.samples_drawn},
+                ))
+        return batcher.result()
 
     # ------------------------------------------------------------------
     @property

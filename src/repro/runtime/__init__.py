@@ -1,0 +1,68 @@
+"""Resilient execution runtime: budgets, checkpoints, degradation, faults.
+
+The paper's algorithms are expensive — Monte-Carlo sampling over
+possible worlds, an exponential exact search (GTD), hours-long
+heuristic sweeps (GBU). This package makes long runs *survivable*:
+
+* :mod:`~repro.runtime.progress` — the batch-boundary hook protocol
+  every expensive loop emits events through;
+* :mod:`~repro.runtime.budget` — cooperative wall-clock / sample /
+  memory limits, checked at those boundaries;
+* :mod:`~repro.runtime.checkpoint` — versioned, CRC-checked snapshots
+  enabling bit-identical kill-and-resume;
+* :mod:`~repro.runtime.interrupts` — SIGINT turned into a cooperative,
+  checkpoint-safe stop;
+* :mod:`~repro.runtime.faults` — deterministic fault injection for
+  testing all of the above;
+* :mod:`~repro.runtime.result` — the structured
+  :class:`~repro.runtime.result.PartialResult` degraded runs return;
+* :mod:`~repro.runtime.harness` — ``run_local`` / ``run_global`` /
+  ``run_reliability``, tying it all together.
+
+See ``docs/robustness.md`` for the full semantics.
+"""
+
+from repro.runtime.progress import ProgressEvent, chain_hooks
+from repro.runtime.budget import Budget, default_memory_probe
+from repro.runtime.interrupts import InterruptGuard
+from repro.runtime.faults import FaultPlan, corrupt_checkpoint
+from repro.runtime.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    CheckpointStore,
+    decode_node,
+    encode_node,
+)
+from repro.runtime.result import (
+    PartialResult,
+    serialize_global_result,
+    serialize_local_result,
+)
+from repro.runtime.harness import (
+    DEFAULT_BATCH_SIZE,
+    run_global,
+    run_local,
+    run_reliability,
+)
+
+__all__ = [
+    "ProgressEvent",
+    "chain_hooks",
+    "Budget",
+    "default_memory_probe",
+    "InterruptGuard",
+    "FaultPlan",
+    "corrupt_checkpoint",
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "encode_node",
+    "decode_node",
+    "PartialResult",
+    "serialize_global_result",
+    "serialize_local_result",
+    "DEFAULT_BATCH_SIZE",
+    "run_global",
+    "run_local",
+    "run_reliability",
+]

@@ -1,0 +1,122 @@
+"""Cooperative execution budgets: wall clock, sample count, memory.
+
+A :class:`Budget` is a progress hook (it is callable) that raises
+:class:`~repro.exceptions.BudgetExceededError` at the first batch
+boundary where one of its limits is exceeded. Budgets are *cooperative*:
+nothing is pre-empted, so a breach can overshoot by at most one batch —
+the granularity the emitting loops were chosen to keep small.
+
+The clock and the memory probe are injectable so tests can drive a
+budget deterministically without sleeping or allocating.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable
+
+from repro.exceptions import BudgetExceededError
+from repro.runtime.progress import ProgressEvent
+
+__all__ = ["Budget", "default_memory_probe"]
+
+
+def default_memory_probe() -> int | None:
+    """Return this process's peak RSS in bytes, or None when unknown.
+
+    Uses :mod:`resource` (Unix). ``ru_maxrss`` is reported in KiB on
+    Linux and bytes on macOS; both are normalised to bytes.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-Unix platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover
+        return int(peak)
+    return int(peak) * 1024
+
+
+class Budget:
+    """Limits checked cooperatively at batch boundaries.
+
+    Parameters
+    ----------
+    deadline:
+        Wall-clock allowance in seconds, measured from :meth:`start`
+        (the first :meth:`check` starts the clock implicitly).
+    max_samples:
+        Ceiling on ``detail["samples_drawn"]`` reported by sampling
+        events.
+    max_memory_bytes:
+        Soft ceiling on the process's peak RSS; "soft" because peak RSS
+        never shrinks and the check only fires between batches.
+    clock, memory_probe:
+        Injectable time source (monotonic seconds) and memory probe.
+    """
+
+    def __init__(
+        self,
+        deadline: float | None = None,
+        max_samples: int | None = None,
+        max_memory_bytes: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        memory_probe: Callable[[], int | None] = default_memory_probe,
+    ):
+        self.deadline = deadline
+        self.max_samples = max_samples
+        self.max_memory_bytes = max_memory_bytes
+        self._clock = clock
+        self._memory_probe = memory_probe
+        self._t0: float | None = None
+
+    def start(self) -> "Budget":
+        """Start (or restart) the wall clock; returns self for chaining."""
+        self._t0 = self._clock()
+        return self
+
+    def elapsed(self) -> float:
+        """Seconds since :meth:`start` (0.0 if never started)."""
+        if self._t0 is None:
+            return 0.0
+        return self._clock() - self._t0
+
+    def remaining(self) -> float | None:
+        """Seconds left on the deadline, or None when unbounded."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self.elapsed())
+
+    def _raise(self, resource: str, limit, observed,
+               event: ProgressEvent) -> None:
+        err = BudgetExceededError(
+            resource, limit, observed,
+            message=(
+                f"{resource} budget exceeded at {event.phase} "
+                f"step {event.step}: observed {observed!r} against "
+                f"limit {limit!r}"
+            ),
+        )
+        err.budget = self
+        raise err
+
+    def check(self, event: ProgressEvent) -> None:
+        """Raise :class:`BudgetExceededError` if any limit is exceeded."""
+        if self._t0 is None:
+            self.start()
+        if self.deadline is not None:
+            elapsed = self.elapsed()
+            if elapsed > self.deadline:
+                self._raise("deadline", self.deadline, elapsed, event)
+        if self.max_samples is not None:
+            drawn = event.detail.get("samples_drawn")
+            if drawn is not None and drawn > self.max_samples:
+                self._raise("samples", self.max_samples, drawn, event)
+        if self.max_memory_bytes is not None:
+            used = self._memory_probe()
+            if used is not None and used > self.max_memory_bytes:
+                self._raise("memory", self.max_memory_bytes, used, event)
+
+    # A Budget *is* a progress hook.
+    __call__ = check

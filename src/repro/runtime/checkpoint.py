@@ -1,0 +1,267 @@
+"""Versioned, integrity-checked checkpoints for resumable runs.
+
+A checkpoint is a directory::
+
+    <dir>/manifest.json      format tag, version, parameters, RNG states
+    <dir>/samples_0000.npz   one bit-packed batch of possible worlds
+    <dir>/level_0003.json    maximal trusses found at k = 3
+
+Every file is written atomically (temp file + rename) and carries a
+CRC-32 of its payload, so a crash mid-write leaves the previous
+consistent snapshot behind and silent corruption is detected at load
+time as a :class:`~repro.exceptions.CheckpointError`. The manifest's
+``version`` gates the format: loading a checkpoint written by an
+incompatible release fails loudly instead of mis-resuming.
+
+Node labels are encoded with a type tag (``["i", 7]`` / ``["s", "a"]``)
+so int and str labels round-trip exactly; other label types are not
+checkpointable and raise :class:`CheckpointError` up front.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointStore",
+    "encode_node",
+    "decode_node",
+]
+
+CHECKPOINT_FORMAT = "repro-checkpoint"
+CHECKPOINT_VERSION = 1
+
+
+def encode_node(node):
+    """Encode a node label as a JSON-safe ``[tag, value]`` pair."""
+    if isinstance(node, bool):
+        return ["b", bool(node)]
+    if isinstance(node, (int, np.integer)):
+        return ["i", int(node)]
+    if isinstance(node, str):
+        return ["s", node]
+    raise CheckpointError(
+        f"node label {node!r} of type {type(node).__name__} cannot be "
+        "checkpointed (only int, str, and bool labels round-trip)"
+    )
+
+
+def decode_node(pair):
+    """Invert :func:`encode_node`."""
+    try:
+        tag, value = pair
+    except (TypeError, ValueError):
+        raise CheckpointError(f"malformed node encoding {pair!r}") from None
+    if tag == "b":
+        return bool(value)
+    if tag == "i":
+        return int(value)
+    if tag == "s":
+        return str(value)
+    raise CheckpointError(f"unknown node tag {tag!r}")
+
+
+def _canonical_json(payload) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+class CheckpointStore:
+    """Read/write access to one checkpoint directory."""
+
+    def __init__(self, directory):
+        self.path = Path(directory)
+        self.path.mkdir(parents=True, exist_ok=True)
+
+    # -- manifest ------------------------------------------------------
+    @property
+    def manifest_path(self) -> Path:
+        return self.path / "manifest.json"
+
+    def exists(self) -> bool:
+        """True iff a manifest has been written here."""
+        return self.manifest_path.exists()
+
+    def save_manifest(self, manifest: dict) -> None:
+        """Atomically persist ``manifest`` (format/version stamped)."""
+        doc = dict(manifest)
+        doc["format"] = CHECKPOINT_FORMAT
+        doc["version"] = CHECKPOINT_VERSION
+        body = _canonical_json(doc)
+        wrapper = {"crc": zlib.crc32(body.encode("utf-8")), "manifest": doc}
+        _atomic_write_bytes(
+            self.manifest_path,
+            json.dumps(wrapper, sort_keys=True).encode("utf-8"),
+        )
+
+    def load_manifest(self, expect_params: dict | None = None) -> dict:
+        """Load and validate the manifest.
+
+        Raises :class:`CheckpointError` on a missing file, corrupt JSON,
+        checksum mismatch, wrong format tag, unsupported version, or —
+        when ``expect_params`` is given — a parameter fingerprint that
+        differs from the one the checkpoint was created with.
+        """
+        if not self.manifest_path.exists():
+            raise CheckpointError(f"no checkpoint manifest at {self.manifest_path}")
+        try:
+            wrapper = json.loads(self.manifest_path.read_text(encoding="utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as err:
+            raise CheckpointError(
+                f"corrupt checkpoint manifest {self.manifest_path}: {err}"
+            ) from err
+        if not isinstance(wrapper, dict) or "manifest" not in wrapper:
+            raise CheckpointError(
+                f"corrupt checkpoint manifest {self.manifest_path}: "
+                "missing manifest body"
+            )
+        doc = wrapper["manifest"]
+        body = _canonical_json(doc)
+        if zlib.crc32(body.encode("utf-8")) != wrapper.get("crc"):
+            raise CheckpointError(
+                f"checkpoint manifest {self.manifest_path} failed its "
+                "integrity check (crc mismatch)"
+            )
+        if doc.get("format") != CHECKPOINT_FORMAT:
+            raise CheckpointError(
+                f"{self.manifest_path} is not a repro checkpoint"
+            )
+        if doc.get("version") != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {doc.get('version')!r} is not "
+                f"supported (expected {CHECKPOINT_VERSION})"
+            )
+        if expect_params is not None and doc.get("params") != expect_params:
+            raise CheckpointError(
+                "checkpoint was created with different parameters; "
+                "refusing to resume (delete the checkpoint directory or "
+                "rerun with the original parameters)"
+            )
+        return doc
+
+    # -- sample batches ------------------------------------------------
+    def _batch_path(self, index: int) -> Path:
+        return self.path / f"samples_{index:04d}.npz"
+
+    def save_sample_batch(self, index: int, presence: np.ndarray) -> None:
+        """Persist one ``(rows, n_edges)`` boolean presence batch."""
+        presence = np.asarray(presence, dtype=bool)
+        packed = np.packbits(presence, axis=1) if presence.size else (
+            np.zeros((presence.shape[0], 0), dtype=np.uint8)
+        )
+        import io
+
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            packed=packed,
+            shape=np.array(presence.shape, dtype=np.int64),
+            crc=np.array([zlib.crc32(packed.tobytes())], dtype=np.uint64),
+        )
+        _atomic_write_bytes(self._batch_path(index), buffer.getvalue())
+
+    def load_sample_batch(self, index: int) -> np.ndarray:
+        """Load one presence batch, verifying shape and checksum."""
+        path = self._batch_path(index)
+        if not path.exists():
+            raise CheckpointError(f"missing checkpoint sample batch {path}")
+        try:
+            with np.load(path) as doc:
+                packed = doc["packed"]
+                rows, cols = (int(x) for x in doc["shape"])
+                crc = int(doc["crc"][0])
+        except Exception as err:
+            raise CheckpointError(
+                f"corrupt checkpoint sample batch {path}: {err}"
+            ) from err
+        if zlib.crc32(packed.tobytes()) != crc:
+            raise CheckpointError(
+                f"checkpoint sample batch {path} failed its integrity "
+                "check (crc mismatch)"
+            )
+        if cols:
+            presence = np.unpackbits(packed, axis=1, count=cols).astype(bool)
+        else:
+            presence = np.zeros((rows, 0), dtype=bool)
+        if presence.shape != (rows, cols):
+            raise CheckpointError(
+                f"checkpoint sample batch {path} has inconsistent shape"
+            )
+        return presence
+
+    # -- decomposition levels ------------------------------------------
+    def _level_path(self, k: int) -> Path:
+        return self.path / f"level_{k:04d}.json"
+
+    def save_level(self, k: int, trusses) -> None:
+        """Persist the maximal trusses found at level ``k``.
+
+        ``trusses`` is a list of probabilistic subgraphs; only their
+        edge sets are stored (probabilities live in the host graph).
+        Edge lists are sorted so the bytes on disk do not depend on set
+        iteration order.
+        """
+        payload = {
+            "k": k,
+            "trusses": [
+                sorted(
+                    [encode_node(u), encode_node(v)]
+                    for u, v in truss.edges()
+                )
+                for truss in trusses
+            ],
+        }
+        body = _canonical_json(payload)
+        wrapper = {"crc": zlib.crc32(body.encode("utf-8")), "payload": payload}
+        _atomic_write_bytes(
+            self._level_path(k),
+            json.dumps(wrapper, sort_keys=True).encode("utf-8"),
+        )
+
+    def load_level(self, k: int):
+        """Load level ``k`` as a list of edge lists (decoded labels)."""
+        path = self._level_path(k)
+        if not path.exists():
+            raise CheckpointError(f"missing checkpoint level file {path}")
+        try:
+            wrapper = json.loads(path.read_text(encoding="utf-8"))
+            payload = wrapper["payload"]
+            body = _canonical_json(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                TypeError) as err:
+            raise CheckpointError(
+                f"corrupt checkpoint level file {path}: {err}"
+            ) from err
+        if zlib.crc32(body.encode("utf-8")) != wrapper.get("crc"):
+            raise CheckpointError(
+                f"checkpoint level file {path} failed its integrity "
+                "check (crc mismatch)"
+            )
+        return [
+            [(decode_node(u), decode_node(v)) for u, v in truss]
+            for truss in payload["trusses"]
+        ]
+
+    # -- misc ----------------------------------------------------------
+    def clear(self) -> None:
+        """Delete every file of this checkpoint (directory stays)."""
+        for path in self.path.glob("*"):
+            if path.is_file():
+                path.unlink()

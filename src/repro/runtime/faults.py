@@ -1,0 +1,104 @@
+"""Deterministic fault injection for exercising every recovery path.
+
+A :class:`FaultPlan` is a progress hook that raises a scheduled
+exception the first time a given ``(phase, step)`` boundary is reached —
+simulated SIGINT (:class:`~repro.exceptions.ComputationInterrupted`),
+simulated OOM (:class:`MemoryError`), or any caller-supplied exception.
+Because faults key on the same batch boundaries the checkpoints use,
+tests can kill a run at *every* boundary and assert that resuming
+reproduces the uninterrupted output byte for byte.
+
+:func:`corrupt_checkpoint` damages an on-disk checkpoint in controlled
+ways so the :class:`~repro.exceptions.CheckpointError` paths are
+testable too.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.exceptions import CheckpointError, ComputationInterrupted
+from repro.runtime.progress import ProgressEvent
+
+__all__ = ["FaultPlan", "corrupt_checkpoint"]
+
+
+class FaultPlan:
+    """A schedule of deterministic faults keyed by ``(phase, step)``.
+
+    Each fault fires at most once; ``fired`` records what actually
+    triggered so tests can assert the plan was exercised.
+    """
+
+    def __init__(self):
+        self._faults: dict[tuple[str, int], Exception | type] = {}
+        self.fired: list[tuple[str, int]] = []
+
+    def raise_at(self, phase: str, step: int,
+                 exc: Exception | type) -> "FaultPlan":
+        """Schedule ``exc`` (instance or class) at ``(phase, step)``."""
+        self._faults[(phase, step)] = exc
+        return self
+
+    def sigint_at(self, phase: str, step: int) -> "FaultPlan":
+        """Simulate a SIGINT delivered at ``(phase, step)``."""
+        return self.raise_at(
+            phase, step,
+            ComputationInterrupted(
+                f"simulated SIGINT at {phase} step {step}"
+            ),
+        )
+
+    def oom_at(self, phase: str, step: int) -> "FaultPlan":
+        """Simulate an out-of-memory condition at ``(phase, step)``."""
+        return self.raise_at(
+            phase, step,
+            MemoryError(f"simulated OOM at {phase} step {step}"),
+        )
+
+    def check(self, event: ProgressEvent) -> None:
+        """Fire (once) the fault scheduled for this boundary, if any."""
+        key = (event.phase, event.step)
+        exc = self._faults.pop(key, None)
+        if exc is None:
+            return
+        self.fired.append(key)
+        if isinstance(exc, type):
+            raise exc(f"injected fault at {key[0]} step {key[1]}")
+        raise exc
+
+    __call__ = check
+
+
+def corrupt_checkpoint(directory, target: str = "manifest",
+                       mode: str = "garbage") -> Path:
+    """Deterministically damage a checkpoint; returns the damaged file.
+
+    ``target`` is ``"manifest"`` or a file-name prefix (e.g.
+    ``"samples"`` picks the first sample batch); ``mode`` is
+    ``"garbage"`` (overwrite with non-JSON/non-npz bytes) or
+    ``"truncate"`` (cut the file in half, as a crash mid-write would).
+    """
+    directory = Path(directory)
+    if target == "manifest":
+        victim = directory / "manifest.json"
+    else:
+        matches = sorted(directory.glob(f"{target}*"))
+        if not matches:
+            raise CheckpointError(
+                f"no checkpoint file matching {target!r} in {directory}"
+            )
+        victim = matches[0]
+    if not victim.exists():
+        raise CheckpointError(f"checkpoint file {victim} does not exist")
+    if mode == "garbage":
+        victim.write_bytes(b"\x00corrupt\xff" * 4)
+    elif mode == "truncate":
+        size = victim.stat().st_size
+        with open(victim, "rb+") as handle:
+            handle.truncate(size // 2)
+        os.utime(victim)
+    else:
+        raise CheckpointError(f"unknown corruption mode {mode!r}")
+    return victim

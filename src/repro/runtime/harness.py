@@ -1,0 +1,656 @@
+"""The resilient execution harness: budgeted, checkpointed, degradable.
+
+This module wraps the paper's three expensive computations —
+Monte-Carlo possible-world sampling, the global decompositions (GTD /
+GBU), and network reliability estimation — with:
+
+* **cooperative budgets** — a :class:`~repro.runtime.budget.Budget` is
+  checked at every batch boundary via the progress-hook protocol;
+* **deterministic checkpoint/resume** — sample batches, per-k truss
+  levels, and RNG states are snapshotted through a
+  :class:`~repro.runtime.checkpoint.CheckpointStore` *before* hooks can
+  abort, so a killed run resumes bit-identically from the last boundary;
+* **graceful degradation** — on budget breach the harness returns a
+  :class:`~repro.runtime.result.PartialResult` instead of raising:
+  truncated sampling widens epsilon per the Hoeffding rule, GTD falls
+  back to GBU when its soft share of the deadline runs out, and an
+  exhausted run reports every fully-completed truss level.
+
+Only a cooperative *interrupt* (SIGINT, real or injected) escapes as an
+exception — :class:`~repro.exceptions.ComputationInterrupted`, carrying
+the checkpoint path — because an interrupted run has no result to hand
+back, only a snapshot to resume from.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.core.global_decomp import (
+    GlobalTrussResult,
+    global_truss_decomposition,
+)
+from repro.core.local import LocalTrussResult, local_truss_decomposition
+from repro.exceptions import (
+    BudgetExceededError,
+    CheckpointError,
+    ComputationInterrupted,
+    DecompositionError,
+)
+from repro.graphs.probabilistic import ProbabilisticGraph
+from repro.graphs.sampling import (
+    SampleBatcher,
+    hoeffding_epsilon,
+    hoeffding_sample_size,
+)
+from repro.runtime.budget import Budget
+from repro.runtime.checkpoint import CheckpointStore, decode_node, encode_node
+from repro.runtime.progress import ProgressEvent, chain_hooks
+from repro.runtime.result import PartialResult
+
+__all__ = ["run_global", "run_local", "run_reliability", "DEFAULT_BATCH_SIZE"]
+
+#: Sampling batch rows between checkpoint/budget boundaries. 25 rows
+#: keeps the overshoot of a cooperative deadline under a fraction of a
+#: second on the bundled datasets while amortising the npz write cost.
+DEFAULT_BATCH_SIZE = 25
+
+#: Fraction of the remaining deadline the exact GTD search may spend
+#: before the harness degrades to the GBU heuristic.
+DEFAULT_GTD_FRACTION = 0.5
+
+
+def _graph_fingerprint(graph: ProbabilisticGraph) -> dict:
+    """A cheap, order-independent identity of a graph for checkpoints."""
+    crc = 0
+    for triple in sorted(
+        (str(u), str(v), repr(float(p)))
+        for u, v, p in graph.edges_with_probabilities()
+    ):
+        crc = zlib.crc32("|".join(triple).encode("utf-8"), crc)
+    return {
+        "nodes": graph.number_of_nodes(),
+        "edges": graph.number_of_edges(),
+        "crc": crc,
+    }
+
+
+def _require_plain_seed(seed, checkpointing: bool):
+    if checkpointing and seed is not None and not isinstance(seed, int):
+        raise CheckpointError(
+            "checkpointed runs need a reproducible seed: pass an int (or "
+            "None), not a Generator instance"
+        )
+    return seed
+
+
+class _Degradations:
+    """Accumulates degradation reasons applied during one run."""
+
+    def __init__(self):
+        self.reasons: list[str] = []
+        self.fallback: str | None = None
+
+    def note(self, reason: str) -> None:
+        self.reasons.append(reason)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.reasons) or self.fallback is not None
+
+    @property
+    def reason(self) -> str | None:
+        return "; ".join(self.reasons) if self.reasons else None
+
+
+def _resume_or_clear(store: CheckpointStore, params: dict,
+                     on_corrupt: str) -> dict | None:
+    """Load a resumable manifest, honouring the corruption policy."""
+    if not store.exists():
+        return None
+    try:
+        return store.load_manifest(expect_params=params)
+    except CheckpointError:
+        if on_corrupt == "restart":
+            store.clear()
+            return None
+        raise
+
+
+def _attach_checkpoint(err: ComputationInterrupted,
+                       store: CheckpointStore | None) -> None:
+    if store is not None and err.checkpoint_path is None:
+        err.checkpoint_path = str(store.path)
+
+
+# ----------------------------------------------------------------------
+# Global decomposition
+# ----------------------------------------------------------------------
+def run_global(
+    graph: ProbabilisticGraph,
+    gamma: float,
+    *,
+    epsilon: float = 0.1,
+    delta: float = 0.1,
+    method: str = "gbu",
+    seed: int | None = None,
+    n_samples: int | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    max_k: int | None = None,
+    max_states: int | None = None,
+    budget: Budget | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    progress=None,
+    gtd_fraction: float = DEFAULT_GTD_FRACTION,
+    on_corrupt: str = "raise",
+) -> PartialResult:
+    """Run a global (k, gamma)-truss decomposition under the harness.
+
+    Parameters mirror
+    :func:`~repro.core.global_decomp.global_truss_decomposition`, plus:
+
+    budget:
+        Cooperative limits; breaching them degrades the run instead of
+        raising (see module docstring).
+    checkpoint_dir / resume:
+        Snapshot directory; with ``resume`` an existing compatible
+        checkpoint is continued bit-identically.
+    progress:
+        Extra hook chained before the budget (fault plans and interrupt
+        guards go here).
+    gtd_fraction:
+        Share of the remaining deadline GTD may spend before degrading
+        to GBU.
+    on_corrupt:
+        ``"raise"`` (default) surfaces a corrupt checkpoint as
+        :class:`CheckpointError`; ``"restart"`` clears it and starts
+        fresh.
+
+    Returns
+    -------
+    PartialResult
+        With ``result`` a :class:`GlobalTrussResult` over every
+        completed level (possibly empty), never an exception for budget
+        breaches.
+    """
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    seed = _require_plain_seed(seed, store is not None)
+    n_requested = (
+        n_samples if n_samples is not None
+        else hoeffding_sample_size(epsilon, delta)
+    )
+    params = {
+        "kind": "global",
+        "gamma": gamma,
+        "epsilon": epsilon,
+        "delta": delta,
+        "method": method,
+        "seed": seed,
+        "n_samples": n_requested,
+        "batch_size": batch_size,
+        "max_k": max_k,
+        "max_states": max_states,
+        "graph": _graph_fingerprint(graph),
+    }
+    degr = _Degradations()
+    if budget is not None:
+        budget.start()
+    hook = chain_hooks(progress, budget)
+
+    rng = np.random.default_rng(seed)
+    batcher = SampleBatcher(graph, n_requested, batch_size, seed=rng)
+
+    completed: dict[int, list[ProbabilisticGraph]] = {}
+    decomp_finished = False
+    sampling_stopped_early: str | None = None
+    manifest = None
+    if store is not None and resume:
+        manifest = _resume_or_clear(store, params, on_corrupt)
+    if manifest is not None:
+        sampling_state = manifest["sampling"]
+        for index in range(sampling_state["batches_drawn"]):
+            batcher.load_batch(store.load_sample_batch(index))
+        sampling_stopped_early = sampling_state.get("stopped_early")
+        if sampling_stopped_early:
+            degr.note(sampling_stopped_early)
+        rng.bit_generator.state = manifest["rng_state"]
+        decomp_state = manifest.get("decomp") or {}
+        for k in decomp_state.get("levels", []):
+            completed[int(k)] = [
+                graph.edge_subgraph(truss_edges)
+                for truss_edges in store.load_level(int(k))
+            ]
+        decomp_finished = bool(decomp_state.get("finished"))
+        if decomp_state.get("fallback"):
+            degr.fallback = decomp_state["fallback"]
+
+    current_method = method if degr.fallback is None else "gbu"
+
+    def write_manifest(status: str = "in-progress") -> None:
+        if store is None:
+            return
+        store.save_manifest({
+            "params": params,
+            "rng_state": rng.bit_generator.state,
+            "sampling": {
+                "n_target": n_requested,
+                "batch_size": batch_size,
+                "batches_drawn": batcher.batches_drawn,
+                "samples_drawn": batcher.samples_drawn,
+                "stopped_early": sampling_stopped_early,
+            },
+            "decomp": {
+                "levels": sorted(completed),
+                "finished": decomp_finished,
+                "method": current_method,
+                "fallback": degr.fallback,
+            },
+            "status": status,
+        })
+
+    def finish(result, complete: bool) -> PartialResult:
+        eff_eps = (
+            epsilon if batcher.samples_drawn >= n_requested
+            else hoeffding_epsilon(max(batcher.samples_drawn, 1), delta)
+        )
+        return PartialResult(
+            kind="global",
+            result=result,
+            complete=complete,
+            degraded=degr.degraded,
+            reason=degr.reason,
+            fallback=degr.fallback,
+            requested_epsilon=epsilon,
+            effective_epsilon=eff_eps,
+            n_samples_requested=n_requested,
+            n_samples_drawn=batcher.samples_drawn,
+            completed_k=max(completed, default=None),
+            checkpoint_path=str(store.path) if store else None,
+            elapsed_seconds=budget.elapsed() if budget else None,
+        )
+
+    # -- stage 1: sampling --------------------------------------------
+    while (batcher.batches_drawn < batcher.n_batches
+           and not sampling_stopped_early):
+        index = batcher.batches_drawn
+        try:
+            presence = batcher.draw_next()
+        except MemoryError:
+            sampling_stopped_early = (
+                f"out of memory drawing sample batch {index}"
+            )
+            degr.note(sampling_stopped_early)
+            break
+        if store is not None:
+            store.save_sample_batch(index, presence)
+            write_manifest()
+        if hook is None:
+            continue
+        try:
+            hook(ProgressEvent(
+                "sample-batch", step=index, total=batcher.n_batches,
+                detail={"samples_drawn": batcher.samples_drawn},
+            ))
+        except BudgetExceededError as err:
+            sampling_stopped_early = str(err)
+            degr.note(sampling_stopped_early)
+            write_manifest()
+            break
+        except MemoryError as err:
+            sampling_stopped_early = f"out of memory after batch {index}: {err}"
+            degr.note(sampling_stopped_early)
+            write_manifest()
+            break
+        except ComputationInterrupted as err:
+            _attach_checkpoint(err, store)
+            raise
+
+    if batcher.samples_drawn == 0:
+        write_manifest()
+        return finish(None, complete=False)
+    world_set = batcher.result(partial_ok=True)
+    n_drawn = batcher.samples_drawn
+    effective_epsilon = (
+        epsilon if n_drawn >= n_requested
+        else hoeffding_epsilon(n_drawn, delta)
+    )
+
+    # -- stage 2: local pruning (Eq. 11 candidate generation) ---------
+    try:
+        local_result = local_truss_decomposition(graph, gamma, progress=hook)
+    except BudgetExceededError as err:
+        degr.note(f"budget exhausted during local pruning: {err}")
+        write_manifest()
+        return finish(None, complete=False)
+    except MemoryError as err:
+        degr.note(f"out of memory during local pruning: {err}")
+        write_manifest()
+        return finish(None, complete=False)
+    except ComputationInterrupted as err:
+        _attach_checkpoint(err, store)
+        raise
+
+    # -- stage 3: the k loop ------------------------------------------
+    def level_checkpoint(event: ProgressEvent) -> None:
+        if event.phase != "global-level-done":
+            return
+        k = event.detail["k"]
+        completed[k] = list(event.detail["trusses"])
+        if store is not None:
+            store.save_level(k, completed[k])
+            write_manifest()
+
+    def build_result() -> GlobalTrussResult:
+        return GlobalTrussResult(
+            graph=graph, gamma=gamma, epsilon=effective_epsilon,
+            delta=delta, n_samples=n_drawn, method=current_method,
+            trusses={k: list(v) for k, v in sorted(completed.items())},
+        )
+
+    if decomp_finished:
+        return finish(build_result(), complete=True)
+
+    def run_stage(stage_method: str, extra_hook=None) -> GlobalTrussResult:
+        stage_hook = chain_hooks(level_checkpoint, progress, budget,
+                                 extra_hook)
+        return global_truss_decomposition(
+            graph, gamma, epsilon=effective_epsilon, delta=delta,
+            method=stage_method, seed=rng, n_samples=n_drawn,
+            local_result=local_result, samples=world_set, max_k=max_k,
+            max_states=max_states, progress=stage_hook,
+            start_k=max(completed, default=1) + 1,
+            initial_trusses={k: list(v) for k, v in completed.items()},
+        )
+
+    soft_budget = None
+    if (current_method == "gtd" and budget is not None
+            and budget.remaining() is not None):
+        soft_budget = Budget(
+            deadline=budget.remaining() * gtd_fraction,
+            clock=budget._clock,
+        ).start()
+
+    try:
+        try:
+            result = run_stage(current_method, extra_hook=soft_budget)
+        except BudgetExceededError as err:
+            if (soft_budget is not None and err.budget is soft_budget
+                    and current_method == "gtd"):
+                degr.fallback = "gtd->gbu"
+                degr.note(
+                    "exact top-down search exceeded its share of the "
+                    f"deadline ({err}); degrading to the bottom-up heuristic"
+                )
+                current_method = "gbu"
+                write_manifest()
+                result = run_stage("gbu")
+            else:
+                raise
+        except DecompositionError as err:
+            if current_method == "gtd":
+                degr.fallback = "gtd->gbu"
+                degr.note(
+                    f"exact top-down search gave up ({err}); degrading "
+                    "to the bottom-up heuristic"
+                )
+                current_method = "gbu"
+                write_manifest()
+                result = run_stage("gbu")
+            else:
+                raise
+    except BudgetExceededError as err:
+        degr.note(f"budget exhausted during decomposition: {err}")
+        write_manifest()
+        return finish(build_result(), complete=False)
+    except MemoryError as err:
+        degr.note(f"out of memory during decomposition: {err}")
+        write_manifest()
+        return finish(build_result(), complete=False)
+    except ComputationInterrupted as err:
+        _attach_checkpoint(err, store)
+        write_manifest()
+        raise
+
+    decomp_finished = True
+    write_manifest(status="complete")
+    return finish(result, complete=True)
+
+
+# ----------------------------------------------------------------------
+# Local decomposition
+# ----------------------------------------------------------------------
+def run_local(
+    graph: ProbabilisticGraph,
+    gamma: float,
+    *,
+    method: str = "dp",
+    budget: Budget | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    progress=None,
+    on_corrupt: str = "raise",
+) -> PartialResult:
+    """Run a local decomposition under the harness.
+
+    Peeling is not internally resumable (removing an edge mutates every
+    neighbouring support PMF), so the checkpoint stores the *finished*
+    trussness map: ``resume`` returns it instantly, and a budget breach
+    salvages the tau values assigned so far — which are final, since
+    peeling emits trussness in nondecreasing order — as a degraded
+    partial result.
+    """
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    params = {
+        "kind": "local",
+        "gamma": gamma,
+        "method": method,
+        "graph": _graph_fingerprint(graph),
+    }
+    if budget is not None:
+        budget.start()
+    hook = chain_hooks(progress, budget)
+
+    def to_partial(trussness, complete, reason=None):
+        result = LocalTrussResult(
+            graph=graph, gamma=gamma, trussness=trussness, method=method,
+        )
+        return PartialResult(
+            kind="local", result=result, complete=complete,
+            degraded=reason is not None, reason=reason,
+            checkpoint_path=str(store.path) if store else None,
+            elapsed_seconds=budget.elapsed() if budget else None,
+            detail={"edges_assigned": len(trussness),
+                    "edges_total": graph.number_of_edges()},
+        )
+
+    if store is not None and resume:
+        manifest = _resume_or_clear(store, params, on_corrupt)
+        if manifest is not None and manifest.get("status") == "complete":
+            trussness = {
+                (decode_node(u), decode_node(v)): int(tau)
+                for u, v, tau in manifest["trussness"]
+            }
+            return to_partial(trussness, complete=True)
+
+    try:
+        result = local_truss_decomposition(graph, gamma, method=method,
+                                           progress=hook)
+    except BudgetExceededError as err:
+        partial = err.partial or {}
+        return to_partial(
+            dict(partial), complete=False,
+            reason=(
+                f"{err}; {len(partial)} of {graph.number_of_edges()} "
+                "edges assigned"
+            ),
+        )
+    except MemoryError as err:
+        partial = getattr(err, "partial", None) or {}
+        return to_partial(
+            dict(partial), complete=False,
+            reason=f"out of memory during peeling: {err}",
+        )
+    except ComputationInterrupted as err:
+        _attach_checkpoint(err, store)
+        raise
+
+    if store is not None:
+        store.save_manifest({
+            "params": params,
+            "status": "complete",
+            "trussness": sorted(
+                [encode_node(u), encode_node(v), tau]
+                for (u, v), tau in result.trussness.items()
+            ),
+        })
+    return to_partial(result.trussness, complete=True)
+
+
+# ----------------------------------------------------------------------
+# Network reliability
+# ----------------------------------------------------------------------
+def _count_connected(graph: ProbabilisticGraph, edges, presence) -> int:
+    """Count rows of ``presence`` whose world connects all graph nodes."""
+    nodes = list(graph.nodes())
+    n = len(nodes)
+    if n == 0:
+        return 0
+    if n == 1:
+        return presence.shape[0]
+    hits = 0
+    for row in presence:
+        adj: dict = {u: [] for u in nodes}
+        for j in np.flatnonzero(row):
+            u, v = edges[j]
+            adj[u].append(v)
+            adj[v].append(u)
+        seen = {nodes[0]}
+        stack = [nodes[0]]
+        while stack:
+            x = stack.pop()
+            for y in adj[x]:
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        if len(seen) == n:
+            hits += 1
+    return hits
+
+
+def run_reliability(
+    graph: ProbabilisticGraph,
+    *,
+    n_samples: int = 1000,
+    delta: float = 0.05,
+    seed: int | None = None,
+    batch_size: int = DEFAULT_BATCH_SIZE * 4,
+    budget: Budget | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    progress=None,
+    on_corrupt: str = "raise",
+) -> PartialResult:
+    """Estimate network reliability under the harness.
+
+    Fully resumable: only the running hit count, batch index, and RNG
+    state need snapshotting, so checkpoints are tiny. A budget breach
+    returns the estimate over the samples drawn so far with the
+    honestly widened epsilon for the given ``delta``.
+    """
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    seed = _require_plain_seed(seed, store is not None)
+    params = {
+        "kind": "reliability",
+        "n_samples": n_samples,
+        "batch_size": batch_size,
+        "seed": seed,
+        "delta": delta,
+        "graph": _graph_fingerprint(graph),
+    }
+    degr = _Degradations()
+    if budget is not None:
+        budget.start()
+    hook = chain_hooks(progress, budget)
+
+    rng = np.random.default_rng(seed)
+    batcher = SampleBatcher(graph, n_samples, batch_size, seed=rng)
+    edges = batcher.edges
+    hits = 0
+    batches_done = 0
+
+    manifest = None
+    if store is not None and resume:
+        manifest = _resume_or_clear(store, params, on_corrupt)
+    if manifest is not None:
+        hits = int(manifest["hits"])
+        batches_done = int(manifest["batches_done"])
+        samples_done = int(manifest["samples_done"])
+        rng.bit_generator.state = manifest["rng_state"]
+    else:
+        samples_done = 0
+
+    def write_manifest(status: str = "in-progress") -> None:
+        if store is None:
+            return
+        store.save_manifest({
+            "params": params,
+            "hits": hits,
+            "batches_done": batches_done,
+            "samples_done": samples_done,
+            "rng_state": rng.bit_generator.state,
+            "status": status,
+        })
+
+    def finish(complete: bool) -> PartialResult:
+        estimate = hits / samples_done if samples_done else None
+        return PartialResult(
+            kind="reliability", result=estimate, complete=complete,
+            degraded=degr.degraded, reason=degr.reason,
+            effective_epsilon=(
+                hoeffding_epsilon(samples_done, delta) if samples_done else None
+            ),
+            requested_epsilon=hoeffding_epsilon(n_samples, delta),
+            n_samples_requested=n_samples,
+            n_samples_drawn=samples_done,
+            checkpoint_path=str(store.path) if store else None,
+            elapsed_seconds=budget.elapsed() if budget else None,
+            detail={"hits": hits},
+        )
+
+    while batches_done < batcher.n_batches:
+        rows = batcher.batch_rows(batches_done)
+        presence = batcher.draw_presence(rows)
+        try:
+            hits += _count_connected(graph, edges, presence)
+        except MemoryError as err:
+            degr.note(f"out of memory classifying batch {batches_done}: {err}")
+            write_manifest()
+            return finish(complete=False)
+        batches_done += 1
+        samples_done += rows
+        write_manifest()
+        if hook is None:
+            continue
+        try:
+            hook(ProgressEvent(
+                "reliability-batch", step=batches_done - 1,
+                total=batcher.n_batches,
+                detail={"samples_drawn": samples_done},
+            ))
+        except BudgetExceededError as err:
+            degr.note(str(err))
+            write_manifest()
+            return finish(complete=False)
+        except MemoryError as err:
+            degr.note(f"out of memory after batch {batches_done - 1}: {err}")
+            write_manifest()
+            return finish(complete=False)
+        except ComputationInterrupted as err:
+            _attach_checkpoint(err, store)
+            raise
+
+    write_manifest(status="complete")
+    return finish(complete=True)

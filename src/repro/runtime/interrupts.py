@@ -1,0 +1,71 @@
+"""Cooperative SIGINT handling for long-running computations.
+
+An :class:`InterruptGuard` converts the first SIGINT into a flag that is
+checked — like a budget — at the next batch boundary, where it raises
+:class:`~repro.exceptions.ComputationInterrupted`. Checkpoints are
+written before hooks run, so the raise never loses committed work. A
+second SIGINT while the guard is armed falls through to an immediate
+:class:`KeyboardInterrupt` for users who really mean it.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+
+from repro.exceptions import ComputationInterrupted
+from repro.runtime.progress import ProgressEvent
+
+__all__ = ["InterruptGuard"]
+
+
+class InterruptGuard:
+    """Context manager translating SIGINT into a cooperative abort.
+
+    Use as a progress hook (the guard is callable)::
+
+        with InterruptGuard() as guard:
+            run_global(graph, gamma, progress=guard, ...)
+
+    Outside the main thread — or when ``install=False`` — no signal
+    handler is installed and the guard only reacts to :meth:`trigger`,
+    which is how the fault harness simulates SIGINT deterministically.
+    """
+
+    def __init__(self, install: bool = True):
+        self._install = install
+        self._previous = None
+        self._triggered = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once a SIGINT (or a simulated one) was received."""
+        return self._triggered
+
+    def trigger(self) -> None:
+        """Arm the guard as if a SIGINT had been received."""
+        self._triggered = True
+
+    def _handler(self, signum, frame):  # pragma: no cover - signal path
+        if self._triggered:
+            raise KeyboardInterrupt
+        self._triggered = True
+
+    def __enter__(self) -> "InterruptGuard":
+        if self._install and threading.current_thread() is threading.main_thread():
+            self._previous = signal.signal(signal.SIGINT, self._handler)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._previous is not None:
+            signal.signal(signal.SIGINT, self._previous)
+            self._previous = None
+
+    def check(self, event: ProgressEvent) -> None:
+        """Raise :class:`ComputationInterrupted` if the guard was armed."""
+        if self._triggered:
+            raise ComputationInterrupted(
+                f"interrupted at {event.phase} step {event.step}"
+            )
+
+    __call__ = check

@@ -1,0 +1,83 @@
+"""The progress-hook protocol shared by all long-running computations.
+
+A *progress hook* is any callable taking a single :class:`ProgressEvent`.
+The sampling engine, the local peeling loop, both global searches, and
+the Monte-Carlo oracle call their hook at natural batch boundaries; a
+hook observes progress and may *abort* the computation by raising —
+typically :class:`~repro.exceptions.BudgetExceededError` (from a
+:class:`~repro.runtime.budget.Budget`) or
+:class:`~repro.exceptions.ComputationInterrupted` (from an
+:class:`~repro.runtime.interrupts.InterruptGuard` or an injected fault).
+
+Emitted phases
+--------------
+==================  =====================================================
+``sample-batch``    one batch of possible worlds drawn (``step`` = batch
+                    index; ``detail["samples_drawn"]`` = cumulative N')
+``local-peel``      a block of edges peeled by Algorithm 1 (``step`` =
+                    edges assigned so far, ``total`` = edge count)
+``global-level``    Algorithm 3 is starting level k (``step`` = k)
+``global-level-done``  level k finished; ``detail["trusses"]`` holds the
+                    maximal trusses found at k (``step`` = k)
+``gtd-state``       Algorithm 4 explored another residual state
+``gbu-seed``        Algorithm 5 is processing seed ``step`` of ``total``
+``oracle-eval``     the Monte-Carlo oracle classified another block of
+                    candidate evaluations
+``reliability-batch``  one batch of reliability samples classified
+==================  =====================================================
+
+Checkpoints are written *before* the hook runs at each boundary, so a
+hook that raises never loses the batch it was notified about.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+__all__ = ["ProgressEvent", "ProgressHook", "chain_hooks"]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One batch-boundary notification from a long-running computation.
+
+    Attributes
+    ----------
+    phase:
+        Which loop emitted the event (see the module table).
+    step:
+        Monotone position within the phase (batch index, k level, ...).
+    total:
+        Known endpoint of ``step``, or None when open-ended.
+    detail:
+        Phase-specific payload (e.g. ``samples_drawn``, ``k``,
+        ``trusses``).
+    """
+
+    phase: str
+    step: int
+    total: int | None = None
+    detail: Mapping = field(default_factory=dict)
+
+
+ProgressHook = Callable[[ProgressEvent], None]
+
+
+def chain_hooks(*hooks: ProgressHook | None) -> ProgressHook | None:
+    """Compose hooks left-to-right into one; None entries are skipped.
+
+    Returns None when no hook remains, so callers can pass the result
+    straight to a ``progress=`` parameter.
+    """
+    live = [h for h in hooks if h is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+
+    def chained(event: ProgressEvent) -> None:
+        for hook in live:
+            hook(event)
+
+    return chained

@@ -1,0 +1,136 @@
+"""Structured outcomes of budgeted runs and canonical serialisation.
+
+A :class:`PartialResult` is what the execution harness returns instead
+of raising: it wraps whatever result object could be produced (possibly
+None), says whether the run reached natural termination (``complete``),
+whether any degradation was applied (``degraded`` — partial samples with
+a widened epsilon, a GTD → GBU fallback, or an early stop), and carries
+the metadata needed to report the degradation honestly.
+
+:func:`serialize_global_result` renders a
+:class:`~repro.core.global_decomp.GlobalTrussResult` as canonical bytes
+(sorted edges, sorted trusses, fixed float formatting) so two runs can
+be compared for *byte-identical* output — the contract the
+checkpoint/resume tests enforce.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PartialResult",
+    "serialize_global_result",
+    "serialize_local_result",
+]
+
+
+@dataclass
+class PartialResult:
+    """Outcome of a run under the execution harness.
+
+    Attributes
+    ----------
+    kind:
+        ``"global"``, ``"local"``, or ``"reliability"``.
+    result:
+        The underlying result object — a
+        :class:`~repro.core.global_decomp.GlobalTrussResult`,
+        :class:`~repro.core.local.LocalTrussResult`, or a float
+        reliability estimate — or None when nothing was salvageable.
+    complete:
+        True iff the computation reached natural termination.
+    degraded:
+        True iff any degradation was applied; ``reason`` says why and
+        ``fallback`` names a method switch (e.g. ``"gtd->gbu"``).
+    requested_epsilon / effective_epsilon:
+        The Hoeffding accuracy asked for versus the accuracy the drawn
+        sample count actually guarantees (they differ only when
+        sampling was cut short).
+    n_samples_requested / n_samples_drawn:
+        Monte-Carlo sample accounting.
+    completed_k:
+        Largest fully-completed truss level (global runs).
+    checkpoint_path:
+        Directory holding the last consistent snapshot, if any.
+    """
+
+    kind: str
+    result: object | None
+    complete: bool
+    degraded: bool
+    reason: str | None = None
+    fallback: str | None = None
+    requested_epsilon: float | None = None
+    effective_epsilon: float | None = None
+    n_samples_requested: int | None = None
+    n_samples_drawn: int | None = None
+    completed_k: int | None = None
+    checkpoint_path: str | None = None
+    elapsed_seconds: float | None = None
+    detail: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One status line for CLI output and logs."""
+        parts = [
+            f"status={'complete' if self.complete else 'partial'}"
+            + ("+degraded" if self.degraded else ""),
+        ]
+        if self.reason:
+            parts.append(f"reason={self.reason!r}")
+        if self.fallback:
+            parts.append(f"fallback={self.fallback}")
+        if (self.effective_epsilon is not None
+                and self.requested_epsilon is not None
+                and self.effective_epsilon != self.requested_epsilon):
+            parts.append(
+                f"epsilon_effective={self.effective_epsilon:.4f}"
+                f" (requested {self.requested_epsilon:.4f})"
+            )
+        if self.n_samples_drawn is not None:
+            total = (f"/{self.n_samples_requested}"
+                     if self.n_samples_requested is not None else "")
+            parts.append(f"samples={self.n_samples_drawn}{total}")
+        if self.completed_k is not None:
+            parts.append(f"completed_k={self.completed_k}")
+        if self.checkpoint_path:
+            parts.append(f"checkpoint={self.checkpoint_path}")
+        return " ".join(parts)
+
+
+def _canonical_edges(graph) -> list:
+    """Sorted ``[u, v, p]`` triples with order-independent bytes."""
+    return sorted(
+        [repr(u), repr(v), repr(float(p))]
+        for u, v, p in graph.edges_with_probabilities()
+    )
+
+
+def serialize_global_result(result) -> bytes:
+    """Render a global decomposition as canonical, comparable bytes."""
+    doc = {
+        "gamma": repr(float(result.gamma)),
+        "epsilon": repr(float(result.epsilon)),
+        "delta": repr(float(result.delta)),
+        "n_samples": int(result.n_samples),
+        "method": result.method,
+        "trusses": {
+            str(k): sorted(_canonical_edges(t) for t in trusses)
+            for k, trusses in sorted(result.trusses.items())
+        },
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+
+def serialize_local_result(result) -> bytes:
+    """Render a local decomposition as canonical, comparable bytes."""
+    doc = {
+        "gamma": repr(float(result.gamma)),
+        "method": result.method,
+        "trussness": sorted(
+            [repr(u), repr(v), int(tau)]
+            for (u, v), tau in result.trussness.items()
+        ),
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()

@@ -1,0 +1,153 @@
+"""CLI robustness: --deadline/--checkpoint/--resume, SIGINT, bad inputs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.exceptions import ComputationInterrupted
+from repro.graphs.generators import running_example
+from repro.graphs.io import write_edge_list
+
+
+@pytest.fixture
+def example_path(tmp_path):
+    path = tmp_path / "example.txt"
+    write_edge_list(running_example(), path)
+    return path
+
+
+class TestDeadlineFlag:
+    def test_global_deadline_degrades_not_crashes(self, example_path, capsys):
+        code = main(["--seed", "1", "global", str(example_path),
+                     "--gamma", "0.3", "--deadline", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "status=partial+degraded" in out
+        assert "epsilon_effective=" in out
+
+    def test_local_deadline_degrades(self, example_path, capsys):
+        code = main(["local", str(example_path), "--gamma", "0.3",
+                     "--deadline", "1e9"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "k_max=" in out
+        assert "status=" not in out  # generous deadline: clean run
+
+    def test_max_samples_flag(self, example_path, capsys):
+        code = main(["--seed", "1", "global", str(example_path),
+                     "--gamma", "0.3", "--batch-size", "25",
+                     "--max-samples", "50"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "samples=75/150" in out
+
+    def test_reliability_deadline(self, example_path, capsys):
+        code = main(["reliability", str(example_path), "--samples", "500",
+                     "--deadline", "0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Monte-Carlo reliability" in out
+        assert "status=partial+degraded" in out
+
+
+class TestCheckpointFlags:
+    def test_global_checkpoint_then_resume_matches(self, example_path,
+                                                   tmp_path, capsys):
+        ck = tmp_path / "ck"
+        argv = ["--seed", "3", "global", str(example_path),
+                "--gamma", "0.3", "--checkpoint", str(ck)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_reliability_checkpoint_then_resume(self, example_path,
+                                                tmp_path, capsys):
+        ck = tmp_path / "ck"
+        argv = ["reliability", str(example_path), "--samples", "200",
+                "--checkpoint", str(ck)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+
+class TestInterruptHandling:
+    def test_interrupt_exits_130_with_pointer(self, monkeypatch, capsys,
+                                              example_path):
+        import repro.cli as cli
+
+        def fake_run_global(*args, **kwargs):
+            raise ComputationInterrupted(
+                "interrupted at sample-batch step 1",
+                checkpoint_path="/tmp/ck",
+            )
+
+        monkeypatch.setattr(cli, "run_global", fake_run_global)
+        code = main(["global", str(example_path), "--gamma", "0.3"])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert captured.err.strip() == "interrupted — partial results at /tmp/ck"
+        assert "Traceback" not in captured.err
+
+    def test_interrupt_without_checkpoint_suggests_one(self, monkeypatch,
+                                                       capsys, example_path):
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "run_local",
+            lambda *a, **k: (_ for _ in ()).throw(
+                ComputationInterrupted("interrupted")),
+        )
+        code = main(["local", str(example_path), "--gamma", "0.3"])
+        captured = capsys.readouterr()
+        assert code == 130
+        assert "--checkpoint" in captured.err
+
+    def test_keyboard_interrupt_exits_130(self, monkeypatch, capsys,
+                                          example_path):
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "run_reliability",
+            lambda *a, **k: (_ for _ in ()).throw(KeyboardInterrupt()),
+        )
+        code = main(["reliability", str(example_path)])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
+class TestBadInputHandling:
+    def test_checkpoint_param_mismatch_exits_2(self, example_path, tmp_path,
+                                               capsys):
+        ck = tmp_path / "ck"
+        assert main(["--seed", "1", "global", str(example_path),
+                     "--gamma", "0.3", "--checkpoint", str(ck)]) == 0
+        capsys.readouterr()
+        code = main(["--seed", "1", "global", str(example_path),
+                     "--gamma", "0.5", "--checkpoint", str(ck), "--resume"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert captured.err.startswith("error:")
+        assert "different parameters" in captured.err
+        assert "Traceback" not in captured.err
+
+
+    def test_corrupt_edge_list_exits_2_with_location(self, tmp_path, capsys):
+        path = tmp_path / "broken.txt"
+        path.write_text("a b 0.5\nc d 0.25\ne f not-a-prob\n")
+        code = main(["stats", str(path)])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "line 3" in captured.err
+        assert "not-a-prob" in captured.err
+
+    def test_truncated_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "cut.txt"
+        path.write_text("a b 0.5\nc d 0.25\ne\n")
+        code = main(["local", str(path), "--gamma", "0.3"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "error:" in captured.err
+        assert "line 3" in captured.err

@@ -1,0 +1,140 @@
+"""Reader hardening: truncated, corrupt, and malformed graph files."""
+
+from __future__ import annotations
+
+import gzip
+import io
+
+import pytest
+
+from repro.exceptions import DatasetError, GraphError, GraphParseError
+from repro.graphs.generators import gnp_graph
+from repro.graphs.io import (
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+
+
+class TestGraphParseErrorType:
+    def test_is_both_dataset_and_graph_error(self):
+        # Callers catching either historical base class keep working.
+        assert issubclass(GraphParseError, DatasetError)
+        assert issubclass(GraphParseError, GraphError)
+
+    def test_carries_location_attributes(self):
+        err = GraphParseError("bad token", source="g.txt", lineno=7,
+                              token="oops")
+        assert err.source == "g.txt"
+        assert err.lineno == 7
+        assert err.token == "oops"
+        assert str(err) == "g.txt: line 7: bad token"
+
+
+class TestEdgeListErrors:
+    def test_bad_probability_reports_token_and_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b 0.5\nc d zero\n")
+        with pytest.raises(GraphParseError) as exc_info:
+            read_edge_list(path)
+        err = exc_info.value
+        assert err.lineno == 2
+        assert err.token == "zero"
+        assert err.source == str(path)
+        assert "line 2" in str(err)
+
+    def test_wrong_field_count_reports_line(self):
+        with pytest.raises(GraphParseError) as exc_info:
+            read_edge_list(io.StringIO("a b 0.5\nc\n"))
+        assert exc_info.value.lineno == 2
+        assert "truncated" in str(exc_info.value)
+
+    def test_out_of_range_probability(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b 1.5\n")
+        with pytest.raises(GraphParseError) as exc_info:
+            read_edge_list(path)
+        assert exc_info.value.lineno == 1
+
+    def test_unconvertible_node_label(self):
+        with pytest.raises(GraphParseError, match="node label"):
+            read_edge_list(io.StringIO("a b 0.5\n"), node_type=int)
+
+    def test_non_utf8_bytes(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_bytes(b"a b 0.5\n\xff\xfe broken\n")
+        with pytest.raises(GraphParseError, match="UTF-8"):
+            read_edge_list(path)
+
+
+class TestTruncationRoundTrip:
+    """A file cut mid-record fails loudly with the exact location."""
+
+    def make_file(self, tmp_path, name="g.txt"):
+        graph = gnp_graph(12, 0.4, seed=7)
+        path = tmp_path / name
+        write_edge_list(graph, path)
+        return graph, path
+
+    def test_round_trip_intact(self, tmp_path):
+        graph, path = self.make_file(tmp_path)
+        assert read_edge_list(path, node_type=int) == graph
+
+    def test_cut_mid_record_raises_with_line(self, tmp_path):
+        graph, path = self.make_file(tmp_path)
+        data = path.read_bytes()
+        # Cut inside the final record, right after its first field —
+        # what a crashed writer or an interrupted download leaves behind.
+        last_line_start = data.rstrip(b"\n").rfind(b"\n") + 1
+        first_space = data.index(b" ", last_line_start)
+        path.write_bytes(data[:first_space])
+        n_lines = data[:first_space].count(b"\n") + 1
+        with pytest.raises(GraphParseError) as exc_info:
+            read_edge_list(path)
+        assert exc_info.value.lineno == n_lines
+        assert exc_info.value.source == str(path)
+
+    def test_truncated_gzip_raises(self, tmp_path):
+        graph, _ = self.make_file(tmp_path)
+        gz_path = tmp_path / "g.txt.gz"
+        buffer = io.BytesIO()
+        with gzip.open(buffer, "wt", encoding="utf-8") as handle:
+            write_edge_list(graph, handle)
+        payload = buffer.getvalue()
+        gz_path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(GraphParseError, match="truncated or unreadable"):
+            read_edge_list(gz_path)
+
+    def test_intact_gzip_round_trips(self, tmp_path):
+        graph, _ = self.make_file(tmp_path)
+        gz_path = tmp_path / "g.txt.gz"
+        write_edge_list(graph, gz_path)
+        assert read_edge_list(gz_path, node_type=int) == graph
+
+
+class TestJsonErrors:
+    def test_truncated_json_raises_with_source(self, tmp_path):
+        graph = gnp_graph(8, 0.5, seed=1)
+        path = tmp_path / "g.json"
+        write_json_graph(graph, path)
+        data = path.read_text()
+        path.write_text(data[: len(data) // 2])
+        with pytest.raises(GraphParseError, match="corrupt or truncated"):
+            read_json_graph(path)
+
+    def test_wrong_format_tag(self):
+        with pytest.raises(GraphParseError, match="not a repro"):
+            read_json_graph(io.StringIO('{"format": "something-else"}'))
+
+    def test_malformed_edge_entry(self):
+        doc = ('{"format": "repro-probabilistic-graph", "version": 1, '
+               '"nodes": [], "edges": [["a", "b"]]}')
+        with pytest.raises(GraphParseError, match="malformed"):
+            read_json_graph(io.StringIO(doc))
+
+    def test_out_of_range_probability_in_json(self):
+        doc = ('{"format": "repro-probabilistic-graph", "version": 1, '
+               '"nodes": [], "edges": [["a", "b", 3.0]]}')
+        with pytest.raises(GraphParseError, match="malformed"):
+            read_json_graph(io.StringIO(doc))

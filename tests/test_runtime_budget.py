@@ -1,0 +1,159 @@
+"""Budgets, progress hooks, and interrupt guards (repro.runtime)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import BudgetExceededError, ComputationInterrupted
+from repro.graphs.sampling import hoeffding_epsilon, hoeffding_sample_size
+from repro.runtime import Budget, InterruptGuard, chain_hooks
+from repro.runtime.progress import ProgressEvent
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def event(phase="sample-batch", step=0, **detail) -> ProgressEvent:
+    return ProgressEvent(phase, step=step, detail=detail)
+
+
+class TestBudgetDeadline:
+    def test_under_deadline_passes(self):
+        clock = FakeClock()
+        budget = Budget(deadline=10.0, clock=clock).start()
+        clock.now = 9.9
+        budget.check(event())  # no raise
+
+    def test_over_deadline_raises(self):
+        clock = FakeClock()
+        budget = Budget(deadline=10.0, clock=clock).start()
+        clock.now = 10.5
+        with pytest.raises(BudgetExceededError) as exc_info:
+            budget.check(event(step=3))
+        err = exc_info.value
+        assert err.resource == "deadline"
+        assert err.limit == 10.0
+        assert err.observed == pytest.approx(10.5)
+        assert err.budget is budget
+        assert "step 3" in str(err)
+
+    def test_first_check_starts_clock_implicitly(self):
+        clock = FakeClock()
+        clock.now = 100.0  # time before the budget is first consulted
+        budget = Budget(deadline=5.0, clock=clock)
+        budget.check(event())  # starts at t=100, elapsed 0
+        clock.now = 104.0
+        budget.check(event())
+        clock.now = 106.0
+        with pytest.raises(BudgetExceededError):
+            budget.check(event())
+
+    def test_elapsed_and_remaining(self):
+        clock = FakeClock()
+        budget = Budget(deadline=10.0, clock=clock).start()
+        clock.now = 4.0
+        assert budget.elapsed() == pytest.approx(4.0)
+        assert budget.remaining() == pytest.approx(6.0)
+        clock.now = 42.0
+        assert budget.remaining() == 0.0  # clamped
+        assert Budget(clock=clock).remaining() is None  # unbounded
+
+
+class TestBudgetSamples:
+    def test_sample_ceiling(self):
+        budget = Budget(max_samples=50)
+        budget.check(event(samples_drawn=50))  # at the limit is fine
+        with pytest.raises(BudgetExceededError) as exc_info:
+            budget.check(event(samples_drawn=75))
+        assert exc_info.value.resource == "samples"
+        assert exc_info.value.observed == 75
+
+    def test_events_without_sample_counts_are_ignored(self):
+        budget = Budget(max_samples=1)
+        budget.check(event(phase="global-level", step=2))  # no raise
+
+
+class TestBudgetMemory:
+    def test_memory_ceiling_with_injected_probe(self):
+        probe_value = [100]
+        budget = Budget(max_memory_bytes=1000,
+                        memory_probe=lambda: probe_value[0])
+        budget.check(event())
+        probe_value[0] = 2000
+        with pytest.raises(BudgetExceededError) as exc_info:
+            budget.check(event())
+        assert exc_info.value.resource == "memory"
+
+    def test_unknown_memory_never_trips(self):
+        budget = Budget(max_memory_bytes=1, memory_probe=lambda: None)
+        budget.check(event())  # probe can't tell -> no raise
+
+
+class TestChainHooks:
+    def test_empty_and_single(self):
+        assert chain_hooks() is None
+        assert chain_hooks(None, None) is None
+        hook = lambda e: None  # noqa: E731
+        assert chain_hooks(None, hook, None) is hook
+
+    def test_composition_order_and_abort(self):
+        calls = []
+        first = lambda e: calls.append("first")  # noqa: E731
+
+        def second(e):
+            calls.append("second")
+            raise ComputationInterrupted("stop")
+
+        third = lambda e: calls.append("third")  # noqa: E731
+        chained = chain_hooks(first, second, third)
+        with pytest.raises(ComputationInterrupted):
+            chained(event())
+        assert calls == ["first", "second"]  # third never ran
+
+
+class TestInterruptGuard:
+    def test_untriggered_guard_is_silent(self):
+        guard = InterruptGuard(install=False)
+        guard.check(event())
+        assert not guard.triggered
+
+    def test_triggered_guard_raises_at_next_boundary(self):
+        guard = InterruptGuard(install=False)
+        guard.trigger()
+        with pytest.raises(ComputationInterrupted, match="sample-batch"):
+            guard.check(event(step=2))
+
+    def test_context_manager_restores_handler(self):
+        import signal
+
+        before = signal.getsignal(signal.SIGINT)
+        with InterruptGuard() as guard:
+            assert signal.getsignal(signal.SIGINT) == guard._handler
+        assert signal.getsignal(signal.SIGINT) == before
+
+
+class TestHoeffding:
+    def test_epsilon_inverts_sample_size(self):
+        n = hoeffding_sample_size(0.1, 0.1)
+        # The epsilon that n samples buy is at least as good as requested
+        # (n is rounded up), and n - 1 samples are not enough.
+        assert hoeffding_epsilon(n, 0.1) <= 0.1
+        assert hoeffding_epsilon(n - 1, 0.1) > hoeffding_epsilon(n, 0.1)
+
+    def test_fewer_samples_widen_epsilon(self):
+        assert hoeffding_epsilon(50, 0.1) > hoeffding_epsilon(150, 0.1)
+
+    def test_validation(self):
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError):
+            hoeffding_epsilon(0, 0.1)
+        with pytest.raises(ParameterError):
+            hoeffding_epsilon(100, 0.0)

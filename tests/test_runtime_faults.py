@@ -1,0 +1,173 @@
+"""Fault injection: every error path of the runtime must be reachable."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    BudgetExceededError,
+    CheckpointError,
+    ComputationInterrupted,
+)
+from repro.graphs.generators import gnp_graph, running_example
+from repro.runtime import (
+    Budget,
+    FaultPlan,
+    corrupt_checkpoint,
+    run_global,
+    run_local,
+    run_reliability,
+    serialize_global_result,
+)
+from repro.runtime.progress import ProgressEvent
+
+
+def global_run(graph, **kwargs):
+    return run_global(graph, 0.3, method="gbu", seed=1, n_samples=60,
+                      batch_size=20, **kwargs)
+
+
+class TestFaultPlan:
+    def test_fires_once_at_exact_boundary(self):
+        plan = FaultPlan().raise_at("sample-batch", 2, RuntimeError("boom"))
+        plan(ProgressEvent("sample-batch", step=0))
+        plan(ProgressEvent("global-level", step=2))  # wrong phase
+        with pytest.raises(RuntimeError, match="boom"):
+            plan(ProgressEvent("sample-batch", step=2))
+        plan(ProgressEvent("sample-batch", step=2))  # spent, silent now
+        assert plan.fired == [("sample-batch", 2)]
+
+    def test_exception_class_is_instantiated(self):
+        plan = FaultPlan().raise_at("local-peel", 64, MemoryError)
+        with pytest.raises(MemoryError, match="injected fault"):
+            plan(ProgressEvent("local-peel", step=64))
+
+    def test_chaining(self):
+        plan = (FaultPlan()
+                .sigint_at("sample-batch", 0)
+                .oom_at("gbu-seed", 3))
+        with pytest.raises(ComputationInterrupted):
+            plan(ProgressEvent("sample-batch", step=0))
+        with pytest.raises(MemoryError):
+            plan(ProgressEvent("gbu-seed", step=3))
+
+
+class TestSimulatedSigint:
+    def test_sigint_without_checkpoint_propagates(self):
+        graph = running_example()
+        with pytest.raises(ComputationInterrupted) as exc_info:
+            global_run(graph, progress=FaultPlan().sigint_at("sample-batch", 0))
+        assert exc_info.value.checkpoint_path is None
+
+    def test_sigint_with_checkpoint_names_the_snapshot(self, tmp_path):
+        graph = running_example()
+        with pytest.raises(ComputationInterrupted) as exc_info:
+            global_run(graph, checkpoint_dir=tmp_path,
+                       progress=FaultPlan().sigint_at("global-level", 2))
+        assert exc_info.value.checkpoint_path == str(tmp_path)
+
+    def test_sigint_during_local_peel(self):
+        # local-peel events fire every 64 peeled edges; needs a graph
+        # with more than 64 edges.
+        graph = gnp_graph(30, 0.3, seed=0)
+        assert graph.number_of_edges() > 64
+        with pytest.raises(ComputationInterrupted):
+            run_local(graph, 0.3,
+                      progress=FaultPlan().sigint_at("local-peel", 64))
+
+
+class TestSimulatedOom:
+    def test_oom_during_sampling_degrades(self):
+        graph = running_example()
+        partial = global_run(
+            graph, progress=FaultPlan().oom_at("sample-batch", 0))
+        # Decomposition still runs over the truncated sample set; the
+        # outcome is degraded in accuracy, not aborted.
+        assert partial.degraded
+        assert "memory" in (partial.reason or "").lower()
+        # Sampling was cut short -> honesty about epsilon.
+        assert partial.n_samples_drawn < partial.n_samples_requested
+        assert partial.effective_epsilon > partial.requested_epsilon
+
+    def test_oom_during_decomposition_returns_completed_levels(self):
+        graph = running_example()
+        partial = global_run(
+            graph, progress=FaultPlan().oom_at("global-level-done", 2))
+        assert partial.degraded and not partial.complete
+        assert partial.completed_k == 2  # level 2 was committed first
+        assert partial.result.trusses.get(2)
+
+    def test_oom_during_local_run(self):
+        graph = gnp_graph(30, 0.3, seed=0)
+        partial = run_local(graph, 0.3,
+                            progress=FaultPlan().oom_at("local-peel", 64))
+        assert partial.degraded and not partial.complete
+        assert "memory" in partial.reason.lower()
+        # The salvaged prefix of trussness values is final.
+        complete = run_local(graph, 0.3).result.trussness
+        for edge, tau in partial.result.trussness.items():
+            assert complete[edge] == tau
+
+    def test_oom_during_reliability(self):
+        graph = running_example()
+        partial = run_reliability(
+            graph, n_samples=120, batch_size=40, seed=0,
+            progress=FaultPlan().oom_at("reliability-batch", 1))
+        assert partial.degraded and not partial.complete
+        assert partial.n_samples_drawn == 80  # two committed batches
+
+
+class TestBudgetBreachPaths:
+    def test_sample_budget_breach_is_not_an_exception(self):
+        graph = running_example()
+        partial = global_run(graph, budget=Budget(max_samples=30))
+        assert partial.degraded
+        assert partial.n_samples_drawn < 60
+        assert partial.result is not None  # decomposition still ran
+
+    def test_budget_error_escapes_raw_decomposition(self):
+        """Without the harness, budgets raise - the documented contract."""
+        from repro.core.global_decomp import global_truss_decomposition
+
+        graph = running_example()
+        with pytest.raises(BudgetExceededError):
+            global_truss_decomposition(
+                graph, 0.3, seed=1, n_samples=60,
+                progress=Budget(deadline=0.0))
+
+
+class TestCorruptCheckpoints:
+    def make_checkpoint(self, tmp_path):
+        graph = running_example()
+        with pytest.raises(ComputationInterrupted):
+            global_run(graph, checkpoint_dir=tmp_path,
+                       progress=FaultPlan().sigint_at("sample-batch", 1))
+        return graph
+
+    @pytest.mark.parametrize("mode", ["garbage", "truncate"])
+    def test_corrupt_manifest_raises_on_resume(self, tmp_path, mode):
+        graph = self.make_checkpoint(tmp_path)
+        corrupt_checkpoint(tmp_path, target="manifest", mode=mode)
+        with pytest.raises(CheckpointError):
+            global_run(graph, checkpoint_dir=tmp_path, resume=True)
+
+    def test_corrupt_sample_batch_raises_on_resume(self, tmp_path):
+        graph = self.make_checkpoint(tmp_path)
+        corrupt_checkpoint(tmp_path, target="samples", mode="garbage")
+        with pytest.raises(CheckpointError):
+            global_run(graph, checkpoint_dir=tmp_path, resume=True)
+
+    def test_on_corrupt_restart_recovers(self, tmp_path):
+        graph = self.make_checkpoint(tmp_path)
+        baseline = serialize_global_result(global_run(graph).result)
+        corrupt_checkpoint(tmp_path, target="manifest", mode="garbage")
+        partial = global_run(graph, checkpoint_dir=tmp_path, resume=True,
+                             on_corrupt="restart")
+        assert partial.complete
+        assert serialize_global_result(partial.result) == baseline
+
+    def test_corrupt_checkpoint_helper_validates_input(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            corrupt_checkpoint(tmp_path, target="manifest")
+        with pytest.raises(CheckpointError, match="no checkpoint file"):
+            corrupt_checkpoint(tmp_path, target="samples")
