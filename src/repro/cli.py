@@ -24,6 +24,7 @@ from repro.exceptions import (
     CheckpointError,
     ComputationInterrupted,
     DatasetError,
+    ParameterError,
 )
 from repro.graphs.io import read_edge_list, read_json_graph
 from repro.graphs.probabilistic import ProbabilisticGraph
@@ -94,6 +95,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _workers_arg(value: str) -> int | str:
+    """Parse ``--workers``: a positive integer or the literal ``auto``."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {value!r}"
+        ) from None
+
+
 def _make_budget(args: argparse.Namespace) -> Budget | None:
     """Build the cooperative budget requested on the command line."""
     deadline = getattr(args, "deadline", None)
@@ -109,7 +122,7 @@ def _cmd_local(args: argparse.Namespace) -> int:
         partial = run_local(
             graph, args.gamma, method=args.method,
             budget=_make_budget(args), checkpoint_dir=args.checkpoint,
-            resume=args.resume, progress=guard.check,
+            resume=args.resume, progress=guard.check, workers=args.workers,
         )
     result = partial.result
     print(f"gamma={args.gamma} k_max={result.k_max}")
@@ -136,7 +149,7 @@ def _cmd_global(args: argparse.Namespace) -> int:
             method=args.method, seed=args.seed, max_k=args.max_k,
             batch_size=args.batch_size, budget=_make_budget(args),
             checkpoint_dir=args.checkpoint, resume=args.resume,
-            progress=guard.check,
+            progress=guard.check, workers=args.workers,
         )
     result = partial.result
     if result is None:
@@ -375,6 +388,14 @@ def _add_runtime_options(p: argparse.ArgumentParser) -> None:
                         "(bit-identical to an uninterrupted run)")
 
 
+def _add_workers_option(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=_workers_arg, default=None, metavar="N",
+                   help="fan compute-bound stages across N worker processes "
+                        "('auto' = CPU count); output is bit-identical for "
+                        "every N >= 1, but differs from omitting the flag — "
+                        "see docs/performance.md")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the ``repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -404,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--method", choices=["dp", "baseline"], default="dp")
     p.add_argument("--verbose", action="store_true")
     _add_runtime_options(p)
+    _add_workers_option(p)
     p.set_defaults(func=_cmd_local)
 
     p = sub.add_parser("global", help="global (k, gamma)-truss decomposition")
@@ -417,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sampling rows per checkpoint/budget boundary")
     p.add_argument("--verbose", action="store_true")
     _add_runtime_options(p)
+    _add_workers_option(p)
     p.set_defaults(func=_cmd_global)
 
     p = sub.add_parser(
@@ -512,7 +535,7 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130
-    except (DatasetError, CheckpointError) as err:
+    except (DatasetError, CheckpointError, ParameterError) as err:
         print(f"error: {err}", file=sys.stderr)
         return 2
 

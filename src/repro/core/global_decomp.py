@@ -274,6 +274,81 @@ def bottom_up_search(
     return list(answers.values())
 
 
+def _bottom_up_search_parallel(
+    executor,
+    oracle: GlobalTrussOracle,
+    k: int,
+    comp_index: int,
+    component: ProbabilisticGraph,
+    gamma: float,
+    root: int,
+    progress=None,
+) -> list[ProbabilisticGraph]:
+    """Algorithm 5 with per-seed RNG streams, fanned across an executor.
+
+    Each seed draws from its own stream
+    ``SeedSequence([root, k, comp_index, seed_index])``, so its
+    evaluation is a pure function of the seed — independent of worker
+    count, scheduling, and chunk boundaries. Seeds are dispatched in
+    chunks; covered-seed skipping happens twice: cheaply at dispatch
+    (serial knowledge so far) and again at merge, in seed order, which
+    discards exactly the evaluations the serial per-seed-stream pass
+    would never have started. Results are therefore identical for any
+    ``workers``, including the inline ``workers=1`` reference.
+    """
+    ranked = sorted(
+        component.edges_with_probabilities(),
+        key=lambda t: (-t[2], str(t[0]), str(t[1])),
+    )
+    comp_edges = tuple(component.edges())
+    executor.cache_component(comp_edges, component)
+    threshold = gamma * (1.0 - 1e-9)
+    answers: dict[frozenset[Edge], ProbabilisticGraph] = {}
+    covered: set[Edge] = set()
+    chunk = max(1, executor.pool_workers * 2)
+    total = len(ranked)
+    index = 0
+    while index < total:
+        batch: list[tuple[int, Edge]] = []
+        while index < total and len(batch) < chunk:
+            u0, v0, _ = ranked[index]
+            if progress is not None:
+                from repro.runtime.progress import ProgressEvent
+
+                progress(ProgressEvent(
+                    "gbu-seed", step=index, total=total, detail={"k": k},
+                ))
+            seed_index = index
+            index += 1
+            if edge_key(u0, v0) in covered:
+                continue
+            # alpha_hat(seed) can never exceed the seed's world frequency.
+            if oracle.edge_frequency(u0, v0) < threshold:
+                continue
+            batch.append((seed_index, (u0, v0)))
+        if not batch:
+            continue
+        payloads = [
+            (comp_edges, seed_edge, k, gamma, (root, k, comp_index, s_idx))
+            for s_idx, seed_edge in batch
+        ]
+        results = executor.map("gbu-seed", payloads, progress=progress)
+        for (s_idx, seed_edge), res in zip(batch, results):
+            if res is None or isinstance(res, str):
+                continue
+            # Merge-order discard: a seed covered by an answer accepted
+            # earlier in seed order was evaluated speculatively; dropping
+            # it here reproduces the serial skip exactly.
+            if edge_key(*seed_edge) in covered:
+                continue
+            truss = component.edge_subgraph(list(res))
+            key = frozenset(truss.edges())
+            if key not in answers:
+                answers[key] = truss
+                covered |= key
+    return list(answers.values())
+
+
 def _grow_candidate(
     component: ProbabilisticGraph,
     seed_edge: Edge,
@@ -395,6 +470,9 @@ def global_truss_decomposition(
     progress=None,
     start_k: int = 2,
     initial_trusses: dict[int, list[ProbabilisticGraph]] | None = None,
+    workers: int | str | None = None,
+    executor=None,
+    rng_root: int | None = None,
 ) -> GlobalTrussResult:
     """Algorithm 3: find all maximal (eps, delta)-approximate global trusses.
 
@@ -433,6 +511,16 @@ def global_truss_decomposition(
         ``initial_trusses`` (``{k: [trusses]}`` for every level below
         ``start_k``) taken as already computed. The default runs from
         scratch.
+    workers, executor, rng_root:
+        Parallel mode. ``workers`` (an int, 0 or ``"auto"``) spins up a
+        private :class:`~repro.parallel.ParallelExecutor` for this call;
+        ``executor`` supplies an externally managed one instead (the
+        harness shares one across stages). Either switches GBU to
+        *per-seed* RNG streams derived from ``rng_root`` (default: the
+        int ``seed``, else one draw from the main stream) — results are
+        then identical for every worker count, including ``workers=1``,
+        but differ from the default sequential-stream mode. ``None``
+        for all three (the default) is the unchanged serial behaviour.
 
     Returns
     -------
@@ -462,13 +550,66 @@ def global_truss_decomposition(
                                             progress=progress)
     oracle = GlobalTrussOracle(samples, progress=progress)
 
-    if local_result is None:
-        local_result = local_truss_decomposition(graph, gamma)
-    elif abs(local_result.gamma - gamma) > 1e-15:
-        raise ParameterError(
-            "local_result was computed for a different gamma "
-            f"({local_result.gamma} != {gamma})"
+    own_executor = None
+    if executor is None and workers is not None:
+        from repro.parallel import ParallelExecutor
+
+        own_executor = ParallelExecutor(
+            workers, graph=graph, samples=samples
+        ).start()
+        executor = own_executor
+    root = 0
+    if executor is not None:
+        executor.attach_oracle(oracle)
+        if rng_root is not None:
+            root = int(rng_root)
+        elif isinstance(seed, int):
+            root = seed
+        else:
+            # One draw from the main stream anchors every per-seed
+            # stream of this run; Generator/None seeds are therefore
+            # reproducible within a run but not across checkpoint
+            # resume — the harness enforces an int seed there.
+            root = int(rng.integers(0, np.iinfo(np.int64).max))
+    try:
+        if local_result is None:
+            local_result = local_truss_decomposition(
+                graph, gamma, executor=executor
+            )
+        elif abs(local_result.gamma - gamma) > 1e-15:
+            raise ParameterError(
+                "local_result was computed for a different gamma "
+                f"({local_result.gamma} != {gamma})"
+            )
+        return _decomposition_levels(
+            graph, gamma, epsilon, delta, method, rng, samples, oracle,
+            local_result, max_k, max_states, progress, start_k,
+            initial_trusses, executor, root,
         )
+    finally:
+        if own_executor is not None:
+            own_executor.close()
+
+
+def _decomposition_levels(
+    graph: ProbabilisticGraph,
+    gamma: float,
+    epsilon: float,
+    delta: float,
+    method: str,
+    rng: np.random.Generator,
+    samples: WorldSampleSet,
+    oracle: GlobalTrussOracle,
+    local_result: LocalTrussResult,
+    max_k: int | None,
+    max_states: int | None,
+    progress,
+    start_k: int,
+    initial_trusses: dict[int, list[ProbabilisticGraph]] | None,
+    executor,
+    root: int,
+) -> GlobalTrussResult:
+    """The Algorithm 3 k-loop, shared by the serial and parallel modes."""
 
     result = GlobalTrussResult(
         graph=graph, gamma=gamma, epsilon=epsilon, delta=delta,
@@ -501,16 +642,38 @@ def global_truss_decomposition(
         if not candidates:
             break
         found: dict[frozenset[Edge], ProbabilisticGraph] = {}
-        for piece in _edge_subgraphs_of_components(graph, candidates):
-            if method == "gtd":
-                trusses = top_down_search(oracle, k, piece, gamma,
-                                          max_states=max_states,
-                                          progress=progress)
-            else:
-                trusses = bottom_up_search(oracle, k, piece, gamma, rng=rng,
-                                           progress=progress)
-            for t in trusses:
-                found.setdefault(frozenset(t.edges()), t)
+        pieces = _edge_subgraphs_of_components(graph, candidates)
+        if (method == "gtd" and executor is not None
+                and executor.pool_workers > 1 and len(pieces) > 1):
+            # Components are independent; search them concurrently and
+            # merge in component order. top_down_search is deterministic,
+            # so each worker's answer list matches a serial pass.
+            payloads = [
+                (tuple(piece.edges()), k, gamma, max_states)
+                for piece in pieces
+            ]
+            results = executor.map("gtd-component", payloads,
+                                   progress=progress)
+            for piece, res in zip(pieces, results):
+                for t_edges in res:
+                    t = piece.edge_subgraph(list(t_edges))
+                    found.setdefault(frozenset(t.edges()), t)
+        else:
+            for comp_index, piece in enumerate(pieces):
+                if method == "gtd":
+                    trusses = top_down_search(oracle, k, piece, gamma,
+                                              max_states=max_states,
+                                              progress=progress)
+                elif executor is not None:
+                    trusses = _bottom_up_search_parallel(
+                        executor, oracle, k, comp_index, piece, gamma,
+                        root, progress=progress,
+                    )
+                else:
+                    trusses = bottom_up_search(oracle, k, piece, gamma,
+                                               rng=rng, progress=progress)
+                for t in trusses:
+                    found.setdefault(frozenset(t.edges()), t)
         # Line 12: keep only the maximal answers.
         maximal = _filter_maximal(found)
         if not maximal:

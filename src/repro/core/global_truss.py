@@ -28,6 +28,7 @@ __all__ = [
     "world_is_connected_ktruss",
     "alpha_exact",
     "is_global_truss_exact",
+    "classify_worlds",
     "GlobalTrussOracle",
 ]
 
@@ -200,6 +201,46 @@ class _WorldClassifier:
         )
 
 
+def classify_worlds(
+    edges: Sequence[Edge], nodes: Sequence[Node], k: int,
+    matrix: np.ndarray, candidate_rows: np.ndarray,
+) -> dict[Edge, int]:
+    """Count qualifying worlds containing each edge (exact w.r.t. samples).
+
+    ``matrix`` is the full ``(N, m)`` projected presence matrix of the
+    candidate and ``candidate_rows`` the row indices to classify.
+    Sampled worlds of a candidate often repeat the same presence pattern
+    (high-probability candidates are dominated by the all-edges world),
+    so identical rows are classified once and credited with their
+    multiplicity.
+
+    Counts are additive over disjoint row sets — the property the
+    parallel oracle uses to classify row blocks in worker processes and
+    sum the integer counts with no change in the result.
+    """
+    edges = list(edges)
+    counts = {e: 0 for e in edges}
+    if candidate_rows.size == 0:
+        return counts
+    classifier = _WorldClassifier(edges, list(nodes), k)
+    sub = matrix[candidate_rows]
+    if len(edges) <= 48:
+        patterns, multiplicity = np.unique(sub, axis=0, return_counts=True)
+    else:
+        patterns, multiplicity = sub, np.ones(sub.shape[0], dtype=np.int64)
+    qualifying = classifier.connected_mask(patterns)
+    if k > 2:
+        for i in np.flatnonzero(qualifying):
+            if not classifier.truss_ok(np.flatnonzero(patterns[i])):
+                qualifying[i] = False
+    if qualifying.any():
+        counts_vec = patterns[qualifying].astype(np.int64).T @ (
+            multiplicity[qualifying].astype(np.int64)
+        )
+        counts = {e: int(counts_vec[j]) for j, e in enumerate(edges)}
+    return counts
+
+
 def _minimum_world_edges(n_nodes: int, k: int) -> int:
     """Lower bound on |E| of any qualifying world on ``n_nodes`` nodes.
 
@@ -230,13 +271,23 @@ class GlobalTrussOracle:
     #: finest-grained cancellation point inside a GTD/GBU level.
     _PROGRESS_INTERVAL = 32
 
-    def __init__(self, samples: WorldSampleSet, progress=None):
+    #: Minimum classification size (candidate rows x edges) before a
+    #: single evaluation is split across worker processes. Below this the
+    #: serial classifier beats the dispatch round-trip.
+    _PARALLEL_MIN_CELLS = 1 << 17
+
+    def __init__(self, samples: WorldSampleSet, progress=None, executor=None):
         self._samples = samples
         self._cache: dict[tuple[frozenset[Edge], frozenset[Node], int],
                           dict[Edge, float]] = {}
         self._frequency: dict[Edge, float] = {}
         self._progress = progress
         self._evaluations = 0
+        #: Optional :class:`repro.parallel.ParallelExecutor`; when it has
+        #: live worker processes, single large evaluations are split into
+        #: disjoint sample-row blocks classified in parallel (integer
+        #: counts are additive over row blocks, so results are identical).
+        self.executor = executor
 
     def _tick(self) -> None:
         """Emit an ``oracle-eval`` event every few candidate evaluations."""
@@ -272,33 +323,37 @@ class GlobalTrussOracle:
         self, edges: list[Edge], nodes: list[Node], k: int,
         matrix: np.ndarray, candidate_rows: np.ndarray,
     ) -> dict[Edge, int]:
-        """Count qualifying worlds containing each edge (exact w.r.t. samples).
+        return classify_worlds(edges, nodes, k, matrix, candidate_rows)
 
-        Sampled worlds of a candidate often repeat the same presence
-        pattern (high-probability candidates are dominated by the
-        all-edges world), so identical rows are classified once and
-        credited with their multiplicity.
+    def _parallel_worthwhile(self, n_edges: int, n_rows: int) -> bool:
+        return (
+            self.executor is not None
+            and getattr(self.executor, "pool_workers", 1) > 1
+            and n_edges * n_rows >= self._PARALLEL_MIN_CELLS
+        )
+
+    def _parallel_counts(
+        self, edges: list[Edge], nodes: list[Node], k: int,
+        candidate_rows: np.ndarray,
+    ) -> dict[Edge, int]:
+        """Classify row blocks in worker processes and sum the counts.
+
+        One block per worker: each worker pays the projection
+        (``presence_matrix``) once, so fewer, larger blocks win.
         """
-        counts = {e: 0 for e in edges}
-        if candidate_rows.size == 0:
-            return counts
-        classifier = _WorldClassifier(edges, nodes, k)
-        sub = matrix[candidate_rows]
-        if len(edges) <= 48:
-            patterns, multiplicity = np.unique(sub, axis=0, return_counts=True)
-        else:
-            patterns, multiplicity = sub, np.ones(sub.shape[0], dtype=np.int64)
-        qualifying = classifier.connected_mask(patterns)
-        if k > 2:
-            for i in np.flatnonzero(qualifying):
-                if not classifier.truss_ok(np.flatnonzero(patterns[i])):
-                    qualifying[i] = False
-        if qualifying.any():
-            counts_vec = patterns[qualifying].astype(np.int64).T @ (
-                multiplicity[qualifying].astype(np.int64)
-            )
-            counts = {e: int(counts_vec[j]) for j, e in enumerate(edges)}
-        return counts
+        blocks = np.array_split(candidate_rows, self.executor.pool_workers)
+        payloads = [
+            (list(edges), list(nodes), k, block)
+            for block in blocks if block.size
+        ]
+        results = self.executor.map(
+            "oracle-block", payloads, progress=self._progress
+        )
+        totals = {e: 0 for e in edges}
+        for counts in results:
+            for e, c in zip(edges, counts):
+                totals[e] += c
+        return totals
 
     def alpha_estimates(
         self, subgraph: ProbabilisticGraph, k: int
@@ -327,7 +382,12 @@ class GlobalTrussOracle:
             candidate_rows = np.flatnonzero(
                 row_sums >= _minimum_world_edges(len(nodes), k)
             )
-            counts = self._classify(edges, nodes, k, matrix, candidate_rows)
+            if self._parallel_worthwhile(len(edges), candidate_rows.size):
+                counts = self._parallel_counts(edges, nodes, k, candidate_rows)
+            else:
+                counts = self._classify(
+                    edges, nodes, k, matrix, candidate_rows
+                )
         estimates = {e: c / self._samples.n_samples for e, c in counts.items()}
         self._cache[key] = estimates
         return dict(estimates)
@@ -380,6 +440,18 @@ class GlobalTrussOracle:
         upper = sub.sum(axis=0)
         if (upper < needed).any():
             return False
+        if self._parallel_worthwhile(len(edges), candidate_rows.size):
+            # Full counts over disjoint row blocks: the serial early-exit
+            # below is a sound False fast-path, so completing the count
+            # yields the same boolean (and the same cached estimates as a
+            # completed serial pass).
+            counts = self._parallel_counts(edges, node_list, k,
+                                           candidate_rows)
+            estimates = {
+                e: counts[e] / self._samples.n_samples for e in edges
+            }
+            self._cache[key] = estimates
+            return all(a >= threshold for a in estimates.values())
         # One batched C-level connectivity pass over all unique patterns,
         # then (for k >= 3 only) per-pattern truss checks, heaviest
         # first, with a live per-edge bound achieved(e) + pending(e) for

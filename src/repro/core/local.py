@@ -150,6 +150,7 @@ def local_truss_decomposition(
     gamma: float,
     method: str = "dp",
     progress=None,
+    executor=None,
 ) -> LocalTrussResult:
     """Run Algorithm 1: compute the local trussness of every edge.
 
@@ -170,6 +171,15 @@ def local_truss_decomposition(
         the peeling; the trussness assigned so far (which is final —
         peeling emits tau in nondecreasing order) is attached to the
         exception's ``partial`` attribute when it has one.
+    executor:
+        Optional :class:`~repro.parallel.ParallelExecutor`. The initial
+        O(k_e^2) support DPs — the one embarrassingly parallel stage of
+        Algorithm 1 — are then computed in chunks across its workers,
+        with triangle factors in canonical node order so every worker
+        count (including the inline 1) produces identical PMFs. The
+        peeling itself stays serial: it is an inherently sequential
+        bucket-queue scan. ``None`` keeps the original loop (whose qs
+        ordering follows set iteration order) untouched.
 
     Returns
     -------
@@ -184,11 +194,25 @@ def local_truss_decomposition(
     work = graph.copy()
     pmfs: dict[Edge, SupportProbability] = {}
     levels: dict[Edge, int] = {}
-    for u, v, p in work.edges_with_probabilities():
-        e = (u, v)
-        sp = SupportProbability.from_edge(work, u, v)
-        pmfs[e] = sp
-        levels[e] = sp.level(gamma, p)
+    if executor is not None:
+        pairs = [(u, v) for u, v, _ in work.edges_with_probabilities()]
+        # A few chunks per worker keeps stragglers short without
+        # drowning the pool in dispatch overhead.
+        size = max(1, -(-len(pairs) // (executor.pool_workers * 4)))
+        payloads = [
+            (gamma, pairs[i:i + size]) for i in range(0, len(pairs), size)
+        ]
+        for chunk in executor.map("pmf-init", payloads, progress=progress):
+            for u, v, qs, pmf, level in chunk:
+                e = (u, v)
+                pmfs[e] = SupportProbability.from_factors(qs, pmf)
+                levels[e] = level
+    else:
+        for u, v, p in work.edges_with_probabilities():
+            e = (u, v)
+            sp = SupportProbability.from_edge(work, u, v)
+            pmfs[e] = sp
+            levels[e] = sp.level(gamma, p)
 
     queue = _LevelBuckets(levels)
     trussness: dict[Edge, int] = {}

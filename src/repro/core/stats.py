@@ -10,6 +10,7 @@ from __future__ import annotations
 from collections.abc import Hashable
 from dataclasses import dataclass
 
+from repro.exceptions import ParameterError
 from repro.graphs.probabilistic import ProbabilisticGraph
 from repro.core.metrics import (
     clustering_coefficient,
@@ -43,13 +44,14 @@ def probability_quantiles(
     quantiles: tuple[float, ...] = (0.0, 0.25, 0.5, 0.75, 1.0),
 ) -> dict[float, float]:
     """Return edge-probability quantiles (empty graph: all zeros)."""
+    for q in quantiles:
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError(f"quantile must be in [0, 1], got {q}")
     probs = sorted(p for _, _, p in graph.edges_with_probabilities())
     if not probs:
         return {q: 0.0 for q in quantiles}
     out: dict[float, float] = {}
     for q in quantiles:
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
         idx = min(len(probs) - 1, max(0, round(q * (len(probs) - 1))))
         out[q] = probs[idx]
     return out

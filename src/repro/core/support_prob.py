@@ -153,6 +153,31 @@ class SupportProbability:
         return cls(list(triangle_probabilities(graph, u, v).values()))
 
     @classmethod
+    def from_factors(
+        cls, qs: Sequence[float], pmf: Sequence[float]
+    ) -> "SupportProbability":
+        """Wrap a PMF together with the triangle factors that produced it.
+
+        ``pmf`` must be ``support_pmf(qs)`` computed elsewhere — this is
+        the hand-off used when the O(k_e^2) initial DPs are computed in
+        worker processes and shipped back: the parent rebuilds a fully
+        functional object (recompute safety net included) without
+        re-running the DP.
+        """
+        qs = [float(q) for q in qs]
+        pmf = [float(x) for x in pmf]
+        if len(pmf) != len(qs) + 1:
+            raise ParameterError(
+                f"PMF of length {len(pmf)} does not match "
+                f"{len(qs)} triangle factors"
+            )
+        obj = cls.__new__(cls)
+        obj._pmf = pmf
+        obj._qs = qs
+        obj._err = 1e-16
+        return obj
+
+    @classmethod
     def from_pmf(cls, pmf: Sequence[float]) -> "SupportProbability":
         """Wrap an existing PMF (must sum to ~1); used by tests and copies."""
         total = sum(pmf)

@@ -162,6 +162,16 @@ class SampleBatcher:
     def load_batch(self, presence: np.ndarray) -> None:
         """Append a previously drawn batch (checkpoint resume path)."""
         presence = np.asarray(presence, dtype=bool)
+        if self.batches_drawn >= self.n_batches:
+            # Without this check the batch_rows() call below would fail
+            # with a misleading "index out of range" — the real problem
+            # is a checkpoint holding more batches than the run needs
+            # (oversized, corrupt, or from different parameters).
+            raise ParameterError(
+                f"all {self.n_batches} batches have already been drawn; "
+                "cannot load another resumed batch (the checkpoint holds "
+                "more sample batches than this run's parameters allow)"
+            )
         expected = (self.batch_rows(self.batches_drawn), len(self._edges))
         if presence.shape != expected:
             raise ParameterError(
@@ -226,6 +236,13 @@ class WorldSampleSet:
             raise ParameterError(
                 "presence must be an (n_samples, n_edges) boolean matrix"
             )
+        if presence.shape[0] < 1:
+            # An empty sample set would make every downstream frequency
+            # (c / n_samples) a division by zero.
+            raise ParameterError(
+                "a WorldSampleSet needs at least one sampled world, got "
+                f"a ({presence.shape[0]}, {presence.shape[1]}) presence matrix"
+            )
         self._n_samples = presence.shape[0]
         self._edges = list(edges)
         self._edge_index = {e: i for i, e in enumerate(self._edges)}
@@ -233,6 +250,48 @@ class WorldSampleSet:
             raise ParameterError("duplicate edges in sample-set column order")
         # Pack along the sample axis: one column of bits per edge.
         self._packed = np.packbits(presence, axis=0)
+
+    @classmethod
+    def from_packed(
+        cls, packed: np.ndarray, n_samples: int, edges: list[Edge]
+    ) -> "WorldSampleSet":
+        """Wrap an already bit-packed ``(ceil(N/8), m)`` matrix, zero-copy.
+
+        ``packed`` must be laid out exactly as :attr:`packed_bits`
+        produces it (bits packed along the sample axis). The array is
+        *not* copied — this is how worker processes view a sample set
+        published in shared memory without duplicating it.
+        """
+        if n_samples < 1:
+            raise ParameterError(
+                f"a WorldSampleSet needs at least one sampled world, "
+                f"got n_samples={n_samples}"
+            )
+        packed = np.asarray(packed, dtype=np.uint8)
+        expected = (-(-n_samples // 8), len(edges))
+        if packed.ndim != 2 or packed.shape != expected:
+            raise ParameterError(
+                f"packed presence bits have shape {packed.shape}, "
+                f"expected {expected} for {n_samples} samples over "
+                f"{len(edges)} edges"
+            )
+        obj = cls.__new__(cls)
+        obj._n_samples = int(n_samples)
+        obj._edges = list(edges)
+        obj._edge_index = {e: i for i, e in enumerate(obj._edges)}
+        if len(obj._edge_index) != len(obj._edges):
+            raise ParameterError("duplicate edges in sample-set column order")
+        obj._packed = packed
+        return obj
+
+    @property
+    def packed_bits(self) -> np.ndarray:
+        """The raw ``(ceil(N/8), m)`` bit-packed presence matrix (no copy).
+
+        One column of packed bits per edge, samples along axis 0 — the
+        layout :meth:`from_packed` accepts back. Treat as read-only.
+        """
+        return self._packed
 
     @classmethod
     def from_graph(

@@ -1,0 +1,30 @@
+"""Multi-core execution layer (``--workers N``).
+
+Fans the compute-bound stages — GBU seed evaluation, GTD component
+search, oversized oracle evaluations, and the initial support-PMF DPs —
+across worker processes while keeping results bit-identical to the
+``workers=1`` inline path. The world sample set is published once into
+:mod:`multiprocessing.shared_memory`; workers project candidates
+against the same physical pages with zero copying.
+
+Entry points: :class:`ParallelExecutor` (the pool front end),
+:class:`SharedWorldSamples`/:func:`attach_samples` (the shared segment),
+and :func:`resolve_workers` (CLI value normalisation). The decomposition
+APIs accept ``workers=``/``executor=`` and wire these together; see
+``docs/performance.md`` for the determinism contract.
+"""
+
+from repro.parallel.executor import ParallelExecutor, resolve_workers
+from repro.parallel.shared import (
+    SharedSamplesHandle,
+    SharedWorldSamples,
+    attach_samples,
+)
+
+__all__ = [
+    "ParallelExecutor",
+    "resolve_workers",
+    "SharedSamplesHandle",
+    "SharedWorldSamples",
+    "attach_samples",
+]

@@ -1,0 +1,235 @@
+"""The process-pool front end: dispatch, progress pumping, cancellation.
+
+:class:`ParallelExecutor` owns everything the parallel mode needs for
+one run: the forked worker pool, the shared-memory sample segment, the
+shared cancel flag, and the counter block workers tick progress into.
+``workers=1`` (or an environment without ``fork``) degrades to *inline*
+mode — the same task functions run synchronously in the parent process,
+which is both the zero-overhead special case and the reference the
+equivalence tests compare worker counts against.
+
+Progress and budgets
+--------------------
+Pool workers cannot call the parent's progress hook, so they tick
+shared counters instead (see :mod:`repro.parallel.work`). While a
+``map`` is in flight the parent pumps: every ``_PUMP_INTERVAL`` seconds
+it folds counter deltas into ordinary :class:`ProgressEvent` s — plus a
+``parallel-heartbeat`` when nothing moved — and feeds them to the active
+hook. A hook that raises (budget breach, injected fault, Ctrl-C guard)
+sets the cancel flag, which workers poll at evaluation boundaries, and
+the exception propagates exactly as it would from the serial loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+
+from repro.exceptions import ParameterError
+from repro.parallel.shared import SharedWorldSamples
+from repro.parallel.work import (
+    COUNTER_PHASES,
+    TASKS,
+    WorkerState,
+    _init_worker,
+    run_task,
+)
+
+__all__ = ["ParallelExecutor", "resolve_workers"]
+
+#: Seconds between progress pumps while a parallel map is in flight.
+_PUMP_INTERVAL = 0.05
+
+#: Seconds to wait for in-flight tasks to notice the cancel flag.
+_ABORT_GRACE = 30.0
+
+
+def resolve_workers(workers) -> int:
+    """Normalise a ``--workers`` value to a positive worker count.
+
+    ``0`` and ``"auto"`` mean one worker per available core; anything
+    else must be a positive integer.
+    """
+    if not isinstance(workers, bool) and workers in (0, "auto"):
+        return max(1, os.cpu_count() or 1)
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ParameterError(
+            f"workers must be a positive integer, 0 or 'auto', got {workers!r}"
+        )
+    if workers < 1:
+        raise ParameterError(f"workers must be at least 1, got {workers}")
+    return workers
+
+
+class ParallelExecutor:
+    """Runs named tasks over payload lists, in-process or across a pool.
+
+    Parameters
+    ----------
+    workers:
+        Requested worker count (see :func:`resolve_workers`).
+    graph:
+        The host graph; workers rebuild it once at pool start.
+    samples:
+        Optional :class:`~repro.graphs.sampling.WorldSampleSet` to
+        publish into shared memory for the workers.
+    oracle:
+        Optional parent-side oracle for inline mode (warm cache). Can
+        be attached later with :meth:`attach_oracle` when the oracle is
+        created after the executor (the harness does this).
+
+    Use as a context manager, or call :meth:`start`/:meth:`close`.
+    ``pool_workers`` is 1 until a pool is actually live — callers gate
+    "is parallelism real?" decisions on it, not on ``workers``.
+    """
+
+    def __init__(self, workers, *, graph, samples=None, oracle=None):
+        self.workers = resolve_workers(workers)
+        self.pool_workers = 1
+        self._graph = graph
+        self._samples = samples
+        self._oracle = oracle
+        self._pool = None
+        self._shared = None
+        self._cancel = None
+        self._counters = None
+        self._inline_state = None
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ParallelExecutor":
+        if self._started:
+            return self
+        self._started = True
+        if self.workers > 1:
+            try:
+                ctx = mp.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                ctx = None
+            if ctx is not None:
+                if self._samples is not None:
+                    self._shared = SharedWorldSamples.publish(self._samples)
+                handle = self._shared.handle if self._shared else None
+                self._cancel = ctx.Event()
+                self._counters = {
+                    phase: ctx.Value("q", 0) for phase in COUNTER_PHASES
+                }
+                triples = list(self._graph.edges_with_probabilities())
+                # Fork context: the initargs (including the Event and
+                # Values) reach workers by inheritance, not pickling.
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    mp_context=ctx,
+                    initializer=_init_worker,
+                    initargs=(triples, handle, self._cancel, self._counters),
+                )
+                self.pool_workers = self.workers
+        self._inline_state = WorkerState(
+            self._graph, self._samples, oracle=self._oracle
+        )
+        return self
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+        self.pool_workers = 1
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- wiring ---------------------------------------------------------
+    def attach_oracle(self, oracle) -> None:
+        """Hand the parent-side oracle to inline mode, and vice versa.
+
+        The oracle gains ``executor = self`` so oversized single
+        evaluations can split across the pool; inline tasks gain the
+        oracle's warm cache.
+        """
+        self._oracle = oracle
+        if self._inline_state is not None:
+            self._inline_state.oracle = oracle
+        oracle.executor = self
+
+    def cache_component(self, edges, graph) -> None:
+        """Let inline mode reuse an already-materialised component."""
+        if self._inline_state is not None:
+            self._inline_state.seed_component(
+                tuple(map(tuple, edges)), graph
+            )
+
+    # -- dispatch -------------------------------------------------------
+    def map(self, name: str, payloads, progress=None) -> list:
+        """Run task ``name`` over ``payloads``; results in payload order.
+
+        Inline mode runs synchronously (hooks fire from inside the
+        tasks, exactly as in the serial code). Pool mode dispatches all
+        payloads and pumps progress until every future resolves; the
+        first worker exception aborts the rest and re-raises here.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        if self._pool is None:
+            state = self._inline_state
+            state.progress = progress
+            try:
+                return [TASKS[name](state, p) for p in payloads]
+            finally:
+                state.progress = None
+        futures = [self._pool.submit(run_task, name, p) for p in payloads]
+        try:
+            self._pump(futures, progress)
+        except BaseException:
+            self._abort(futures)
+            raise
+        return [f.result() for f in futures]
+
+    def _pump(self, futures, progress) -> None:
+        from repro.runtime.progress import ProgressEvent
+
+        pending = set(futures)
+        last: dict[str, int] = {}
+        heartbeat = 0
+        while pending:
+            done, pending = wait(
+                pending, timeout=_PUMP_INTERVAL, return_when=FIRST_EXCEPTION
+            )
+            for future in done:
+                exc = future.exception()
+                if exc is not None:
+                    raise exc
+            if progress is None:
+                continue
+            moved = False
+            for phase, counter in self._counters.items():
+                value = counter.value
+                if value != last.get(phase, 0):
+                    last[phase] = value
+                    moved = True
+                    progress(ProgressEvent(phase, step=value))
+            if not moved:
+                heartbeat += 1
+                progress(ProgressEvent("parallel-heartbeat", step=heartbeat))
+
+    def _abort(self, futures) -> None:
+        """Cancel queued work, flag running work, and drain the pool.
+
+        The cancel flag is cleared afterwards so the pool stays usable —
+        the harness reuses one executor across stages (and across the
+        GTD-to-GBU fallback) after catching the raised exception.
+        """
+        if self._cancel is not None:
+            self._cancel.set()
+        for future in futures:
+            future.cancel()
+        wait(futures, timeout=_ABORT_GRACE)
+        if self._cancel is not None:
+            self._cancel.clear()

@@ -1,0 +1,147 @@
+"""Zero-copy publication of a :class:`WorldSampleSet` to worker processes.
+
+The Monte-Carlo oracle's dominant data structure is the bit-packed
+``(ceil(N/8), m)`` presence matrix of the sampled possible worlds. It is
+written once and then only *read* — by every candidate evaluation of
+every search at every level — which makes it the textbook case for
+:mod:`multiprocessing.shared_memory`: the parent publishes the packed
+bits into one shared segment, and each worker maps the same physical
+pages and wraps them in a :class:`WorldSampleSet` view via
+:meth:`~repro.graphs.sampling.WorldSampleSet.from_packed`. No worker
+ever copies the samples; projections (``unpackbits`` on selected
+columns) materialise only the slice a candidate needs.
+
+The handle that travels to workers (:class:`SharedSamplesHandle`)
+carries just the segment name, the matrix geometry, and the column
+order — a few KB of metadata for an arbitrarily large sample set.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.exceptions import ParameterError
+from repro.graphs.sampling import WorldSampleSet
+
+__all__ = ["SharedSamplesHandle", "SharedWorldSamples", "attach_samples"]
+
+
+class SharedSamplesHandle:
+    """Picklable descriptor of a published sample set.
+
+    Attributes
+    ----------
+    name:
+        The shared-memory segment name.
+    n_samples:
+        Number of sampled worlds ``N``.
+    packed_shape:
+        Shape ``(ceil(N/8), m)`` of the packed bit matrix.
+    edges:
+        Column order (canonical edge keys) of the matrix.
+    """
+
+    __slots__ = ("name", "n_samples", "packed_shape", "edges")
+
+    def __init__(self, name, n_samples, packed_shape, edges):
+        self.name = name
+        self.n_samples = int(n_samples)
+        self.packed_shape = tuple(int(x) for x in packed_shape)
+        self.edges = list(edges)
+
+    def __getstate__(self):
+        return (self.name, self.n_samples, self.packed_shape, self.edges)
+
+    def __setstate__(self, state):
+        self.name, self.n_samples, self.packed_shape, self.edges = state
+
+
+class SharedWorldSamples:
+    """A :class:`WorldSampleSet` published into shared memory.
+
+    Create with :meth:`publish`; pass :attr:`handle` to workers; call
+    :meth:`close` (or use as a context manager) in the owning process
+    when every worker is done — the segment is unlinked exactly once,
+    by the owner.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 handle: SharedSamplesHandle):
+        self._shm = shm
+        self.handle = handle
+
+    @classmethod
+    def publish(cls, samples: WorldSampleSet) -> "SharedWorldSamples":
+        """Copy ``samples``' packed bits into a fresh shared segment."""
+        packed = samples.packed_bits
+        if packed.size == 0:
+            # Zero-byte segments are rejected by the OS; keep one page so
+            # edgeless graphs follow the same code path as real ones.
+            shm = shared_memory.SharedMemory(create=True, size=1)
+        else:
+            shm = shared_memory.SharedMemory(create=True, size=packed.nbytes)
+            view = np.ndarray(packed.shape, dtype=np.uint8, buffer=shm.buf)
+            view[:] = packed  # the one and only copy
+        handle = SharedSamplesHandle(
+            shm.name, samples.n_samples, packed.shape,
+            list(samples.edge_index),
+        )
+        return cls(shm, handle)
+
+    def view(self) -> WorldSampleSet:
+        """A :class:`WorldSampleSet` over the shared bits (owner-side)."""
+        return _wrap(self._shm, self.handle)
+
+    def close(self, unlink: bool = True) -> None:
+        """Unmap the segment; with ``unlink`` also remove it (owner only)."""
+        self._shm.close()
+        if unlink:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "SharedWorldSamples":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def _wrap(shm: shared_memory.SharedMemory,
+          handle: SharedSamplesHandle) -> WorldSampleSet:
+    rows, cols = handle.packed_shape
+    if rows * cols == 0:
+        packed = np.zeros((rows, cols), dtype=np.uint8)
+    else:
+        packed = np.ndarray((rows, cols), dtype=np.uint8, buffer=shm.buf)
+    return WorldSampleSet.from_packed(packed, handle.n_samples, handle.edges)
+
+
+def attach_samples(
+    handle: SharedSamplesHandle,
+) -> tuple[WorldSampleSet, shared_memory.SharedMemory]:
+    """Attach to a published sample set from a worker process.
+
+    Returns the zero-copy :class:`WorldSampleSet` view plus the
+    :class:`SharedMemory` object keeping the mapping alive — the caller
+    must hold a reference to the latter for as long as the view is used.
+
+    Note on resource tracking: attaching registers the segment with the
+    process's resource tracker (CPython registers unconditionally on
+    POSIX — bpo-38119). The executor only ever attaches from *forked*
+    workers, which share the parent's tracker process, so the duplicate
+    registration is a set no-op and the owner's :meth:`unlink` retires
+    the one tracked entry cleanly. Attaching from a *spawned* process
+    would hand ownership to that process's private tracker — don't.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=handle.name)
+    except FileNotFoundError:
+        raise ParameterError(
+            f"shared sample segment {handle.name!r} no longer exists "
+            "(the publishing process closed it?)"
+        ) from None
+    return _wrap(shm, handle), shm

@@ -1,0 +1,280 @@
+"""Worker-process state and task functions for the parallel executor.
+
+Each worker process is initialised once (:func:`_init_worker`): it
+rebuilds the host graph from edge triples, attaches the shared-memory
+world sample view, and constructs its own :class:`GlobalTrussOracle`
+over that view. Tasks then arrive as ``(name, payload)`` pairs and run
+against this per-process state — no per-task graph or sample shipping.
+
+Determinism contract
+--------------------
+Every task is a pure function of its payload plus the (identical)
+per-process state, so results do not depend on which worker runs a task
+or in which order tasks complete:
+
+* ``gbu-seed`` derives its RNG from an explicit
+  :class:`numpy.random.SeedSequence` entropy tuple carried in the
+  payload — never from shared stream state;
+* graphs rebuilt inside workers insert edges in the exact order the
+  parent used (``edge_subgraph`` canonicalises construction order);
+* anything order-sensitive (apex choice, qs factors) is sorted by a
+  canonical node key before use.
+
+The same task functions run *inline* in the parent process when
+``workers=1`` — that is the reference the equivalence tests compare
+worker counts against.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import numpy as np
+
+from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
+from repro.core.global_truss import GlobalTrussOracle, classify_worlds
+from repro.core.support_prob import (
+    SupportProbability,
+    support_pmf,
+    triangle_probabilities,
+)
+from repro.parallel.shared import SharedSamplesHandle, attach_samples
+
+__all__ = ["CANCELLED", "WorkerState", "TASKS", "run_task", "node_sort_key"]
+
+#: Returned by :func:`run_task` in place of a result when the shared
+#: cancel flag was observed mid-task. The parent only sees these on the
+#: abort path, where results are discarded anyway.
+CANCELLED = "__repro-parallel-cancelled__"
+
+#: Shared counters the parent's progress pump reads; one slot per
+#: worker-emitted phase.
+COUNTER_PHASES = ("oracle-eval", "gtd-state", "local-init")
+
+#: Edges between cancel-flag polls in the PMF-init loop.
+_CANCEL_POLL = 32
+
+
+class _WorkerCancelled(Exception):
+    """Internal: the parent set the cancel flag; abandon the task."""
+
+
+def node_sort_key(w):
+    """Canonical node ordering usable across mixed node types."""
+    return (type(w).__name__, str(w))
+
+
+def _edge_sort_key(e):
+    return (str(e[0]), str(e[1]))
+
+
+class WorkerState:
+    """Per-process execution state shared by all tasks of one worker.
+
+    The same class backs the parent-side *inline* mode (``workers=1``):
+    there ``counters``/``cancel`` stay None (ticks become no-ops), the
+    oracle is the parent's own (warm cache), and ``progress`` is set by
+    the executor to the currently active parent hook before each map.
+    """
+
+    def __init__(self, graph: ProbabilisticGraph, samples=None, *,
+                 oracle=None, cancel=None, counters=None):
+        self.graph = graph
+        self.samples = samples
+        self.cancel = cancel
+        self.counters = counters
+        self.progress = None
+        if oracle is not None:
+            self.oracle = oracle
+        elif samples is not None:
+            self.oracle = GlobalTrussOracle(samples, progress=self.hook)
+        else:
+            self.oracle = None
+        self._components: dict[tuple, ProbabilisticGraph] = {}
+        self._shm = None  # keeps the shared mapping alive in workers
+
+    # -- progress plumbing ---------------------------------------------
+    def hook(self, event) -> None:
+        """Progress hook handed to oracle/search code inside a worker.
+
+        Counts events into the shared counters (the parent's pump turns
+        them back into :class:`ProgressEvent` s) and polls the cancel
+        flag — the cooperative cancellation point inside a level.
+        """
+        if self.counters is not None:
+            counter = self.counters.get(event.phase)
+            if counter is not None:
+                with counter.get_lock():
+                    counter.value += 1
+        if self.progress is not None:
+            self.progress(event)
+        self.check_cancel()
+
+    def bump(self, phase: str, amount: int = 1) -> None:
+        """Add ``amount`` to the shared counter for ``phase`` (if any)."""
+        if self.counters is not None:
+            counter = self.counters.get(phase)
+            if counter is not None:
+                with counter.get_lock():
+                    counter.value += amount
+
+    def check_cancel(self) -> None:
+        if self.cancel is not None and self.cancel.is_set():
+            raise _WorkerCancelled()
+
+    # -- component cache -----------------------------------------------
+    def component(self, edges: tuple) -> ProbabilisticGraph:
+        """Materialise (and cache) the subgraph over ``edges``.
+
+        ``edges`` must be the exact ordered edge tuple the parent's
+        component carries — ``edge_subgraph`` canonicalises construction
+        order, so the result is structurally identical to the parent's.
+        """
+        cached = self._components.get(edges)
+        if cached is None:
+            cached = self.graph.edge_subgraph(list(edges))
+            if len(self._components) >= 8:
+                # Levels revisit one component for many seeds; a handful
+                # of slots is plenty and bounds worker memory.
+                self._components.pop(next(iter(self._components)))
+            self._components[edges] = cached
+        return cached
+
+    def seed_component(self, edges: tuple, graph: ProbabilisticGraph) -> None:
+        """Pre-populate the cache (inline mode reuses the parent's piece)."""
+        if len(self._components) >= 8:
+            self._components.pop(next(iter(self._components)))
+        self._components[edges] = graph
+
+
+# ----------------------------------------------------------------------
+# Task functions. Each takes (state, payload) and returns plain
+# picklable data; the parent re-materialises graphs on its side.
+
+
+def _gbu_seed(state: WorkerState, payload):
+    """Evaluate one GBU seed: grow, test, extend; return sorted edges.
+
+    Payload: ``(component_edges, seed_edge, k, gamma, entropy)`` where
+    ``entropy`` is the SeedSequence tuple ``(root, k, comp_idx,
+    seed_idx)`` — the per-seed RNG stream that makes the evaluation
+    independent of scheduling.
+    """
+    from repro.core.global_decomp import _extend_to_maximal, _grow_candidate
+
+    comp_edges, seed_edge, k, gamma, entropy = payload
+    component = state.component(tuple(map(tuple, comp_edges)))
+    rng = np.random.default_rng(np.random.SeedSequence(list(entropy)))
+    grown = _grow_candidate(component, tuple(seed_edge), k, rng)
+    if grown is None:
+        return None
+    if not state.oracle.satisfies(grown, k, gamma):
+        return None
+    extended = _extend_to_maximal(state.oracle, component, grown, k, gamma)
+    return sorted(
+        (edge_key(u, v) for u, v in extended.edges()), key=_edge_sort_key
+    )
+
+
+def _gtd_component(state: WorkerState, payload):
+    """Run the exact top-down search over one connected component.
+
+    Payload: ``(component_edges, k, gamma, max_states)``. Returns one
+    sorted edge list per answer, in the search's (deterministic)
+    discovery order. :class:`DecompositionError` propagates to the
+    parent, which treats it exactly like the serial search would.
+    """
+    from repro.core.global_decomp import top_down_search
+
+    comp_edges, k, gamma, max_states = payload
+    component = state.component(tuple(map(tuple, comp_edges)))
+    trusses = top_down_search(
+        state.oracle, k, component, gamma,
+        max_states=max_states, progress=state.hook,
+    )
+    return [
+        sorted((edge_key(u, v) for u, v in t.edges()), key=_edge_sort_key)
+        for t in trusses
+    ]
+
+
+def _oracle_block(state: WorkerState, payload):
+    """Classify one block of sample rows for a single oracle evaluation.
+
+    Payload: ``(edges, nodes, k, rows)``. Returns integer counts in
+    ``edges`` order; the parent sums the blocks (counts are additive
+    over disjoint row sets).
+    """
+    state.check_cancel()
+    edges, nodes, k, rows = payload
+    edges = [tuple(e) for e in edges]
+    matrix = state.samples.presence_matrix(edges)
+    counts = classify_worlds(
+        edges, nodes, k, matrix, np.asarray(rows, dtype=np.int64)
+    )
+    return [counts[e] for e in edges]
+
+
+def _pmf_init(state: WorkerState, payload):
+    """Run the O(k_e^2) initial support DPs for a chunk of edges.
+
+    Payload: ``(gamma, pairs)``. The triangle factors are ordered by the
+    canonical node key so every process — parent inline or any worker —
+    folds them into the DP in the same order (set iteration order would
+    differ across processes).
+    """
+    gamma, pairs = payload
+    out = []
+    for i, (u, v) in enumerate(pairs):
+        if i % _CANCEL_POLL == 0:
+            state.check_cancel()
+        p = state.graph.probability(u, v)
+        tri = triangle_probabilities(state.graph, u, v)
+        qs = [tri[w] for w in sorted(tri, key=node_sort_key)]
+        pmf = support_pmf(qs)
+        level = SupportProbability.from_factors(qs, pmf).level(gamma, p)
+        out.append((u, v, qs, pmf, level))
+    state.bump("local-init", len(pairs))
+    return out
+
+
+TASKS = {
+    "gbu-seed": _gbu_seed,
+    "gtd-component": _gtd_component,
+    "oracle-block": _oracle_block,
+    "pmf-init": _pmf_init,
+}
+
+
+# ----------------------------------------------------------------------
+# Process plumbing (pool mode only).
+
+_STATE: WorkerState | None = None
+
+
+def _init_worker(edge_triples, handle: SharedSamplesHandle | None,
+                 cancel, counters) -> None:
+    """Process-pool initializer: build the per-process state once.
+
+    SIGINT is ignored in workers — the parent handles Ctrl-C, writes its
+    checkpoint, and winds the pool down; a worker dying mid-task to the
+    same signal would turn a clean resumable exit into a broken pool.
+    """
+    global _STATE
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    graph = ProbabilisticGraph()
+    for u, v, p in edge_triples:
+        graph.add_edge(u, v, p)
+    samples = shm = None
+    if handle is not None:
+        samples, shm = attach_samples(handle)
+    _STATE = WorkerState(graph, samples, cancel=cancel, counters=counters)
+    _STATE._shm = shm
+
+
+def run_task(name: str, payload):
+    """Module-level task entry point submitted to the pool."""
+    try:
+        return TASKS[name](_STATE, payload)
+    except _WorkerCancelled:
+        return CANCELLED

@@ -146,6 +146,7 @@ def run_global(
     progress=None,
     gtd_fraction: float = DEFAULT_GTD_FRACTION,
     on_corrupt: str = "raise",
+    workers: int | str | None = None,
 ) -> PartialResult:
     """Run a global (k, gamma)-truss decomposition under the harness.
 
@@ -155,6 +156,17 @@ def run_global(
     budget:
         Cooperative limits; breaching them degrades the run instead of
         raising (see module docstring).
+    workers:
+        Parallel mode: one :class:`~repro.parallel.ParallelExecutor`
+        (created after sampling, over the shared sample set) is threaded
+        through the local pruning and the k loop, switching GBU to
+        per-seed RNG streams rooted at the int ``seed``. Results are
+        identical for every worker count — including 1 — but form a
+        separate determinism family from the ``workers=None`` serial
+        mode, so checkpoints carry an ``rng_scheme`` tag and a resumed
+        run may change ``workers`` freely but not add/drop the flag.
+        Checkpointed parallel runs additionally require an int seed (a
+        None seed's stream root cannot be re-derived on resume).
     checkpoint_dir / resume:
         Snapshot directory; with ``resume`` an existing compatible
         checkpoint is continued bit-identically.
@@ -178,6 +190,12 @@ def run_global(
     """
     store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
     seed = _require_plain_seed(seed, store is not None)
+    if workers is not None and store is not None and seed is None:
+        raise CheckpointError(
+            "checkpointed parallel runs need an int seed: the per-seed "
+            "RNG streams are rooted at it, and a root derived from a "
+            "None seed cannot be re-derived on resume"
+        )
     n_requested = (
         n_samples if n_samples is not None
         else hoeffding_sample_size(epsilon, delta)
@@ -194,6 +212,10 @@ def run_global(
         "max_k": max_k,
         "max_states": max_states,
         "graph": _graph_fingerprint(graph),
+        # Parallel mode is a distinct determinism family (per-seed GBU
+        # streams, canonical PMF factor order); the worker *count* is
+        # deliberately absent — any count resumes any compatible run.
+        "rng_scheme": "per-seed" if workers is not None else "sequential",
     }
     degr = _Degradations()
     if budget is not None:
@@ -227,7 +249,13 @@ def run_global(
         if decomp_state.get("fallback"):
             degr.fallback = decomp_state["fallback"]
 
-    current_method = method if degr.fallback is None else "gbu"
+    # Mutable decomposition state shared with the compute stages (which
+    # run in a helper function): the manifest writer must observe method
+    # fallbacks and completion as they happen.
+    state = {
+        "method": method if degr.fallback is None else "gbu",
+        "finished": decomp_finished,
+    }
 
     def write_manifest(status: str = "in-progress") -> None:
         if store is None:
@@ -244,8 +272,8 @@ def run_global(
             },
             "decomp": {
                 "levels": sorted(completed),
-                "finished": decomp_finished,
-                "method": current_method,
+                "finished": state["finished"],
+                "method": state["method"],
                 "fallback": degr.fallback,
             },
             "status": status,
@@ -318,9 +346,44 @@ def run_global(
         else hoeffding_epsilon(n_drawn, delta)
     )
 
+    # The executor (and its shared-memory sample segment) lives for the
+    # compute stages only; the sampling stage above is sequential-RNG
+    # and stays out of it by design.
+    executor = None
+    if workers is not None:
+        from repro.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(
+            workers, graph=graph, samples=world_set
+        ).start()
+    try:
+        return _run_global_compute(
+            graph, gamma, delta, seed, max_k, max_states, budget, store,
+            progress, gtd_fraction, degr, hook, rng, completed, state,
+            write_manifest, finish,
+            effective_epsilon=effective_epsilon, n_drawn=n_drawn,
+            world_set=world_set, executor=executor,
+        )
+    finally:
+        if executor is not None:
+            executor.close()
+
+
+def _run_global_compute(
+    graph, gamma, delta, seed, max_k, max_states, budget, store,
+    progress, gtd_fraction, degr, hook, rng, completed, state,
+    write_manifest, finish, *,
+    effective_epsilon, n_drawn, world_set, executor,
+):
+    """Stages 2-3 of :func:`run_global` (split out for executor scoping).
+
+    ``state`` is the mutable ``{"method", "finished"}`` dict shared with
+    the caller's manifest writer.
+    """
     # -- stage 2: local pruning (Eq. 11 candidate generation) ---------
     try:
-        local_result = local_truss_decomposition(graph, gamma, progress=hook)
+        local_result = local_truss_decomposition(graph, gamma, progress=hook,
+                                                 executor=executor)
     except BudgetExceededError as err:
         degr.note(f"budget exhausted during local pruning: {err}")
         write_manifest()
@@ -346,11 +409,11 @@ def run_global(
     def build_result() -> GlobalTrussResult:
         return GlobalTrussResult(
             graph=graph, gamma=gamma, epsilon=effective_epsilon,
-            delta=delta, n_samples=n_drawn, method=current_method,
+            delta=delta, n_samples=n_drawn, method=state["method"],
             trusses={k: list(v) for k, v in sorted(completed.items())},
         )
 
-    if decomp_finished:
+    if state["finished"]:
         return finish(build_result(), complete=True)
 
     def run_stage(stage_method: str, extra_hook=None) -> GlobalTrussResult:
@@ -363,10 +426,15 @@ def run_global(
             max_states=max_states, progress=stage_hook,
             start_k=max(completed, default=1) + 1,
             initial_trusses={k: list(v) for k, v in completed.items()},
+            executor=executor,
+            # Per-seed streams root at the int seed, so a resumed run
+            # derives the exact same streams regardless of where the
+            # main generator's state was when the run was killed.
+            rng_root=seed if executor is not None else None,
         )
 
     soft_budget = None
-    if (current_method == "gtd" and budget is not None
+    if (state["method"] == "gtd" and budget is not None
             and budget.remaining() is not None):
         soft_budget = Budget(
             deadline=budget.remaining() * gtd_fraction,
@@ -375,28 +443,28 @@ def run_global(
 
     try:
         try:
-            result = run_stage(current_method, extra_hook=soft_budget)
+            result = run_stage(state["method"], extra_hook=soft_budget)
         except BudgetExceededError as err:
             if (soft_budget is not None and err.budget is soft_budget
-                    and current_method == "gtd"):
+                    and state["method"] == "gtd"):
                 degr.fallback = "gtd->gbu"
                 degr.note(
                     "exact top-down search exceeded its share of the "
                     f"deadline ({err}); degrading to the bottom-up heuristic"
                 )
-                current_method = "gbu"
+                state["method"] = "gbu"
                 write_manifest()
                 result = run_stage("gbu")
             else:
                 raise
         except DecompositionError as err:
-            if current_method == "gtd":
+            if state["method"] == "gtd":
                 degr.fallback = "gtd->gbu"
                 degr.note(
                     f"exact top-down search gave up ({err}); degrading "
                     "to the bottom-up heuristic"
                 )
-                current_method = "gbu"
+                state["method"] = "gbu"
                 write_manifest()
                 result = run_stage("gbu")
             else:
@@ -414,7 +482,7 @@ def run_global(
         write_manifest()
         raise
 
-    decomp_finished = True
+    state["finished"] = True
     write_manifest(status="complete")
     return finish(result, complete=True)
 
@@ -432,6 +500,7 @@ def run_local(
     resume: bool = False,
     progress=None,
     on_corrupt: str = "raise",
+    workers: int | str | None = None,
 ) -> PartialResult:
     """Run a local decomposition under the harness.
 
@@ -441,6 +510,11 @@ def run_local(
     salvages the tau values assigned so far — which are final, since
     peeling emits trussness in nondecreasing order — as a degraded
     partial result.
+
+    ``workers`` parallelises the initial support DPs (the peeling stays
+    serial); its canonical triangle-factor ordering is tagged into the
+    checkpoint parameters, so serial and parallel runs never resume each
+    other's manifests, but any two worker counts do.
     """
     store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
     params = {
@@ -448,6 +522,7 @@ def run_local(
         "gamma": gamma,
         "method": method,
         "graph": _graph_fingerprint(graph),
+        "pmf_order": "canonical" if workers is not None else "adjacency",
     }
     if budget is not None:
         budget.start()
@@ -475,9 +550,15 @@ def run_local(
             }
             return to_partial(trussness, complete=True)
 
+    executor = None
+    if workers is not None:
+        from repro.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(workers, graph=graph).start()
     try:
         result = local_truss_decomposition(graph, gamma, method=method,
-                                           progress=hook)
+                                           progress=hook,
+                                           executor=executor)
     except BudgetExceededError as err:
         partial = err.partial or {}
         return to_partial(
@@ -496,6 +577,9 @@ def run_local(
     except ComputationInterrupted as err:
         _attach_checkpoint(err, store)
         raise
+    finally:
+        if executor is not None:
+            executor.close()
 
     if store is not None:
         store.save_manifest({

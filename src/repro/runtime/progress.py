@@ -24,10 +24,22 @@ Emitted phases
 ``oracle-eval``     the Monte-Carlo oracle classified another block of
                     candidate evaluations
 ``reliability-batch``  one batch of reliability samples classified
+``parallel-heartbeat``  the worker pool is alive but no counter moved
+                    during one pump interval (``step`` = heartbeat
+                    count); lets deadline budgets fire while workers
+                    grind on a long task
 ==================  =====================================================
 
 Checkpoints are written *before* the hook runs at each boundary, so a
 hook that raises never loses the batch it was notified about.
+
+With ``workers=N`` the in-worker phases (``oracle-eval``, ``gtd-state``,
+``local-init`` chunks) are counted in shared counters and re-emitted by
+the parent's pump thread as *coalesced* events: ``step`` then carries
+the counter delta since the previous pump rather than a per-call index.
+Hooks that only rate-limit or abort (budgets, interrupt guards) are
+unaffected; hooks that assume ``step`` is a dense sequence should treat
+parallel runs as sampled.
 """
 
 from __future__ import annotations

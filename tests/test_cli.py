@@ -21,6 +21,20 @@ class TestParser:
         assert args.epsilon == 0.1
         assert args.delta == 0.1
         assert args.method == "gbu"
+        assert args.workers is None
+
+    def test_workers_int_and_auto(self):
+        args = build_parser().parse_args(
+            ["local", "fruitfly", "--gamma", "0.5", "--workers", "4"])
+        assert args.workers == 4
+        args = build_parser().parse_args(
+            ["global", "fruitfly", "--gamma", "0.5", "--workers", "auto"])
+        assert args.workers == "auto"
+
+    def test_workers_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["local", "fruitfly", "--gamma", "0.5", "--workers", "lots"])
 
 
 class TestCommands:
@@ -82,6 +96,36 @@ class TestCommands:
         ]) == 0
         out = capsys.readouterr().out
         assert "k_max=4" in out
+
+    def test_parameter_error_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(running_example(), path)
+        assert main(["local", str(path), "--gamma", "2.0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_negative_workers_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(running_example(), path)
+        assert main(["local", str(path), "--gamma", "0.125",
+                     "--workers", "-1"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_local_with_one_worker(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(running_example(), path)
+        assert main(["local", str(path), "--gamma", "0.125",
+                     "--workers", "1"]) == 0
+        assert "k_max=4" in capsys.readouterr().out
+
+    def test_global_with_workers_matches_single_worker(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(running_example(), path)
+        outputs = []
+        for n in ("1", "2"):
+            assert main(["--seed", "3", "global", str(path),
+                         "--gamma", "0.125", "--workers", n]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
 
     def test_global_max_k(self, tmp_path, capsys):
         path = tmp_path / "g.txt"

@@ -7,8 +7,13 @@ import json
 import numpy as np
 import pytest
 
-from repro.exceptions import CheckpointError, ComputationInterrupted
+from repro.exceptions import (
+    CheckpointError,
+    ComputationInterrupted,
+    ParameterError,
+)
 from repro.graphs.generators import running_example
+from repro.graphs.sampling import SampleBatcher
 from repro.runtime import (
     CheckpointStore,
     FaultPlan,
@@ -130,6 +135,45 @@ class TestCheckpointStore:
         store.clear()
         assert not store.exists()
         assert list(tmp_path.glob("*")) == []
+
+
+class TestBatcherResume:
+    """The checkpoint-resume path of :class:`SampleBatcher`."""
+
+    def test_resume_via_load_batch_matches_direct_draw(self):
+        graph = running_example()
+        direct = SampleBatcher(graph, n_samples=40, batch_size=20, seed=0)
+        batches = [direct.draw_next() for _ in range(2)]
+        resumed = SampleBatcher(graph, n_samples=40, batch_size=20, seed=0)
+        for batch in batches:
+            resumed.load_batch(batch)
+        assert np.array_equal(
+            resumed.result().packed_bits, direct.result().packed_bits
+        )
+
+    def test_overfull_checkpoint_names_the_problem(self):
+        # Regression: loading more batches than the run's parameters
+        # allow used to fail inside batch_rows() with a misleading
+        # "batch index out of range"; the real problem — an oversized or
+        # mismatched checkpoint — is now named directly.
+        graph = running_example()
+        donor = SampleBatcher(graph, n_samples=60, batch_size=20, seed=0)
+        extra = [donor.draw_next() for _ in range(3)]
+        resumed = SampleBatcher(graph, n_samples=40, batch_size=20, seed=0)
+        resumed.load_batch(extra[0])
+        resumed.load_batch(extra[1])
+        with pytest.raises(
+            ParameterError,
+            match="all 2 batches have already been drawn",
+        ):
+            resumed.load_batch(extra[2])
+
+    def test_draw_next_past_the_end_raises(self):
+        graph = running_example()
+        batcher = SampleBatcher(graph, n_samples=20, batch_size=20, seed=0)
+        batcher.draw_next()
+        with pytest.raises(ParameterError, match="already been drawn"):
+            batcher.draw_next()
 
 
 #: Kill points covering all three stages of a global run: mid-sampling,

@@ -155,6 +155,31 @@ class TestWorldSampleSet:
         with pytest.raises(ParameterError):
             WorldSampleSet(np.zeros((3,), dtype=bool), [("a", "b")])
 
+    def test_rejects_empty_sample_set(self):
+        # Regression: a (0, m) presence matrix used to be accepted, and
+        # every downstream edge_frequency() then divided by zero.
+        with pytest.raises(ParameterError, match="at least one sampled world"):
+            WorldSampleSet(
+                np.zeros((0, 2), dtype=bool), [("a", "b"), ("b", "c")]
+            )
+
+    def test_from_packed_rejects_zero_samples(self):
+        with pytest.raises(ParameterError, match="at least one sampled world"):
+            WorldSampleSet.from_packed(
+                np.zeros((0, 1), dtype=np.uint8), 0, [("a", "b")]
+            )
+
+    def test_packed_round_trip(self, paper_graph):
+        samples = WorldSampleSet.from_graph(paper_graph, 26, seed=7)
+        again = WorldSampleSet.from_packed(
+            samples.packed_bits, samples.n_samples, list(samples.edge_index)
+        )
+        assert again.n_samples == samples.n_samples
+        for u, v in paper_graph.edges():
+            assert np.array_equal(
+                again.edge_bits(u, v), samples.edge_bits(u, v)
+            )
+
     def test_rejects_duplicate_edges(self):
         with pytest.raises(ParameterError):
             WorldSampleSet(

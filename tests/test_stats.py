@@ -42,6 +42,15 @@ class TestProbabilityQuantiles:
         with pytest.raises(ValueError):
             probability_quantiles(triangle, quantiles=(1.5,))
 
+    def test_invalid_quantile_is_parameter_error(self, triangle):
+        # Regression: a bare ValueError here escaped the CLI's error
+        # mapping and surfaced as a traceback instead of exit code 2.
+        from repro.exceptions import ParameterError
+
+        with pytest.raises(ParameterError,
+                           match=r"quantile must be in \[0, 1\]"):
+            probability_quantiles(triangle, quantiles=(-0.1,))
+
 
 class TestExpectedTriangles:
     def test_triangle(self, triangle):
