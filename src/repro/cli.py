@@ -123,6 +123,8 @@ def _cmd_local(args: argparse.Namespace) -> int:
             graph, args.gamma, method=args.method,
             budget=_make_budget(args), checkpoint_dir=args.checkpoint,
             resume=args.resume, progress=guard.check, workers=args.workers,
+            task_timeout=args.task_timeout,
+            max_task_retries=args.max_task_retries,
         )
     result = partial.result
     print(f"gamma={args.gamma} k_max={result.k_max}")
@@ -150,6 +152,8 @@ def _cmd_global(args: argparse.Namespace) -> int:
             batch_size=args.batch_size, budget=_make_budget(args),
             checkpoint_dir=args.checkpoint, resume=args.resume,
             progress=guard.check, workers=args.workers,
+            task_timeout=args.task_timeout,
+            max_task_retries=args.max_task_retries,
         )
     result = partial.result
     if result is None:
@@ -277,7 +281,9 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
         partial = run_reliability(
             graph, n_samples=args.samples, seed=args.seed,
             budget=_make_budget(args), checkpoint_dir=args.checkpoint,
-            resume=args.resume, progress=guard.check,
+            resume=args.resume, progress=guard.check, workers=args.workers,
+            task_timeout=args.task_timeout,
+            max_task_retries=args.max_task_retries,
         )
     if partial.result is None:
         print(partial.summary())
@@ -394,6 +400,15 @@ def _add_workers_option(p: argparse.ArgumentParser) -> None:
                         "('auto' = CPU count); output is bit-identical for "
                         "every N >= 1, but differs from omitting the flag — "
                         "see docs/performance.md")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="kill a worker that holds one parallel task longer "
+                        "than this and retry the task (default: no timeout); "
+                        "see docs/robustness.md")
+    p.add_argument("--max-task-retries", type=int, default=None, metavar="K",
+                   help="crashes/timeouts one task payload survives before "
+                        "it is quarantined and the run degrades around it "
+                        "(default 2)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -480,6 +495,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("graph", help="dataset name or graph file")
     p.add_argument("--samples", type=int, default=2000)
     _add_runtime_options(p)
+    _add_workers_option(p)
     p.set_defaults(func=_cmd_reliability)
 
     p = sub.add_parser("export", help="export a graph for visualization")

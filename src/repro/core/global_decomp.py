@@ -32,6 +32,7 @@ from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
 from repro.graphs.sampling import WorldSampleSet, hoeffding_sample_size
 from repro.core.global_truss import GlobalTrussOracle
 from repro.core.local import LocalTrussResult, local_truss_decomposition
+from repro.parallel.supervisor import QUARANTINED
 
 __all__ = [
     "GlobalTrussResult",
@@ -332,9 +333,16 @@ def _bottom_up_search_parallel(
             (comp_edges, seed_edge, k, gamma, (root, k, comp_index, s_idx))
             for s_idx, seed_edge in batch
         ]
-        results = executor.map("gbu-seed", payloads, progress=progress)
+        results = executor.map("gbu-seed", payloads, progress=progress,
+                               on_quarantine="skip")
         for (s_idx, seed_edge), res in zip(batch, results):
             if res is None or isinstance(res, str):
+                continue
+            if res is QUARANTINED:
+                # Honest degradation: the seed's evaluation kept killing
+                # workers, so its candidate truss (if any) is simply not
+                # reported; the quarantine record in the PartialResult
+                # names the seed.
                 continue
             # Merge-order discard: a seed covered by an answer accepted
             # earlier in seed order was evaluated speculatively; dropping
@@ -652,9 +660,30 @@ def _decomposition_levels(
                 (tuple(piece.edges()), k, gamma, max_states)
                 for piece in pieces
             ]
+            mark = len(getattr(executor, "quarantined", []))
             results = executor.map("gtd-component", payloads,
-                                   progress=progress)
-            for piece, res in zip(pieces, results):
+                                   progress=progress,
+                                   on_quarantine="skip")
+            records = {
+                rec.index: rec
+                for rec in getattr(executor, "quarantined", [])[mark:]
+            }
+            for comp_index, (piece, res) in enumerate(zip(pieces, results)):
+                if res is QUARANTINED:
+                    # Honest degradation: the exact search on this
+                    # component kept killing workers (or timing out);
+                    # fall back to the bottom-up heuristic for just this
+                    # component, exactly what `--method gbu` would run.
+                    record = records.get(comp_index)
+                    if record is not None:
+                        record.fallback = "gbu"
+                    trusses = _bottom_up_search_parallel(
+                        executor, oracle, k, comp_index, piece, gamma,
+                        root, progress=progress,
+                    )
+                    for t in trusses:
+                        found.setdefault(frozenset(t.edges()), t)
+                    continue
                 for t_edges in res:
                     t = piece.edge_subgraph(list(t_edges))
                     found.setdefault(frozenset(t.edges()), t)

@@ -335,25 +335,41 @@ class GlobalTrussOracle:
     def _parallel_counts(
         self, edges: list[Edge], nodes: list[Node], k: int,
         candidate_rows: np.ndarray,
-    ) -> dict[Edge, int]:
+    ) -> tuple[dict[Edge, int], int]:
         """Classify row blocks in worker processes and sum the counts.
 
         One block per worker: each worker pays the projection
         (``presence_matrix``) once, so fewer, larger blocks win.
+
+        Returns ``(totals, denominator)``. A block whose payload was
+        quarantined by the supervision layer contributes nothing to the
+        totals and its rows leave the denominator — the estimate then
+        reads over the ``N - rows_lost`` samples actually classified,
+        exactly like truncated sampling, and the executor records the
+        loss so the harness can widen the reported epsilon.
         """
+        from repro.parallel.supervisor import QUARANTINED
+
         blocks = np.array_split(candidate_rows, self.executor.pool_workers)
         payloads = [
             (list(edges), list(nodes), k, block)
             for block in blocks if block.size
         ]
         results = self.executor.map(
-            "oracle-block", payloads, progress=self._progress
+            "oracle-block", payloads, progress=self._progress,
+            on_quarantine="skip",
         )
         totals = {e: 0 for e in edges}
-        for counts in results:
+        rows_lost = 0
+        for payload, counts in zip(payloads, results):
+            if counts is QUARANTINED:
+                rows_lost += len(payload[3])
+                continue
             for e, c in zip(edges, counts):
                 totals[e] += c
-        return totals
+        if rows_lost:
+            self.executor.note_sample_loss(rows_lost)
+        return totals, max(self._samples.n_samples - rows_lost, 0)
 
     def alpha_estimates(
         self, subgraph: ProbabilisticGraph, k: int
@@ -376,6 +392,7 @@ class GlobalTrussOracle:
         if cached is not None:
             return dict(cached)
         counts: dict[Edge, int] = {e: 0 for e in edges}
+        denominator = self._samples.n_samples
         if edges:
             matrix = self._samples.presence_matrix(edges)
             row_sums = matrix.sum(axis=1)
@@ -383,12 +400,17 @@ class GlobalTrussOracle:
                 row_sums >= _minimum_world_edges(len(nodes), k)
             )
             if self._parallel_worthwhile(len(edges), candidate_rows.size):
-                counts = self._parallel_counts(edges, nodes, k, candidate_rows)
+                counts, denominator = self._parallel_counts(
+                    edges, nodes, k, candidate_rows
+                )
             else:
                 counts = self._classify(
                     edges, nodes, k, matrix, candidate_rows
                 )
-        estimates = {e: c / self._samples.n_samples for e, c in counts.items()}
+        if denominator > 0:
+            estimates = {e: c / denominator for e, c in counts.items()}
+        else:
+            estimates = {e: 0.0 for e in edges}
         self._cache[key] = estimates
         return dict(estimates)
 
@@ -445,11 +467,13 @@ class GlobalTrussOracle:
             # below is a sound False fast-path, so completing the count
             # yields the same boolean (and the same cached estimates as a
             # completed serial pass).
-            counts = self._parallel_counts(edges, node_list, k,
-                                           candidate_rows)
-            estimates = {
-                e: counts[e] / self._samples.n_samples for e in edges
-            }
+            counts, denominator = self._parallel_counts(
+                edges, node_list, k, candidate_rows
+            )
+            if denominator > 0:
+                estimates = {e: counts[e] / denominator for e in edges}
+            else:
+                estimates = {e: 0.0 for e in edges}
             self._cache[key] = estimates
             return all(a >= threshold for a in estimates.values())
         # One batched C-level connectivity pass over all unique patterns,

@@ -30,6 +30,7 @@ from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
 from repro.graphs.sampling import WorldSampleSet
 
 __all__ = [
+    "count_connected_rows",
     "network_reliability_exact",
     "network_reliability_mc",
     "two_terminal_reliability_exact",
@@ -59,6 +60,28 @@ def _world_connects(nodes: list[Node], present: list[Edge]) -> bool:
                 seen.add(y)
                 stack.append(y)
     return len(seen) == len(nodes)
+
+
+def count_connected_rows(nodes: list[Node], edges: list[Edge],
+                         presence: np.ndarray) -> int:
+    """Count rows of ``presence`` whose world connects all ``nodes``.
+
+    ``presence`` is a boolean ``(rows, len(edges))`` batch matrix with
+    columns in ``edges`` order. The count is additive over disjoint row
+    sets, which is what lets the reliability harness fan batches across
+    worker processes without changing the estimate.
+    """
+    n = len(nodes)
+    if n == 0:
+        return 0
+    if n == 1:
+        return int(presence.shape[0])
+    hits = 0
+    for row in presence:
+        present = [edges[j] for j in np.flatnonzero(row)]
+        if _world_connects(nodes, present):
+            hits += 1
+    return hits
 
 
 def network_reliability_exact(graph: ProbabilisticGraph) -> float:

@@ -21,6 +21,7 @@ __all__ = [
     "BudgetExceededError",
     "CheckpointError",
     "ComputationInterrupted",
+    "TaskQuarantinedError",
 ]
 
 
@@ -126,6 +127,32 @@ class CheckpointError(ReproError):
     batches, unsupported checkpoint format versions, and resuming with
     parameters different from those the checkpoint was created with.
     """
+
+
+class TaskQuarantinedError(ReproError):
+    """A parallel task was quarantined and the caller cannot degrade.
+
+    Raised by :meth:`repro.parallel.ParallelExecutor.map` (policy
+    ``on_quarantine="raise"``) when a payload crashed its worker or
+    timed out more than ``max_task_retries`` times. ``quarantined``
+    holds one :class:`repro.parallel.QuarantinedTask` record per poison
+    payload, naming the task, the payload, the attempt count, and the
+    reason for every strike. Stages that *can* degrade (oracle blocks,
+    GBU seeds, GTD components) use the ``"skip"`` policy instead and
+    never see this exception.
+    """
+
+    def __init__(self, quarantined, message=None):
+        quarantined = list(quarantined)
+        if message is None:
+            names = ", ".join(sorted({q.name for q in quarantined}))
+            message = (
+                f"{len(quarantined)} parallel task(s) quarantined "
+                f"after repeated failures ({names}); see .quarantined "
+                "for the poison payloads"
+            )
+        super().__init__(message)
+        self.quarantined = quarantined
 
 
 class ComputationInterrupted(ReproError):

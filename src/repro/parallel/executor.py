@@ -1,48 +1,58 @@
-"""The process-pool front end: dispatch, progress pumping, cancellation.
+"""The pool front end: dispatch, supervision policy, cancellation.
 
 :class:`ParallelExecutor` owns everything the parallel mode needs for
-one run: the forked worker pool, the shared-memory sample segment, the
-shared cancel flag, and the counter block workers tick progress into.
-``workers=1`` (or an environment without ``fork``) degrades to *inline*
-mode — the same task functions run synchronously in the parent process,
-which is both the zero-overhead special case and the reference the
-equivalence tests compare worker counts against.
+one run: the supervised worker pool (:mod:`repro.parallel.supervisor`),
+the shared-memory sample segment, the shared cancel flag, and the
+counter block workers tick progress into. ``workers=1`` (or an
+environment without ``fork``) degrades to *inline* mode — the same task
+functions run synchronously in the parent process, which is both the
+zero-overhead special case and the reference the equivalence tests
+compare worker counts against.
 
-Progress and budgets
---------------------
-Pool workers cannot call the parent's progress hook, so they tick
-shared counters instead (see :mod:`repro.parallel.work`). While a
-``map`` is in flight the parent pumps: every ``_PUMP_INTERVAL`` seconds
-it folds counter deltas into ordinary :class:`ProgressEvent` s — plus a
-``parallel-heartbeat`` when nothing moved — and feeds them to the active
-hook. A hook that raises (budget breach, injected fault, Ctrl-C guard)
-sets the cancel flag, which workers poll at evaluation boundaries, and
-the exception propagates exactly as it would from the serial loop.
+Supervision policy lives here: the executor decides what a quarantined
+payload means for each call site through ``map``'s ``on_quarantine``
+argument. ``"raise"`` (the default) surfaces a
+:class:`~repro.exceptions.TaskQuarantinedError`; ``"skip"`` returns the
+:data:`~repro.parallel.supervisor.QUARANTINED` sentinel in that
+payload's slot so degradable stages (oracle blocks, GBU seeds, GTD
+components) can widen their error bounds or fall back per-component
+instead of failing the run.
+
+Tunables
+--------
+``pump_interval`` (progress-pump cadence) and ``abort_grace`` (how long
+an abort waits for workers to notice the cancel flag) accept keyword
+overrides, then the ``REPRO_PUMP_INTERVAL`` / ``REPRO_ABORT_GRACE``
+environment variables, then the defaults — all validated through
+:class:`~repro.exceptions.ParameterError`. ``task_timeout`` and
+``max_task_retries`` follow the same precedence with
+``REPRO_TASK_TIMEOUT`` / ``REPRO_MAX_TASK_RETRIES``.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 
-from repro.exceptions import ParameterError
+from repro.exceptions import ParameterError, TaskQuarantinedError
 from repro.parallel.shared import SharedWorldSamples
-from repro.parallel.work import (
-    COUNTER_PHASES,
-    TASKS,
-    WorkerState,
-    _init_worker,
-    run_task,
+from repro.parallel.supervisor import (
+    QUARANTINED,
+    PoolFaultState,
+    SupervisedPool,
 )
+from repro.parallel.work import COUNTER_PHASES, TASKS, WorkerState
 
 __all__ = ["ParallelExecutor", "resolve_workers"]
 
-#: Seconds between progress pumps while a parallel map is in flight.
+#: Default seconds between progress pumps while a map is in flight.
 _PUMP_INTERVAL = 0.05
 
-#: Seconds to wait for in-flight tasks to notice the cancel flag.
+#: Default seconds to wait for tasks to notice the cancel flag.
 _ABORT_GRACE = 30.0
+
+#: Default strike limit before a payload is quarantined.
+_MAX_TASK_RETRIES = 2
 
 
 def resolve_workers(workers) -> int:
@@ -62,6 +72,63 @@ def resolve_workers(workers) -> int:
     return workers
 
 
+def _float_knob(value, env_name, default, *, name, allow_none=False,
+                minimum=0.0, inclusive=False):
+    """Resolve kwarg > environment > default for a float tunable."""
+    source = f"{name} keyword"
+    if value is None and not allow_none:
+        raw = os.environ.get(env_name)
+        if raw is None:
+            return default
+        source = f"environment variable {env_name}"
+        value = raw
+    elif value is None:
+        raw = os.environ.get(env_name)
+        if raw is None:
+            return None
+        source = f"environment variable {env_name}"
+        value = raw
+    if isinstance(value, str) and value.strip().lower() in ("none", ""):
+        if allow_none:
+            return None
+        raise ParameterError(f"{source} must be a number, got {value!r}")
+    try:
+        result = float(value)
+    except (TypeError, ValueError):
+        raise ParameterError(
+            f"{source} must be a number, got {value!r}"
+        ) from None
+    ok = result >= minimum if inclusive else result > minimum
+    if not ok or result != result:  # also rejects NaN
+        op = ">=" if inclusive else ">"
+        raise ParameterError(
+            f"{source} must be {op} {minimum:g}, got {result!r}"
+        )
+    return result
+
+
+def _int_knob(value, env_name, default, *, name):
+    """Resolve kwarg > environment > default for a non-negative int."""
+    source = f"{name} keyword"
+    if value is None:
+        raw = os.environ.get(env_name)
+        if raw is None:
+            return default
+        source = f"environment variable {env_name}"
+        value = raw
+    if isinstance(value, bool):
+        raise ParameterError(f"{source} must be an integer, got {value!r}")
+    try:
+        result = int(value)
+    except (TypeError, ValueError):
+        raise ParameterError(
+            f"{source} must be an integer, got {value!r}"
+        ) from None
+    if result < 0:
+        raise ParameterError(f"{source} must be >= 0, got {result}")
+    return result
+
+
 class ParallelExecutor:
     """Runs named tasks over payload lists, in-process or across a pool.
 
@@ -73,29 +140,73 @@ class ParallelExecutor:
         The host graph; workers rebuild it once at pool start.
     samples:
         Optional :class:`~repro.graphs.sampling.WorldSampleSet` to
-        publish into shared memory for the workers.
+        publish into shared memory for the workers. The executor keeps
+        the parent copy pristine — it is the recovery source when a
+        crashing worker corrupts the shared segment.
     oracle:
         Optional parent-side oracle for inline mode (warm cache). Can
         be attached later with :meth:`attach_oracle` when the oracle is
         created after the executor (the harness does this).
+    task_timeout:
+        Seconds one payload may run on a worker before that worker is
+        killed and the payload charged a strike; ``None`` disables.
+    max_task_retries:
+        Strikes (crashes or timeouts) a payload survives before it is
+        quarantined; default 2, i.e. three attempts total.
+    pump_interval / abort_grace:
+        Progress-pump cadence and abort patience (see module docstring
+        for the kwarg/env/default precedence).
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan`; its pool
+        faults (``kill_worker``, ``hang_task``,
+        ``corrupt_shared_segment``) are armed at pool start.
 
     Use as a context manager, or call :meth:`start`/:meth:`close`.
     ``pool_workers`` is 1 until a pool is actually live — callers gate
     "is parallelism real?" decisions on it, not on ``workers``.
+
+    After any map, :attr:`quarantined` accumulates the
+    :class:`~repro.parallel.supervisor.QuarantinedTask` records of every
+    poison payload seen so far and :attr:`sample_rows_lost` the largest
+    number of sample rows any single oracle evaluation had to drop —
+    the harness widens the reported epsilon accordingly.
     """
 
-    def __init__(self, workers, *, graph, samples=None, oracle=None):
+    def __init__(self, workers, *, graph, samples=None, oracle=None,
+                 task_timeout=None, max_task_retries=None,
+                 pump_interval=None, abort_grace=None, faults=None):
         self.workers = resolve_workers(workers)
         self.pool_workers = 1
+        self.task_timeout = _float_knob(
+            task_timeout, "REPRO_TASK_TIMEOUT", None,
+            name="task_timeout", allow_none=True,
+        )
+        self.max_task_retries = _int_knob(
+            max_task_retries, "REPRO_MAX_TASK_RETRIES", _MAX_TASK_RETRIES,
+            name="max_task_retries",
+        )
+        self.pump_interval = _float_knob(
+            pump_interval, "REPRO_PUMP_INTERVAL", _PUMP_INTERVAL,
+            name="pump_interval",
+        )
+        self.abort_grace = _float_knob(
+            abort_grace, "REPRO_ABORT_GRACE", _ABORT_GRACE,
+            name="abort_grace", inclusive=True,
+        )
         self._graph = graph
         self._samples = samples
         self._oracle = oracle
+        self._faults = faults
         self._pool = None
         self._shared = None
         self._cancel = None
         self._counters = None
+        self._fault_state = None
+        self._triples = None
         self._inline_state = None
         self._started = False
+        self.quarantined = []
+        self.sample_rows_lost = 0
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "ParallelExecutor":
@@ -108,23 +219,42 @@ class ParallelExecutor:
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 ctx = None
             if ctx is not None:
-                if self._samples is not None:
-                    self._shared = SharedWorldSamples.publish(self._samples)
-                handle = self._shared.handle if self._shared else None
-                self._cancel = ctx.Event()
-                self._counters = {
-                    phase: ctx.Value("q", 0) for phase in COUNTER_PHASES
-                }
-                triples = list(self._graph.edges_with_probabilities())
-                # Fork context: the initargs (including the Event and
-                # Values) reach workers by inheritance, not pickling.
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.workers,
-                    mp_context=ctx,
-                    initializer=_init_worker,
-                    initargs=(triples, handle, self._cancel, self._counters),
-                )
-                self.pool_workers = self.workers
+                try:
+                    if self._samples is not None:
+                        self._shared = SharedWorldSamples.publish(
+                            self._samples
+                        )
+                    self._cancel = ctx.Event()
+                    self._counters = {
+                        phase: ctx.Value("q", 0) for phase in COUNTER_PHASES
+                    }
+                    self._triples = list(
+                        self._graph.edges_with_probabilities()
+                    )
+                    spec = None
+                    if self._faults is not None:
+                        spec = getattr(self._faults, "pool_faults", None)
+                    if spec:
+                        self._fault_state = PoolFaultState(ctx, **spec)
+                    verify = rebuild = None
+                    if self._shared is not None:
+                        verify = self._verify_segment
+                        rebuild = self._republish_segment
+                    self._pool = SupervisedPool(
+                        ctx, self.workers, self._worker_args,
+                        cancel=self._cancel, counters=self._counters,
+                        task_timeout=self.task_timeout,
+                        max_task_retries=self.max_task_retries,
+                        pump_interval=self.pump_interval,
+                        abort_grace=self.abort_grace,
+                        verify_segment=verify, rebuild_segment=rebuild,
+                    ).start()
+                    self.pool_workers = self.workers
+                except BaseException:
+                    # Partial start must not leak the shared segment (or
+                    # half a pool): tear down whatever got built.
+                    self.close()
+                    raise
         self._inline_state = WorkerState(
             self._graph, self._samples, oracle=self._oracle
         )
@@ -132,7 +262,7 @@ class ParallelExecutor:
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool.close()
             self._pool = None
         if self._shared is not None:
             self._shared.close()
@@ -146,6 +276,35 @@ class ParallelExecutor:
         self.close()
 
     # -- wiring ---------------------------------------------------------
+    def _worker_args(self):
+        """Current worker-init tuple; re-read at every (re)spawn so a
+        re-published segment's new handle reaches replacement workers."""
+        handle = self._shared.handle if self._shared is not None else None
+        return (self._triples, handle, self._cancel, self._counters,
+                self._fault_state)
+
+    def _verify_segment(self) -> bool:
+        return self._shared is None or self._shared.verify()
+
+    def _republish_segment(self) -> None:
+        old = self._shared
+        self._shared = SharedWorldSamples.publish(self._samples)
+        old.close()
+
+    @property
+    def pool_pids(self) -> list[int]:
+        """Live worker PIDs (empty in inline mode); tests kill these."""
+        return [] if self._pool is None else self._pool.pids
+
+    def note_sample_loss(self, rows_lost: int) -> None:
+        """Record that one oracle evaluation dropped ``rows_lost`` rows.
+
+        The worst single evaluation bounds the accuracy statement: the
+        harness recomputes epsilon from ``N - sample_rows_lost``
+        effective samples, mirroring truncated sampling.
+        """
+        self.sample_rows_lost = max(self.sample_rows_lost, int(rows_lost))
+
     def attach_oracle(self, oracle) -> None:
         """Hand the parent-side oracle to inline mode, and vice versa.
 
@@ -166,14 +325,26 @@ class ParallelExecutor:
             )
 
     # -- dispatch -------------------------------------------------------
-    def map(self, name: str, payloads, progress=None) -> list:
+    def map(self, name: str, payloads, progress=None, *,
+            on_quarantine: str = "raise") -> list:
         """Run task ``name`` over ``payloads``; results in payload order.
 
         Inline mode runs synchronously (hooks fire from inside the
-        tasks, exactly as in the serial code). Pool mode dispatches all
-        payloads and pumps progress until every future resolves; the
-        first worker exception aborts the rest and re-raises here.
+        tasks, exactly as in the serial code). Pool mode dispatches
+        through the supervised pool: worker crashes and timeouts are
+        replayed transparently, and a payload that exhausts its retries
+        is quarantined. With ``on_quarantine="raise"`` that surfaces a
+        :class:`TaskQuarantinedError`; with ``"skip"`` the payload's
+        result slot holds the :data:`QUARANTINED` sentinel and the
+        caller degrades around it. Application exceptions (a task that
+        *raised* rather than died) abort the rest and re-raise here,
+        exactly like the serial loop.
         """
+        if on_quarantine not in ("raise", "skip"):
+            raise ParameterError(
+                f"on_quarantine must be 'raise' or 'skip', "
+                f"got {on_quarantine!r}"
+            )
         payloads = list(payloads)
         if not payloads:
             return []
@@ -184,52 +355,24 @@ class ParallelExecutor:
                 return [TASKS[name](state, p) for p in payloads]
             finally:
                 state.progress = None
-        futures = [self._pool.submit(run_task, name, p) for p in payloads]
-        try:
-            self._pump(futures, progress)
-        except BaseException:
-            self._abort(futures)
-            raise
-        return [f.result() for f in futures]
+        self._maybe_corrupt_segment()
+        results, quarantined = self._pool.map(name, payloads, progress)
+        if quarantined:
+            self.quarantined.extend(quarantined)
+            if on_quarantine == "raise":
+                raise TaskQuarantinedError(quarantined)
+        return results
 
-    def _pump(self, futures, progress) -> None:
-        from repro.runtime.progress import ProgressEvent
-
-        pending = set(futures)
-        last: dict[str, int] = {}
-        heartbeat = 0
-        while pending:
-            done, pending = wait(
-                pending, timeout=_PUMP_INTERVAL, return_when=FIRST_EXCEPTION
-            )
-            for future in done:
-                exc = future.exception()
-                if exc is not None:
-                    raise exc
-            if progress is None:
-                continue
-            moved = False
-            for phase, counter in self._counters.items():
-                value = counter.value
-                if value != last.get(phase, 0):
-                    last[phase] = value
-                    moved = True
-                    progress(ProgressEvent(phase, step=value))
-            if not moved:
-                heartbeat += 1
-                progress(ProgressEvent("parallel-heartbeat", step=heartbeat))
-
-    def _abort(self, futures) -> None:
-        """Cancel queued work, flag running work, and drain the pool.
-
-        The cancel flag is cleared afterwards so the pool stays usable —
-        the harness reuses one executor across stages (and across the
-        GTD-to-GBU fallback) after catching the raised exception.
-        """
-        if self._cancel is not None:
-            self._cancel.set()
-        for future in futures:
-            future.cancel()
-        wait(futures, timeout=_ABORT_GRACE)
-        if self._cancel is not None:
-            self._cancel.clear()
+    def _maybe_corrupt_segment(self) -> None:
+        """Arm the ``corrupt_shared_segment`` fault: scribble over the
+        shared pages so the next recovery event's CRC check trips."""
+        if self._faults is None or self._shared is None:
+            return
+        take = getattr(self._faults, "take_segment_corruption", None)
+        if take is None or not take():
+            return
+        rows, cols = self._shared.handle.packed_shape
+        if rows * cols == 0:
+            return
+        buf = self._shared._shm.buf
+        buf[0] = buf[0] ^ 0xFF

@@ -18,6 +18,8 @@ order — a few KB of metadata for an arbitrarily large sample set.
 
 from __future__ import annotations
 
+import weakref
+import zlib
 from multiprocessing import shared_memory
 
 import numpy as np
@@ -58,19 +60,42 @@ class SharedSamplesHandle:
         self.name, self.n_samples, self.packed_shape, self.edges = state
 
 
+def _release_segment(shm: shared_memory.SharedMemory) -> None:
+    """Best-effort unmap + unlink, tolerant of either already done."""
+    try:
+        shm.close()
+    except OSError:  # pragma: no cover - already unmapped
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+
+
 class SharedWorldSamples:
     """A :class:`WorldSampleSet` published into shared memory.
 
     Create with :meth:`publish`; pass :attr:`handle` to workers; call
     :meth:`close` (or use as a context manager) in the owning process
     when every worker is done — the segment is unlinked exactly once,
-    by the owner.
+    by the owner. A finalizer backstops the owner: if the publishing
+    process exits (normally or via an unhandled exception) without
+    :meth:`close` having run, the segment is unlinked at garbage
+    collection / interpreter shutdown instead of leaking in ``/dev/shm``
+    until reboot.
+
+    :attr:`crc` is the CRC-32 of the packed bits at publish time; the
+    supervision layer calls :meth:`verify` during crash recovery to
+    detect a worker that scribbled over the shared pages before dying,
+    and re-publishes from the pristine parent copy when it did.
     """
 
     def __init__(self, shm: shared_memory.SharedMemory,
-                 handle: SharedSamplesHandle):
+                 handle: SharedSamplesHandle, crc: int = 0):
         self._shm = shm
         self.handle = handle
+        self.crc = crc
+        self._finalizer = weakref.finalize(self, _release_segment, shm)
 
     @classmethod
     def publish(cls, samples: WorldSampleSet) -> "SharedWorldSamples":
@@ -80,22 +105,33 @@ class SharedWorldSamples:
             # Zero-byte segments are rejected by the OS; keep one page so
             # edgeless graphs follow the same code path as real ones.
             shm = shared_memory.SharedMemory(create=True, size=1)
+            crc = 0
         else:
             shm = shared_memory.SharedMemory(create=True, size=packed.nbytes)
             view = np.ndarray(packed.shape, dtype=np.uint8, buffer=shm.buf)
             view[:] = packed  # the one and only copy
+            crc = zlib.crc32(view.tobytes())
         handle = SharedSamplesHandle(
             shm.name, samples.n_samples, packed.shape,
             list(samples.edge_index),
         )
-        return cls(shm, handle)
+        return cls(shm, handle, crc)
 
     def view(self) -> WorldSampleSet:
         """A :class:`WorldSampleSet` over the shared bits (owner-side)."""
         return _wrap(self._shm, self.handle)
 
+    def verify(self) -> bool:
+        """True iff the shared bits still match their publish-time CRC."""
+        rows, cols = self.handle.packed_shape
+        if rows * cols == 0:
+            return True
+        view = np.ndarray((rows, cols), dtype=np.uint8, buffer=self._shm.buf)
+        return zlib.crc32(view.tobytes()) == self.crc
+
     def close(self, unlink: bool = True) -> None:
         """Unmap the segment; with ``unlink`` also remove it (owner only)."""
+        self._finalizer.detach()
         self._shm.close()
         if unlink:
             try:

@@ -1,10 +1,11 @@
 """Worker-process state and task functions for the parallel executor.
 
-Each worker process is initialised once (:func:`_init_worker`): it
-rebuilds the host graph from edge triples, attaches the shared-memory
-world sample view, and constructs its own :class:`GlobalTrussOracle`
-over that view. Tasks then arrive as ``(name, payload)`` pairs and run
-against this per-process state — no per-task graph or sample shipping.
+Each worker process is initialised once (:func:`build_worker_state`,
+called from the supervised pool's worker loop): it rebuilds the host
+graph from edge triples, attaches the shared-memory world sample view,
+and constructs its own :class:`GlobalTrussOracle` over that view. Tasks
+then arrive as ``(name, payload)`` pairs and run against this
+per-process state — no per-task graph or sample shipping.
 
 Determinism contract
 --------------------
@@ -27,12 +28,11 @@ worker counts against.
 
 from __future__ import annotations
 
-import signal
-
 import numpy as np
 
 from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
 from repro.core.global_truss import GlobalTrussOracle, classify_worlds
+from repro.core.reliability import count_connected_rows
 from repro.core.support_prob import (
     SupportProbability,
     support_pmf,
@@ -40,7 +40,13 @@ from repro.core.support_prob import (
 )
 from repro.parallel.shared import SharedSamplesHandle, attach_samples
 
-__all__ = ["CANCELLED", "WorkerState", "TASKS", "run_task", "node_sort_key"]
+__all__ = [
+    "CANCELLED",
+    "WorkerState",
+    "TASKS",
+    "build_worker_state",
+    "node_sort_key",
+]
 
 #: Returned by :func:`run_task` in place of a result when the shared
 #: cancel flag was observed mid-task. The parent only sees these on the
@@ -49,7 +55,8 @@ CANCELLED = "__repro-parallel-cancelled__"
 
 #: Shared counters the parent's progress pump reads; one slot per
 #: worker-emitted phase.
-COUNTER_PHASES = ("oracle-eval", "gtd-state", "local-init")
+COUNTER_PHASES = ("oracle-eval", "gtd-state", "local-init",
+                  "reliability-rows")
 
 #: Edges between cancel-flag polls in the PMF-init loop.
 _CANCEL_POLL = 32
@@ -238,43 +245,47 @@ def _pmf_init(state: WorkerState, payload):
     return out
 
 
+def _reliability_block(state: WorkerState, payload):
+    """Count connected worlds in one batch of reliability samples.
+
+    Payload: ``(nodes, edges, presence)`` where ``presence`` is the
+    boolean batch matrix and ``nodes`` is the *parent's* node list —
+    the worker's rebuilt graph lacks isolated nodes, which matter for
+    connectivity. Hit counts are additive over disjoint batches, so the
+    parent's sum is identical for every worker count.
+    """
+    state.check_cancel()
+    nodes, edges, presence = payload
+    presence = np.asarray(presence, dtype=bool)
+    hits = count_connected_rows(list(nodes), [tuple(e) for e in edges],
+                                presence)
+    state.bump("reliability-rows", presence.shape[0])
+    return hits
+
+
 TASKS = {
     "gbu-seed": _gbu_seed,
     "gtd-component": _gtd_component,
     "oracle-block": _oracle_block,
     "pmf-init": _pmf_init,
+    "reliability-block": _reliability_block,
 }
 
 
-# ----------------------------------------------------------------------
-# Process plumbing (pool mode only).
+def build_worker_state(edge_triples, handle: SharedSamplesHandle | None,
+                       cancel, counters) -> WorkerState:
+    """Build the per-process execution state (worker side, once).
 
-_STATE: WorkerState | None = None
-
-
-def _init_worker(edge_triples, handle: SharedSamplesHandle | None,
-                 cancel, counters) -> None:
-    """Process-pool initializer: build the per-process state once.
-
-    SIGINT is ignored in workers — the parent handles Ctrl-C, writes its
-    checkpoint, and winds the pool down; a worker dying mid-task to the
-    same signal would turn a clean resumable exit into a broken pool.
+    Called from the supervised pool's worker loop right after fork; the
+    returned state keeps the shared-memory mapping alive for as long as
+    the worker runs tasks against it.
     """
-    global _STATE
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
     graph = ProbabilisticGraph()
     for u, v, p in edge_triples:
         graph.add_edge(u, v, p)
     samples = shm = None
     if handle is not None:
         samples, shm = attach_samples(handle)
-    _STATE = WorkerState(graph, samples, cancel=cancel, counters=counters)
-    _STATE._shm = shm
-
-
-def run_task(name: str, payload):
-    """Module-level task entry point submitted to the pool."""
-    try:
-        return TASKS[name](_STATE, payload)
-    except _WorkerCancelled:
-        return CANCELLED
+    state = WorkerState(graph, samples, cancel=cancel, counters=counters)
+    state._shm = shm
+    return state

@@ -6,7 +6,20 @@ simulated SIGINT (:class:`~repro.exceptions.ComputationInterrupted`),
 simulated OOM (:class:`MemoryError`), or any caller-supplied exception.
 Because faults key on the same batch boundaries the checkpoints use,
 tests can kill a run at *every* boundary and assert that resuming
-reproduces the uninterrupted output byte for byte.
+reproduces the uninterrupted output byte for byte. The ``*_on_phase``
+variants fire on the first event of a phase regardless of step — handy
+for supervision phases (``worker-died``, ``task-quarantined``) whose
+step numbering depends on recovery order.
+
+A plan can also carry *pool faults*, which do not raise in the parent
+but sabotage the worker pool itself: :meth:`kill_worker` makes one
+worker SIGKILL itself mid-run (a real, uncatchable death),
+:meth:`hang_task` makes a matching task sleep forever (so only the
+supervision timeout can reclaim it), and :meth:`corrupt_shared_segment`
+scribbles over the shared sample pages so crash recovery must detect
+the CRC mismatch and re-publish. The executor consumes these at pool
+start; fork inheritance carries the shared fire-once tokens into every
+worker.
 
 :func:`corrupt_checkpoint` damages an on-disk checkpoint in controlled
 ways so the :class:`~repro.exceptions.CheckpointError` paths are
@@ -33,7 +46,12 @@ class FaultPlan:
 
     def __init__(self):
         self._faults: dict[tuple[str, int], Exception | type] = {}
+        self._phase_faults: dict[str, Exception | type] = {}
         self.fired: list[tuple[str, int]] = []
+        #: Pool-fault spec consumed by the executor at pool start
+        #: (keyword arguments of ``PoolFaultState``), or None.
+        self.pool_faults: dict | None = None
+        self._corrupt_segment = False
 
     def raise_at(self, phase: str, step: int,
                  exc: Exception | type) -> "FaultPlan":
@@ -57,10 +75,74 @@ class FaultPlan:
             MemoryError(f"simulated OOM at {phase} step {step}"),
         )
 
+    def raise_on_phase(self, phase: str,
+                       exc: Exception | type) -> "FaultPlan":
+        """Schedule ``exc`` for the first event of ``phase``, any step."""
+        self._phase_faults[phase] = exc
+        return self
+
+    def sigint_on_phase(self, phase: str) -> "FaultPlan":
+        """Simulate a SIGINT at the first event of ``phase``, any step."""
+        return self.raise_on_phase(
+            phase,
+            ComputationInterrupted(f"simulated SIGINT at {phase}"),
+        )
+
+    # -- pool faults (consumed by the executor, fire inside workers) ----
+    def kill_worker(self, after_tasks: int = 0) -> "FaultPlan":
+        """Make one worker SIGKILL itself once it has completed
+        ``after_tasks`` tasks and receives the next one.
+
+        Exactly one worker fires (a shared token coordinates the pool),
+        so the run loses one in-flight payload — which supervision must
+        replay byte-identically.
+        """
+        self.pool_faults = dict(self.pool_faults or {},
+                                kill_after=int(after_tasks))
+        return self
+
+    def hang_task(self, matching: str, payload_index: int | None = None,
+                  times: int = 1) -> "FaultPlan":
+        """Make task ``matching`` (optionally only payload
+        ``payload_index``) sleep forever, ``times`` times.
+
+        Only a supervision ``task_timeout`` can reclaim the worker;
+        with ``times`` greater than ``max_task_retries`` the payload
+        ends up quarantined.
+        """
+        self.pool_faults = dict(
+            self.pool_faults or {},
+            hang_name=str(matching),
+            hang_index=None if payload_index is None else int(payload_index),
+            hang_limit=None if times is None else int(times),
+        )
+        return self
+
+    def corrupt_shared_segment(self) -> "FaultPlan":
+        """Scribble over the shared sample segment at the next pool map.
+
+        Harmless on its own until a recovery event (pair it with
+        :meth:`kill_worker`): the supervisor's CRC check then detects
+        the damage, re-publishes from the parent's pristine copy, and
+        replays the map.
+        """
+        self._corrupt_segment = True
+        return self
+
+    def take_segment_corruption(self) -> bool:
+        """Executor-side: consume the one-shot corruption fault."""
+        if not self._corrupt_segment:
+            return False
+        self._corrupt_segment = False
+        self.fired.append(("corrupt-shared-segment", 0))
+        return True
+
     def check(self, event: ProgressEvent) -> None:
         """Fire (once) the fault scheduled for this boundary, if any."""
+        exc = self._phase_faults.pop(event.phase, None)
         key = (event.phase, event.step)
-        exc = self._faults.pop(key, None)
+        if exc is None:
+            exc = self._faults.pop(key, None)
         if exc is None:
             return
         self.fired.append(key)

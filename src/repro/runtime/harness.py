@@ -38,6 +38,7 @@ from repro.exceptions import (
     CheckpointError,
     ComputationInterrupted,
     DecompositionError,
+    TaskQuarantinedError,
 )
 from repro.graphs.probabilistic import ProbabilisticGraph
 from repro.graphs.sampling import (
@@ -125,6 +126,36 @@ def _attach_checkpoint(err: ComputationInterrupted,
         err.checkpoint_path = str(store.path)
 
 
+def _pool_faults_of(progress):
+    """Extract a FaultPlan carrying pool faults from a progress hook.
+
+    A :class:`~repro.runtime.faults.FaultPlan` doubles as a progress
+    hook; when one with armed pool faults (``kill_worker`` etc.) is
+    passed as ``progress``, the harness hands it to the executor so the
+    faults reach the worker pool.
+    """
+    if progress is None:
+        return None
+    if (getattr(progress, "pool_faults", None) is not None
+            or getattr(progress, "_corrupt_segment", False)):
+        return progress
+    for sub in getattr(progress, "hooks", ()):  # chain_hooks composition
+        found = _pool_faults_of(sub)
+        if found is not None:
+            return found
+    return None
+
+
+def _quarantine_report(executor) -> tuple[list, int]:
+    """The quarantine records and worst-case sample-row loss so far."""
+    if executor is None:
+        return [], 0
+    return (
+        list(getattr(executor, "quarantined", [])),
+        int(getattr(executor, "sample_rows_lost", 0)),
+    )
+
+
 # ----------------------------------------------------------------------
 # Global decomposition
 # ----------------------------------------------------------------------
@@ -147,6 +178,8 @@ def run_global(
     gtd_fraction: float = DEFAULT_GTD_FRACTION,
     on_corrupt: str = "raise",
     workers: int | str | None = None,
+    task_timeout: float | None = None,
+    max_task_retries: int | None = None,
 ) -> PartialResult:
     """Run a global (k, gamma)-truss decomposition under the harness.
 
@@ -167,6 +200,14 @@ def run_global(
         run may change ``workers`` freely but not add/drop the flag.
         Checkpointed parallel runs additionally require an int seed (a
         None seed's stream root cannot be re-derived on resume).
+    task_timeout / max_task_retries:
+        Supervision knobs forwarded to the executor: seconds one payload
+        may hold a worker before it is killed and retried, and how many
+        strikes (crashes or timeouts) a payload survives before being
+        quarantined. Quarantines degrade honestly — the result notes
+        every poison payload, oracle evaluations that lost sample rows
+        widen the effective epsilon, and a quarantined GTD component
+        falls back to GBU for that component only.
     checkpoint_dir / resume:
         Snapshot directory; with ``resume`` an existing compatible
         checkpoint is continued bit-identically.
@@ -279,17 +320,41 @@ def run_global(
             "status": status,
         })
 
+    # Filled in once the executor exists (after sampling); `finish`
+    # reads it to fold quarantine degradation into the result.
+    supervision = {"executor": None}
+
     def finish(result, complete: bool) -> PartialResult:
+        quarantined, rows_lost = _quarantine_report(supervision["executor"])
+        # The worst single oracle evaluation bounds the accuracy claim:
+        # it classified only N - rows_lost samples, so epsilon widens to
+        # that effective sample count, exactly like truncated sampling.
+        eff_n = max(batcher.samples_drawn - rows_lost, 1)
         eff_eps = (
-            epsilon if batcher.samples_drawn >= n_requested
-            else hoeffding_epsilon(max(batcher.samples_drawn, 1), delta)
+            epsilon if eff_n >= n_requested
+            else hoeffding_epsilon(eff_n, delta)
         )
+        reasons = list(degr.reasons)
+        if quarantined:
+            reasons.append(
+                f"{len(quarantined)} parallel payload(s) quarantined: "
+                + "; ".join(q.describe() for q in quarantined)
+            )
+        if rows_lost:
+            reasons.append(
+                f"worst oracle evaluation lost {rows_lost} sample rows "
+                "to quarantined blocks; epsilon widened to the "
+                f"{eff_n}-sample Hoeffding bound"
+            )
+        detail = {}
+        if quarantined:
+            detail["quarantined"] = [q.to_dict() for q in quarantined]
         return PartialResult(
             kind="global",
             result=result,
             complete=complete,
-            degraded=degr.degraded,
-            reason=degr.reason,
+            degraded=degr.degraded or bool(quarantined),
+            reason="; ".join(reasons) if reasons else None,
             fallback=degr.fallback,
             requested_epsilon=epsilon,
             effective_epsilon=eff_eps,
@@ -298,6 +363,7 @@ def run_global(
             completed_k=max(completed, default=None),
             checkpoint_path=str(store.path) if store else None,
             elapsed_seconds=budget.elapsed() if budget else None,
+            detail=detail,
         )
 
     # -- stage 1: sampling --------------------------------------------
@@ -354,8 +420,11 @@ def run_global(
         from repro.parallel import ParallelExecutor
 
         executor = ParallelExecutor(
-            workers, graph=graph, samples=world_set
+            workers, graph=graph, samples=world_set,
+            task_timeout=task_timeout, max_task_retries=max_task_retries,
+            faults=_pool_faults_of(progress),
         ).start()
+        supervision["executor"] = executor
     try:
         return _run_global_compute(
             graph, gamma, delta, seed, max_k, max_states, budget, store,
@@ -390,6 +459,13 @@ def _run_global_compute(
         return finish(None, complete=False)
     except MemoryError as err:
         degr.note(f"out of memory during local pruning: {err}")
+        write_manifest()
+        return finish(None, complete=False)
+    except TaskQuarantinedError as err:
+        # The PMF-init DPs are exact prerequisites with no sound
+        # degradation: a poison chunk means no candidate set, so the run
+        # ends with an honest incomplete result naming the payloads.
+        degr.note(f"local pruning quarantined poison payloads: {err}")
         write_manifest()
         return finish(None, complete=False)
     except ComputationInterrupted as err:
@@ -477,6 +553,12 @@ def _run_global_compute(
         degr.note(f"out of memory during decomposition: {err}")
         write_manifest()
         return finish(build_result(), complete=False)
+    except TaskQuarantinedError as err:
+        # Degradable stages quarantine with the "skip" policy and never
+        # raise; this is the backstop for a non-degradable map.
+        degr.note(f"decomposition quarantined poison payloads: {err}")
+        write_manifest()
+        return finish(build_result(), complete=False)
     except ComputationInterrupted as err:
         _attach_checkpoint(err, store)
         write_manifest()
@@ -501,6 +583,8 @@ def run_local(
     progress=None,
     on_corrupt: str = "raise",
     workers: int | str | None = None,
+    task_timeout: float | None = None,
+    max_task_retries: int | None = None,
 ) -> PartialResult:
     """Run a local decomposition under the harness.
 
@@ -554,11 +638,22 @@ def run_local(
     if workers is not None:
         from repro.parallel import ParallelExecutor
 
-        executor = ParallelExecutor(workers, graph=graph).start()
+        executor = ParallelExecutor(
+            workers, graph=graph,
+            task_timeout=task_timeout, max_task_retries=max_task_retries,
+            faults=_pool_faults_of(progress),
+        ).start()
     try:
         result = local_truss_decomposition(graph, gamma, method=method,
                                            progress=hook,
                                            executor=executor)
+    except TaskQuarantinedError as err:
+        # pmf-init chunks are exact prerequisites: no sound degradation,
+        # so the run ends incomplete, naming the poison payloads.
+        return to_partial(
+            {}, complete=False,
+            reason=f"parallel init quarantined poison payloads: {err}",
+        )
     except BudgetExceededError as err:
         partial = err.partial or {}
         return to_partial(
@@ -597,31 +692,16 @@ def run_local(
 # Network reliability
 # ----------------------------------------------------------------------
 def _count_connected(graph: ProbabilisticGraph, edges, presence) -> int:
-    """Count rows of ``presence`` whose world connects all graph nodes."""
-    nodes = list(graph.nodes())
-    n = len(nodes)
-    if n == 0:
-        return 0
-    if n == 1:
-        return presence.shape[0]
-    hits = 0
-    for row in presence:
-        adj: dict = {u: [] for u in nodes}
-        for j in np.flatnonzero(row):
-            u, v = edges[j]
-            adj[u].append(v)
-            adj[v].append(u)
-        seen = {nodes[0]}
-        stack = [nodes[0]]
-        while stack:
-            x = stack.pop()
-            for y in adj[x]:
-                if y not in seen:
-                    seen.add(y)
-                    stack.append(y)
-        if len(seen) == n:
-            hits += 1
-    return hits
+    """Count rows of ``presence`` whose world connects all graph nodes.
+
+    Thin wrapper over
+    :func:`repro.core.reliability.count_connected_rows` — the *same*
+    function the ``reliability-block`` worker task runs, which is what
+    makes the parallel fan-out bit-identical to this serial path.
+    """
+    from repro.core.reliability import count_connected_rows
+
+    return count_connected_rows(list(graph.nodes()), list(edges), presence)
 
 
 def run_reliability(
@@ -636,6 +716,9 @@ def run_reliability(
     resume: bool = False,
     progress=None,
     on_corrupt: str = "raise",
+    workers: int | str | None = None,
+    task_timeout: float | None = None,
+    max_task_retries: int | None = None,
 ) -> PartialResult:
     """Estimate network reliability under the harness.
 
@@ -643,6 +726,19 @@ def run_reliability(
     state need snapshotting, so checkpoints are tiny. A budget breach
     returns the estimate over the samples drawn so far with the
     honestly widened epsilon for the given ``delta``.
+
+    ``workers`` fans the connectivity classification across the worker
+    pool in windows of ``2 * workers`` batches while the RNG *draws*
+    stay strictly sequential in the parent — the sample stream, and
+    hence the estimate, is byte-identical for every worker count
+    (including the serial ``workers=None`` path; checkpoints are
+    interchangeable between all of them). Hit counts are additive over
+    disjoint batches, so merge order cannot matter. The parent captures
+    the RNG state before each draw, so a budget breach or interrupt
+    mid-window still writes a per-batch-accurate checkpoint. A
+    quarantined batch (supervision gave up on it) is dropped from both
+    numerator and denominator — the estimate stays unbiased over the
+    rows actually classified and epsilon widens accordingly.
     """
     store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
     seed = _require_plain_seed(seed, store is not None)
@@ -664,6 +760,8 @@ def run_reliability(
     edges = batcher.edges
     hits = 0
     batches_done = 0
+    rows_skipped = 0
+    supervision = {"executor": None}
 
     manifest = None
     if store is not None and resume:
@@ -690,6 +788,11 @@ def run_reliability(
 
     def finish(complete: bool) -> PartialResult:
         estimate = hits / samples_done if samples_done else None
+        quarantined, _ = _quarantine_report(supervision["executor"])
+        detail = {"hits": hits}
+        if quarantined:
+            detail["quarantined"] = [q.to_dict() for q in quarantined]
+            detail["rows_skipped"] = rows_skipped
         return PartialResult(
             kind="reliability", result=estimate, complete=complete,
             degraded=degr.degraded, reason=degr.reason,
@@ -701,40 +804,103 @@ def run_reliability(
             n_samples_drawn=samples_done,
             checkpoint_path=str(store.path) if store else None,
             elapsed_seconds=budget.elapsed() if budget else None,
-            detail={"hits": hits},
+            detail=detail,
         )
 
-    while batches_done < batcher.n_batches:
-        rows = batcher.batch_rows(batches_done)
-        presence = batcher.draw_presence(rows)
-        try:
-            hits += _count_connected(graph, edges, presence)
-        except MemoryError as err:
-            degr.note(f"out of memory classifying batch {batches_done}: {err}")
-            write_manifest()
-            return finish(complete=False)
-        batches_done += 1
-        samples_done += rows
-        write_manifest()
-        if hook is None:
-            continue
-        try:
-            hook(ProgressEvent(
-                "reliability-batch", step=batches_done - 1,
-                total=batcher.n_batches,
-                detail={"samples_drawn": samples_done},
-            ))
-        except BudgetExceededError as err:
-            degr.note(str(err))
-            write_manifest()
-            return finish(complete=False)
-        except MemoryError as err:
-            degr.note(f"out of memory after batch {batches_done - 1}: {err}")
-            write_manifest()
-            return finish(complete=False)
-        except ComputationInterrupted as err:
-            _attach_checkpoint(err, store)
-            raise
+    executor = None
+    if workers is not None:
+        from repro.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(
+            workers, graph=graph,
+            task_timeout=task_timeout, max_task_retries=max_task_retries,
+            faults=_pool_faults_of(progress),
+        ).start()
+        supervision["executor"] = executor
+    nodes = list(graph.nodes())
+    try:
+        while batches_done < batcher.n_batches:
+            pooled = executor is not None and executor.pool_workers > 1
+            window = max(1, 2 * executor.pool_workers) if pooled else 1
+            first = batches_done
+            limit = min(batcher.n_batches, first + window)
+            # Draw the whole window sequentially in the parent — the RNG
+            # stream is identical to the serial path for every worker
+            # count — capturing the state before each batch so the
+            # per-batch manifests below stay resume-accurate mid-window.
+            states = []
+            rows_list = []
+            payloads = []
+            for j in range(first, limit):
+                states.append(batcher.rng_state())
+                rows = batcher.batch_rows(j)
+                rows_list.append(rows)
+                payloads.append((nodes, edges, batcher.draw_presence(rows)))
+            end_state = batcher.rng_state()
+            try:
+                if pooled:
+                    counts = executor.map(
+                        "reliability-block", payloads, progress=hook,
+                        on_quarantine="skip",
+                    )
+                else:
+                    counts = [
+                        _count_connected(graph, edges, p[2])
+                        for p in payloads
+                    ]
+            except MemoryError as err:
+                # Nothing from this window was merged; rewind the RNG so
+                # the manifest matches `batches_done` drawn batches.
+                batcher.set_rng_state(states[0])
+                degr.note(
+                    f"out of memory classifying batch {first}: {err}"
+                )
+                write_manifest()
+                return finish(complete=False)
+            from repro.parallel.supervisor import QUARANTINED
+
+            # Merge strictly in batch order: manifests and hook events
+            # fire per batch, exactly as in the serial loop.
+            for offset, count in enumerate(counts):
+                j = first + offset
+                rows = rows_list[offset]
+                after = (states[offset + 1] if offset + 1 < len(states)
+                         else end_state)
+                if count is QUARANTINED:
+                    rows_skipped += rows
+                    degr.note(
+                        f"reliability batch {j} quarantined after "
+                        f"repeated worker failures; {rows} rows dropped "
+                        "from the estimate"
+                    )
+                else:
+                    hits += count
+                    samples_done += rows
+                batches_done += 1
+                batcher.set_rng_state(after)
+                write_manifest()
+                if hook is None:
+                    continue
+                try:
+                    hook(ProgressEvent(
+                        "reliability-batch", step=j,
+                        total=batcher.n_batches,
+                        detail={"samples_drawn": samples_done},
+                    ))
+                except BudgetExceededError as err:
+                    degr.note(str(err))
+                    write_manifest()
+                    return finish(complete=False)
+                except MemoryError as err:
+                    degr.note(f"out of memory after batch {j}: {err}")
+                    write_manifest()
+                    return finish(complete=False)
+                except ComputationInterrupted as err:
+                    _attach_checkpoint(err, store)
+                    raise
+    finally:
+        if executor is not None:
+            executor.close()
 
     write_manifest(status="complete")
     return finish(complete=True)

@@ -24,10 +24,19 @@ Emitted phases
 ``oracle-eval``     the Monte-Carlo oracle classified another block of
                     candidate evaluations
 ``reliability-batch``  one batch of reliability samples classified
+``reliability-rows``  (workers only) cumulative reliability sample rows
+                    classified inside the pool, re-emitted by the pump
 ``parallel-heartbeat``  the worker pool is alive but no counter moved
                     during one pump interval (``step`` = heartbeat
                     count); lets deadline budgets fire while workers
                     grind on a long task
+``worker-died``     supervision replaced a crashed or timed-out worker
+                    (``detail``: task, reason, exitcode, payload_index)
+``task-retried``    a payload whose worker died/timed out was requeued
+                    (``step`` = that payload's attempt count so far)
+``task-quarantined``  a payload exhausted ``max_task_retries`` and was
+                    quarantined (``step`` = quarantine count this map;
+                    ``detail``: task, payload_index, attempts, reason)
 ==================  =====================================================
 
 Checkpoints are written *before* the hook runs at each boundary, so a
@@ -92,4 +101,7 @@ def chain_hooks(*hooks: ProgressHook | None) -> ProgressHook | None:
         for hook in live:
             hook(event)
 
+    # Introspectable composition: the harness walks this to find hooks
+    # with side-band state (e.g. a FaultPlan carrying pool faults).
+    chained.hooks = tuple(live)
     return chained
