@@ -92,6 +92,7 @@ def resumable_global(graph, gamma, *, tag: str, seed: int = SEED,
     """
     from pathlib import Path
 
+    from repro.exceptions import CheckpointError
     from repro.runtime import Budget, CheckpointStore, run_global
 
     ck_dir = (Path(__file__).resolve().parent.parent
@@ -100,7 +101,7 @@ def resumable_global(graph, gamma, *, tag: str, seed: int = SEED,
     if store.exists():
         try:
             finished = store.load_manifest().get("status") == "complete"
-        except Exception:
+        except (CheckpointError, OSError):
             finished = True  # corrupt: clear and start over
         if finished:
             store.clear()

@@ -1,0 +1,52 @@
+"""reprolint — static enforcement of the repo's reproducibility contracts.
+
+The runtime test suites prove the invariants hold on the code paths
+they exercise; this package proves them on every code path, before
+anything runs. Four rule families check the contracts PRs 1–3
+established (see ``docs/static-analysis.md`` for the catalogue and
+rationale):
+
+* **DET** — determinism: no module-global RNG, no wall clock inside
+  core algorithm modules, no hash-order iteration feeding an
+  order-sensitive fold.
+* **PAR** — parallel safety: paired shared-memory lifecycle, picklable
+  pool callables, the closed task-kind registry.
+* **EVT** — progress protocol: every emitted phase literal is in
+  ``repro.runtime.progress.KNOWN_PHASES``, and every registered phase
+  still has an emitter.
+* **EXC** — exception taxonomy: library raises stay on
+  ``repro.exceptions``; no bare or silently-broad handlers.
+
+Findings are suppressed line-by-line with justified pragmas::
+
+    # repro: allow[EXC003] salvage is best-effort by design
+    except Exception:
+        pass
+
+Run it as ``repro lint [paths...]`` (exit 0 clean / 1 findings /
+2 usage) or programmatically::
+
+    from repro.analysis import run_lint
+    result = run_lint(["src/repro", "benchmarks", "examples"])
+    assert result.clean, [f.render() for f in result.findings]
+"""
+
+from repro.analysis.engine import LintResult, run_lint
+from repro.analysis.findings import FAMILIES, RULE_IDS, RULES, Finding
+from repro.analysis.report import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "RULE_IDS",
+    "FAMILIES",
+    "JSON_SCHEMA_VERSION",
+    "run_lint",
+    "render_text",
+    "render_json",
+]

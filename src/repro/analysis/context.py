@@ -1,0 +1,171 @@
+"""Per-module analysis context shared by every rule family.
+
+A :class:`ModuleContext` wraps one parsed file with the bookkeeping the
+rules keep re-needing: a child-to-parent map over the AST (the standard
+library parses trees downward only), the module's dotted name recovered
+from its path, the import alias table (so ``import numpy.random as nr``
+still looks like ``numpy.random`` to the DET rules), and scope-chain
+walking for the PAR lifecycle checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+__all__ = ["ModuleContext", "CORE_ALGORITHM_PACKAGES", "dotted_name"]
+
+#: Sub-packages holding the paper's algorithms and data structures —
+#: the modules whose outputs must replay bit-identically and therefore
+#: may not consult wall clocks or entropy sources (DET002). The runtime
+#: and parallel layers legitimately use monotonic time (deadlines,
+#: pump intervals, timeouts) and are excluded.
+CORE_ALGORITHM_PACKAGES = (
+    "repro.core", "repro.truss", "repro.graphs", "repro.apps",
+    "repro.datasets",
+)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _module_name(path: Path) -> str | None:
+    """Dotted module name, anchored at the ``repro`` package if present.
+
+    ``src/repro/core/local.py`` -> ``repro.core.local``; files outside
+    the package (benchmarks, examples) resolve to None and only the
+    path-independent rules apply to them. Fixture corpora mirror the
+    package layout (``lint_fixtures/repro/core/...``) to opt into the
+    package-scoped rules.
+    """
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    start = parts.index("repro")
+    module_parts = parts[start:]
+    module_parts[-1] = path.stem
+    if module_parts[-1] == "__init__":
+        module_parts.pop()
+    return ".".join(module_parts)
+
+
+class ModuleContext:
+    """One file's source, AST, and derived lookup tables."""
+
+    def __init__(self, path: Path, source: str, tree: ast.Module):
+        self.path = path
+        self.display_path = str(path)
+        self.source = source
+        self.tree = tree
+        self.module = _module_name(path)
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        #: alias -> imported dotted module ("np" -> "numpy",
+        #: "nr" -> "numpy.random").
+        self.module_aliases: dict[str, str] = {}
+        #: local name -> "module.attr" for from-imports
+        #: ("seed" -> "numpy.random.seed").
+        self.symbol_imports: dict[str, str] = {}
+        self._collect_imports()
+
+    @classmethod
+    def parse(cls, path: Path) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        return cls(path, source, ast.parse(source, filename=str(path)))
+
+    # -- package scoping ------------------------------------------------
+    @property
+    def in_repro_package(self) -> bool:
+        return self.module is not None and (
+            self.module == "repro" or self.module.startswith("repro.")
+        )
+
+    @property
+    def is_core_algorithm(self) -> bool:
+        if self.module is None:
+            return False
+        return any(
+            self.module == pkg or self.module.startswith(pkg + ".")
+            for pkg in CORE_ALGORITHM_PACKAGES
+        )
+
+    # -- imports --------------------------------------------------------
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.module_aliases[alias.asname] = alias.name
+                    else:
+                        # "import a.b" binds the name "a" to package "a"
+                        head = alias.name.split(".")[0]
+                        self.module_aliases[head] = head
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue  # relative imports never hide stdlib names
+                for alias in node.names:
+                    self.symbol_imports[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolves_to(self, node: ast.AST) -> str | None:
+        """Fully-qualified dotted name of an expression, if derivable.
+
+        ``np.random.seed`` with ``import numpy as np`` resolves to
+        ``numpy.random.seed``; ``seed`` after ``from numpy.random
+        import seed`` resolves the same way.
+        """
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        if head in self.module_aliases:
+            base = self.module_aliases[head]
+            return f"{base}.{rest}" if rest else base
+        if head in self.symbol_imports:
+            target = self.symbol_imports[head]
+            return f"{target}.{rest}" if rest else target
+        return name
+
+    # -- scopes ---------------------------------------------------------
+    def scope_chain(self, node: ast.AST):
+        """Yield enclosing FunctionDef/ClassDef nodes, then the module."""
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                    ast.ClassDef, ast.Module)):
+                yield current
+            current = self.parents.get(current)
+
+    def enclosing_function(self, node: ast.AST):
+        for scope in self.scope_chain(node):
+            if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return scope
+        return None
+
+    def nested_function_names(self, node: ast.AST) -> set[str]:
+        """Names of functions defined inside the function holding ``node``.
+
+        Used by PAR002: a callable with one of these names cannot be
+        pickled to a worker process.
+        """
+        function = self.enclosing_function(node)
+        if function is None:
+            return set()
+        names: set[str] = set()
+        for child in ast.walk(function):
+            if (isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and child is not function):
+                names.add(child.name)
+        return names

@@ -1,0 +1,188 @@
+"""DET rules: the determinism invariants behind bit-identical replay.
+
+The equivalence suite (``tests/test_parallel.py``) proves today's call
+graph produces byte-identical output for every worker count; these
+rules keep *new* call sites from quietly re-introducing the three ways
+that contract historically breaks — global RNG state, wall-clock
+reads inside algorithms, and hash-order iteration feeding an
+order-sensitive fold.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext, dotted_name
+from repro.analysis.findings import Finding
+
+__all__ = ["check"]
+
+#: numpy.random attributes that are *explicit-stream* constructors and
+#: therefore fine; everything else on numpy.random touches the legacy
+#: module-global generator.
+_NP_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: stdlib ``random`` module attributes that do not draw from or reseed
+#: the shared global generator (explicit instances are fine — their
+#: seeding is the caller's, auditable, problem).
+_STDLIB_RANDOM_OK = frozenset({"Random", "SystemRandom"})
+
+#: Fully-qualified callables that read the wall clock or an entropy
+#: source (DET002, core algorithm modules only). ``time.monotonic`` and
+#: friends are listed too: any time reading inside an algorithm module
+#: implies time-dependent control flow.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.date.today",
+    "uuid.uuid1", "uuid.uuid4",
+    "os.urandom", "os.getrandom",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.randbits",
+    "secrets.choice", "secrets.randbelow",
+})
+
+
+def _global_rng_message(qualified: str) -> str | None:
+    """DET001 message for a resolved use of ``qualified``, if it is one."""
+    if qualified.startswith("random."):
+        attr = qualified.split(".", 1)[1]
+        if "." not in attr and attr not in _STDLIB_RANDOM_OK:
+            return (f"use of the process-global RNG ({qualified}); "
+                    "derive randomness from an explicit "
+                    "numpy.random.SeedSequence stream instead")
+    if qualified.startswith("numpy.random."):
+        attr = qualified.split(".", 2)[2]
+        if "." not in attr and attr not in _NP_RANDOM_OK:
+            return (f"use of numpy's legacy global RNG ({qualified}); "
+                    "use numpy.random.default_rng(SeedSequence(...))")
+    return None
+
+
+def _imported_qualified(ctx: ModuleContext, node: ast.AST) -> str | None:
+    """Resolve a use *through the import table only*.
+
+    A local variable that merely shadows a module name (a parameter
+    called ``random``) must not fire, so the head of the chain has to
+    be an actual import binding of this module.
+    """
+    name = dotted_name(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    if head in ctx.module_aliases:
+        base = ctx.module_aliases[head]
+        return f"{base}.{rest}" if rest else base
+    if head in ctx.symbol_imports:
+        target = ctx.symbol_imports[head]
+        return f"{target}.{rest}" if rest else target
+    return None
+
+
+def _unordered_reason(iterable: ast.AST) -> str | None:
+    """Why ``iterable`` has no defined order, or None if it does.
+
+    Recognised unordered forms: set literals and comprehensions,
+    ``set(...)``/``frozenset(...)`` calls, set-algebra method calls
+    (``.intersection(...)`` etc.), and ``.keys()`` calls. A
+    ``sorted(...)`` wrapper changes the node type, so wrapped
+    iterables never match.
+    """
+    if isinstance(iterable, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(iterable, ast.Call):
+        callee = iterable.func
+        if isinstance(callee, ast.Name) and callee.id in (
+                "set", "frozenset"):
+            return f"a {callee.id}()"
+        if isinstance(callee, ast.Attribute):
+            if callee.attr == "keys":
+                return ".keys() of a mapping"
+            if callee.attr in ("intersection", "union", "difference",
+                              "symmetric_difference"):
+                return f"a set .{callee.attr}()"
+    return None
+
+
+def _set_valued_names(function: ast.AST) -> set[str]:
+    """Names assigned an unordered expression anywhere in ``function``."""
+    names: set[str] = set()
+    for node in ast.walk(function):
+        if not isinstance(node, ast.Assign):
+            continue
+        value = node.value
+        if isinstance(value, (ast.Set, ast.SetComp)) or (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in ("set", "frozenset")
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def _order_sensitive_sink(body: list[ast.stmt]) -> str | None:
+    """First order-sensitive accumulation inside a loop body.
+
+    Matches ``.append(...)``, ``.extend(...)``, and augmented
+    ``+=``/``-=`` folds — the sinks whose result depends on visit
+    order. Adding to a set or assigning dict keys is order-free (for
+    equal keys, last write wins identically) and deliberately not
+    matched.
+    """
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("append", "extend")):
+                return f".{node.func.attr}(...)"
+            if isinstance(node, ast.AugAssign) and isinstance(
+                    node.op, (ast.Add, ast.Sub)):
+                return "an augmented +=/-= fold"
+    return None
+
+
+def check(ctx: ModuleContext) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def hit(rule: str, node: ast.AST, message: str) -> None:
+        findings.append(Finding(
+            rule=rule, path=ctx.display_path, line=node.lineno,
+            col=node.col_offset, message=message,
+        ))
+
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Attribute) or (
+                isinstance(node, ast.Name)
+                and node.id in ctx.symbol_imports):
+            qualified = _imported_qualified(ctx, node)
+            if qualified is not None:
+                message = _global_rng_message(qualified)
+                if message is not None:
+                    hit("DET001", node, message)
+                elif ctx.is_core_algorithm and qualified in _WALL_CLOCK:
+                    hit("DET002", node,
+                        f"{qualified} inside a core algorithm module; "
+                        "results must not depend on the clock or "
+                        "machine entropy — keep timing in benchmarks/ "
+                        "or the runtime layer")
+
+        if isinstance(node, ast.For):
+            reason = _unordered_reason(node.iter)
+            if reason is None and isinstance(node.iter, ast.Name):
+                function = ctx.enclosing_function(node)
+                if function is not None and (
+                        node.iter.id in _set_valued_names(function)):
+                    reason = f"the set-valued name {node.iter.id!r}"
+            if reason is not None:
+                sink = _order_sensitive_sink(node.body)
+                if sink is not None:
+                    hit("DET003", node,
+                        f"iterating {reason} feeds {sink}; hash order "
+                        "varies across processes — wrap the iterable "
+                        "in sorted(...) with a canonical key")
+    return findings

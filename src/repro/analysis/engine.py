@@ -1,0 +1,201 @@
+"""The reprolint engine: discovery, per-file rules, cross-file passes.
+
+``run_lint`` is the single entry point used by the CLI, the test
+suite, and CI. It walks the requested paths, runs the per-file rule
+families over each parsed module, then the two cross-file passes (the
+PAR003 task vocabulary and the EVT002 dead-phase check), and finally
+applies the suppression pragmas — producing both the active findings
+(which gate the exit code) and the suppressed ones (which the JSON
+reporter still records, so suppressions stay auditable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import det, evt, exc, par
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import RULE_IDS, UNSUPPRESSABLE, Finding
+from repro.analysis.pragmas import PragmaSheet, parse_pragmas
+from repro.exceptions import ParameterError
+
+__all__ = ["LintResult", "run_lint"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    paths: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+def _discover(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                files.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if not any(part in _SKIP_DIRS for part in candidate.parts):
+                files.append(candidate)
+    seen: set[Path] = set()
+    unique = []
+    for file in files:
+        resolved = file.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(file)
+    return unique
+
+
+def _load_base_task_registry() -> set[str]:
+    """Task kinds from the live ``repro.parallel.work.TASKS`` registry."""
+    from repro.parallel.work import TASKS
+
+    return set(TASKS)
+
+
+def _validate_select(select) -> frozenset[str] | None:
+    if select is None:
+        return None
+    chosen = frozenset(select)
+    unknown = sorted(chosen - RULE_IDS)
+    if unknown:
+        raise ParameterError(
+            f"unknown rule id(s) for --select: {', '.join(unknown)}; "
+            f"known rules are {', '.join(sorted(RULE_IDS))}"
+        )
+    return chosen
+
+
+def run_lint(paths, *, select=None) -> LintResult:
+    """Lint ``paths`` (files or directories) and return the result.
+
+    ``select`` optionally restricts checking to the given rule ids
+    (SUP/LNT diagnostics are always produced: they are findings about
+    the lint run itself). Raises :class:`repro.exceptions.
+    ParameterError` for paths that do not exist or unknown rule ids —
+    the CLI maps that to exit code 2.
+    """
+    selected = _validate_select(select)
+    roots = [Path(p) for p in paths]
+    for root in roots:
+        if not root.exists():
+            raise ParameterError(f"lint path does not exist: {root}")
+    files = _discover(roots)
+
+    contexts: list[ModuleContext] = []
+    sheets: dict[str, PragmaSheet] = {}
+    raw_findings: list[Finding] = []
+
+    # -- parse everything first: the cross-file passes need the full
+    # vocabulary before any module is judged.
+    for file in files:
+        try:
+            context = ModuleContext.parse(file)
+        except (SyntaxError, UnicodeDecodeError) as err:
+            line = getattr(err, "lineno", None) or 1
+            raw_findings.append(Finding(
+                rule="LNT001", path=str(file), line=line, col=0,
+                message=f"file could not be parsed: {err}",
+            ))
+            continue
+        contexts.append(context)
+        sheets[context.display_path] = parse_pragmas(
+            context.source, context.display_path)
+
+    task_registry = _load_base_task_registry()
+    registered_phases: dict[str, tuple[str, int]] = {}
+    emitted_phases: set[str] = set()
+    for context in contexts:
+        task_registry |= par.collect_task_registrations(context)
+        for phase, line in evt.collect_registered_phases(context).items():
+            registered_phases.setdefault(
+                phase, (context.display_path, line))
+        emitted_phases |= evt.collect_emitted_phases(context)
+    known_phases = evt.load_runtime_phases() | set(registered_phases)
+
+    # -- per-file rule families ----------------------------------------
+    for context in contexts:
+        raw_findings.extend(det.check(context))
+        raw_findings.extend(par.check(context, frozenset(task_registry)))
+        raw_findings.extend(evt.check(context, frozenset(known_phases)))
+        raw_findings.extend(exc.check(context))
+
+    # -- EVT002: dead phases (only those registered by scanned files,
+    # so linting a fixture tree never indicts the real registry).
+    for phase, (path, line) in sorted(registered_phases.items()):
+        if phase not in emitted_phases:
+            raw_findings.append(Finding(
+                rule="EVT002", path=path, line=line, col=0,
+                message=(
+                    f"registered progress phase {phase!r} has no "
+                    "emitter in the scanned tree; remove the "
+                    "registration or restore the emitter"
+                ),
+            ))
+
+    if selected is not None:
+        raw_findings = [
+            f for f in raw_findings
+            if f.rule in selected or f.rule in UNSUPPRESSABLE
+        ]
+
+    # -- suppression pass ----------------------------------------------
+    active: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in raw_findings:
+        sheet = sheets.get(finding.path)
+        pragma = None
+        if sheet is not None and finding.rule not in UNSUPPRESSABLE:
+            pragma = sheet.suppression_for(finding.rule, finding.line)
+        if pragma is None:
+            active.append(finding)
+        else:
+            pragma.used_rules.add(finding.rule)
+            suppressed.append(Finding(
+                rule=finding.rule, path=finding.path, line=finding.line,
+                col=finding.col, message=finding.message,
+                suppressed=True, suppression_reason=pragma.reason,
+            ))
+
+    # -- SUP001/SUP002: pragma hygiene ---------------------------------
+    for path, sheet in sheets.items():
+        active.extend(sheet.malformed)
+        for pragma, rule in sheet.unused():
+            if selected is not None and rule not in selected:
+                # Restricted runs cannot tell whether the pragma's
+                # rule would have fired; only a full run judges it.
+                continue
+            active.append(Finding(
+                rule="SUP001", path=path, line=pragma.line, col=0,
+                message=(
+                    f"suppression allow[{rule}] never matched a "
+                    "finding; delete the stale pragma"
+                ),
+            ))
+
+    active.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return LintResult(
+        findings=active, suppressed=suppressed,
+        files_scanned=len(files),
+        paths=[str(p) for p in roots],
+    )

@@ -1,0 +1,137 @@
+"""EVT rules: the machine-readable progress-event vocabulary.
+
+Budgets, interrupt guards, fault plans, checkpoints, and the parallel
+progress pump all dispatch on ``ProgressEvent.phase`` strings; the
+vocabulary is exported as :data:`repro.runtime.progress.KNOWN_PHASES`.
+EVT001 checks every phase *literal* at an emission or reference site
+against the registry; EVT002 (cross-file, run by the engine) flags
+registered phases that no scanned file emits — a dead contract.
+
+Phase literals are recognised at:
+
+* ``ProgressEvent("phase", ...)`` / ``ProgressEvent(phase="...")``
+* ``emit("phase", ...)`` — the supervisor's local emission helper
+* ``<state>.bump("phase", ...)`` — worker-side counter emission
+* ``COUNTER_PHASES = (...)`` — phases re-emitted by the progress pump
+* FaultPlan phase triggers (``raise_at``, ``raise_on_phase``,
+  ``sigint_at``, ``sigint_on_phase``, ``oom_at``, ``hang_task``) —
+  references, not emissions, but a typo there disables the fault.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+__all__ = ["check", "collect_registered_phases", "collect_emitted_phases",
+           "load_runtime_phases"]
+
+#: Call shapes whose first string argument *emits* a phase.
+_EMITTER_CALLS = frozenset({"ProgressEvent", "emit", "bump"})
+
+#: Call shapes whose first string argument *references* a phase.
+_REFERENCE_CALLS = frozenset({
+    "raise_at", "raise_on_phase", "sigint_at", "sigint_on_phase",
+    "oom_at", "hang_task",
+})
+
+
+def load_runtime_phases() -> frozenset[str]:
+    """The live registry; import-time failure means no base vocabulary."""
+    from repro.runtime.progress import KNOWN_PHASES
+
+    return frozenset(KNOWN_PHASES)
+
+
+def _registry_assignment(node: ast.Assign) -> bool:
+    return any(isinstance(t, ast.Name) and t.id == "KNOWN_PHASES"
+               for t in node.targets)
+
+
+def _literal_strings(node: ast.AST) -> list[str]:
+    """String constants inside a set/tuple/list/frozenset(...) literal."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("frozenset", "set", "tuple"):
+        if node.args:
+            return _literal_strings(node.args[0])
+        return []
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        return [elt.value for elt in node.elts
+                if isinstance(elt, ast.Constant)
+                and isinstance(elt.value, str)]
+    return []
+
+
+def collect_registered_phases(ctx: ModuleContext) -> dict[str, int]:
+    """Phases registered by a ``KNOWN_PHASES = frozenset({...})`` literal.
+
+    Returns phase -> line of the registration, for EVT002 reporting.
+    """
+    registered: dict[str, int] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign) and _registry_assignment(node):
+            for phase in _literal_strings(node.value):
+                registered.setdefault(phase, node.lineno)
+    return registered
+
+
+def _phase_literal_sites(ctx: ModuleContext):
+    """Yield ``(node, phase, is_emission)`` for every phase literal."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and (
+                        target.id == "COUNTER_PHASES"):
+                    for phase in _literal_strings(node.value):
+                        yield node, phase, True
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        name = callee.id if isinstance(callee, ast.Name) else (
+            callee.attr if isinstance(callee, ast.Attribute) else None)
+        if name is None:
+            continue
+        emits = name in _EMITTER_CALLS
+        references = name in _REFERENCE_CALLS
+        if not (emits or references):
+            continue
+        literal = None
+        if node.args and isinstance(node.args[0], ast.Constant) and (
+                isinstance(node.args[0].value, str)):
+            literal = node.args[0]
+        else:
+            for keyword in node.keywords:
+                if keyword.arg in ("phase", "matching") and isinstance(
+                        keyword.value, ast.Constant) and isinstance(
+                        keyword.value.value, str):
+                    literal = keyword.value
+                    break
+        if literal is not None:
+            yield literal, literal.value, emits
+
+
+def collect_emitted_phases(ctx: ModuleContext) -> set[str]:
+    """Every phase this module emits through a recognised shape."""
+    return {phase for _, phase, emits in _phase_literal_sites(ctx)
+            if emits}
+
+
+def check(ctx: ModuleContext, known_phases: frozenset[str]) -> list[Finding]:
+    """EVT001 over one module, against the combined phase vocabulary."""
+    findings: list[Finding] = []
+    for node, phase, emits in _phase_literal_sites(ctx):
+        if phase in known_phases:
+            continue
+        what = "emits" if emits else "references"
+        findings.append(Finding(
+            rule="EVT001", path=ctx.display_path, line=node.lineno,
+            col=node.col_offset,
+            message=(
+                f"{what} unregistered progress phase {phase!r}; "
+                "add it to repro.runtime.progress.KNOWN_PHASES (and "
+                "the docstring table) or fix the typo"
+            ),
+        ))
+    return findings

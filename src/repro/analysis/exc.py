@@ -1,0 +1,119 @@
+"""EXC rules: the exception-taxonomy protocol.
+
+``repro.exceptions`` is the library's failure contract: callers catch
+``ReproError``, the CLI maps taxonomy classes to exit codes, and the
+harness's degradation paths dispatch on them. EXC001 keeps ``raise``
+sites inside ``src/repro`` on the taxonomy; EXC002/EXC003 keep handlers
+from swallowing what the taxonomy was built to surface.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+__all__ = ["check"]
+
+#: Builtin exceptions whose *raising* is part of some other, equally
+#: explicit protocol: process exit, the cooperative-SIGINT path, and
+#: abstract-method guards. StopIteration belongs to the iterator
+#: protocol itself.
+_RAISE_ALLOWLIST = frozenset({
+    "SystemExit", "KeyboardInterrupt", "NotImplementedError",
+    "StopIteration", "StopAsyncIteration",
+})
+
+#: Builtin exception classes EXC001 recognises (and rejects) by name.
+#: Unknown names — caught-and-re-raised variables, classes defined in
+#: the raising module, ``exc(...)`` through a parameter — are left
+#: alone: the rule only claims what it can prove statically.
+_BUILTIN_EXCEPTIONS = frozenset({
+    "Exception", "BaseException", "ValueError", "TypeError", "KeyError",
+    "IndexError", "AttributeError", "RuntimeError", "OSError", "IOError",
+    "LookupError", "ArithmeticError", "ZeroDivisionError",
+    "OverflowError", "AssertionError", "EOFError", "MemoryError",
+    "BufferError", "ReferenceError", "UnicodeError", "FileNotFoundError",
+    "FileExistsError", "PermissionError", "InterruptedError",
+    "TimeoutError", "ConnectionError", "BrokenPipeError",
+    "NameError", "ImportError", "ModuleNotFoundError",
+})
+
+_BROAD_HANDLER_TYPES = frozenset({"Exception", "BaseException"})
+
+
+def _handler_type_names(handler: ast.ExceptHandler) -> list[str]:
+    node = handler.type
+    if node is None:
+        return []
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    names = []
+    for element in elements:
+        if isinstance(element, ast.Name):
+            names.append(element.id)
+        elif isinstance(element, ast.Attribute):
+            names.append(element.attr)
+    return names
+
+
+def _contains_bare_raise(handler: ast.ExceptHandler) -> bool:
+    """Cleanup-and-re-raise handlers never swallow; exempt them.
+
+    Only a *bare* ``raise`` counts — ``raise Wrapped(...) from err``
+    replaces the exception type and still needs a narrow handler (or a
+    justified pragma) to prove the breadth is intentional.
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+def check(ctx: ModuleContext) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def hit(rule: str, node: ast.AST, message: str) -> None:
+        findings.append(Finding(
+            rule=rule, path=ctx.display_path, line=node.lineno,
+            col=node.col_offset, message=message,
+        ))
+
+    for node in ast.walk(ctx.tree):
+        # -- EXC001: taxonomy raises (src/repro only) ------------------
+        if isinstance(node, ast.Raise) and ctx.in_repro_package:
+            exc = node.exc
+            callee = exc.func if isinstance(exc, ast.Call) else exc
+            name = None
+            if isinstance(callee, ast.Name):
+                name = callee.id
+            if (name in _BUILTIN_EXCEPTIONS
+                    and name not in _RAISE_ALLOWLIST):
+                hit("EXC001", node,
+                    f"raises builtin {name} from library code; raise "
+                    "a repro.exceptions class (ReproError subclass) "
+                    "so callers and the CLI can dispatch on the "
+                    "taxonomy")
+
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+
+        # -- EXC002: bare except ---------------------------------------
+        if node.type is None:
+            hit("EXC002", node,
+                "bare 'except:' also catches SystemExit and "
+                "KeyboardInterrupt; catch concrete exceptions (or "
+                "'except Exception' with a pragma if a catch-all is "
+                "genuinely required)")
+            continue
+
+        # -- EXC003: broad except without re-raise ---------------------
+        broad = [name for name in _handler_type_names(node)
+                 if name in _BROAD_HANDLER_TYPES]
+        if broad and not _contains_bare_raise(node):
+            hit("EXC003", node,
+                f"'except {broad[0]}' without a bare re-raise "
+                "swallows everything the taxonomy distinguishes; "
+                "narrow it to the concrete exception(s), or justify "
+                "the catch-all with '# repro: allow[EXC003] reason'")
+    return findings

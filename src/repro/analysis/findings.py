@@ -1,0 +1,207 @@
+"""The reprolint rule catalogue and the :class:`Finding` record.
+
+Every diagnostic the checker can produce is declared here, once, with
+the invariant it protects. The catalogue is what the reporters, the
+pragma parser (which rejects unknown rule ids), the CLI ``--select``
+validation, and ``docs/static-analysis.md`` all key off.
+
+Rule families
+-------------
+``DET``  determinism — the bit-identical-across-worker-counts contract
+         (docs/performance.md) dies the moment hidden global state or
+         hash-order iteration feeds a result.
+``PAR``  parallel safety — shared-memory lifecycle, picklable task
+         callables, and the closed task-kind registry in
+         ``repro/parallel/work.py``.
+``EVT``  progress protocol — the machine-readable phase vocabulary
+         exported as ``repro.runtime.progress.KNOWN_PHASES``.
+``EXC``  exception taxonomy — ``repro.exceptions`` is the only way the
+         library signals failure; broad handlers must justify
+         themselves.
+``SUP``  the suppression system's own hygiene (unused or malformed
+         pragmas).
+``LNT``  checker infrastructure (files the checker could not parse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "Rule", "RULES", "RULE_IDS", "FAMILIES"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One catalogue entry: a stable id, a summary, and its rationale."""
+
+    id: str
+    family: str
+    summary: str
+    rationale: str
+
+
+RULES: dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        Rule(
+            "DET001", "DET",
+            "module-global RNG",
+            "Seeding or drawing from process-global generator state "
+            "(random.*, np.random.seed, legacy RandomState) makes "
+            "results depend on import order and on what every other "
+            "call site drew before; all randomness must flow from an "
+            "explicit per-seed numpy SeedSequence/Generator.",
+        ),
+        Rule(
+            "DET002", "DET",
+            "wall-clock or entropy source in a core algorithm module",
+            "time/datetime/uuid/os.urandom/secrets inside the "
+            "decomposition algorithms leak the machine and the moment "
+            "into results that must replay bit-identically; timing "
+            "belongs in benchmarks and the runtime layer.",
+        ),
+        Rule(
+            "DET003", "DET",
+            "unordered iteration feeds order-sensitive accumulation",
+            "Iterating a set (or .keys() of an untracked mapping) while "
+            "appending to a list, extending, or folding with += makes "
+            "the result depend on hash order, which varies across "
+            "processes — the exact failure class that breaks "
+            "bit-identical output across worker counts. Wrap the "
+            "iterable in sorted(...) with a canonical key.",
+        ),
+        Rule(
+            "PAR001", "PAR",
+            "SharedMemory created without a paired release",
+            "A SharedMemory(create=True) segment outlives the process "
+            "unless some scope in the same function/class/module chain "
+            "calls close() and unlink() (or registers a "
+            "weakref.finalize); a missed pairing leaks /dev/shm pages "
+            "until reboot.",
+        ),
+        Rule(
+            "PAR002", "PAR",
+            "pool-dispatched callable is not a top-level function",
+            "Lambdas and nested functions do not pickle, so they die in "
+            "the fork/pipe boundary of the supervised pool (or silently "
+            "capture parent state that workers will not see refreshed); "
+            "task callables and Process targets must be module-level "
+            "defs.",
+        ),
+        Rule(
+            "PAR003", "PAR",
+            "task kind not registered in repro/parallel/work.py",
+            "The supervised pool routes tasks by name through the "
+            "closed TASKS registry; dispatching an unregistered kind "
+            "raises KeyError inside a worker, which supervision then "
+            "misreads as an application failure and replays.",
+        ),
+        Rule(
+            "EVT001", "EVT",
+            "unknown progress phase literal",
+            "Every emitted phase must belong to "
+            "repro.runtime.progress.KNOWN_PHASES — budgets, interrupt "
+            "guards, fault plans, checkpoints, and the parallel pump "
+            "all dispatch on these strings, and a typo degrades "
+            "silently into an event nobody handles.",
+        ),
+        Rule(
+            "EVT002", "EVT",
+            "registered phase has no emitter (dead event)",
+            "A phase in the registry that nothing emits is a stale "
+            "contract: hooks written against it can never fire, and "
+            "the docstring table drifts from reality. Remove the "
+            "registration or restore the emitter.",
+        ),
+        Rule(
+            "EXC001", "EXC",
+            "raise outside the repro.exceptions taxonomy",
+            "Library code must raise ReproError subclasses so callers "
+            "can catch one base class and the CLI can map failures to "
+            "exit codes; raising bare builtins (ValueError, "
+            "RuntimeError, ...) bypasses the contract documented in "
+            "repro/exceptions.py.",
+        ),
+        Rule(
+            "EXC002", "EXC",
+            "bare except:",
+            "A bare except catches SystemExit and KeyboardInterrupt, "
+            "turning a clean shutdown (or the cooperative SIGINT "
+            "protocol's exit-130 path) into silently swallowed "
+            "control flow.",
+        ),
+        Rule(
+            "EXC003", "EXC",
+            "broad except without re-raise",
+            "except Exception/BaseException that does not re-raise "
+            "swallows errors the taxonomy was built to surface "
+            "(cleanup-and-bare-raise is exempt). Narrow the handler to "
+            "the concrete exceptions, or keep the catch-all and "
+            "justify it with a pragma.",
+        ),
+        Rule(
+            "SUP001", "SUP",
+            "unused suppression pragma",
+            "A '# repro: allow[...]' pragma whose rule no longer fires "
+            "on that line is dead weight that hides future regressions "
+            "of the same rule; delete it.",
+        ),
+        Rule(
+            "SUP002", "SUP",
+            "malformed suppression pragma",
+            "A comment that starts with '# repro:' but is not "
+            "'allow[RULE001, ...] reason' (unknown rule id, or a "
+            "missing justification) suppresses nothing; every pragma "
+            "must name real rules and say why.",
+        ),
+        Rule(
+            "LNT001", "LNT",
+            "file could not be parsed",
+            "A file the checker cannot parse is a file none of the "
+            "invariants are checked on; syntax errors never pass.",
+        ),
+    )
+}
+
+RULE_IDS = frozenset(RULES)
+FAMILIES = tuple(sorted({rule.family for rule in RULES.values()}))
+
+#: Findings from these rules cannot be pragma-suppressed: SUP findings
+#: are about the pragmas themselves, LNT001 means the file's pragmas
+#: were never even parsed.
+UNSUPPRESSABLE = frozenset({"SUP001", "SUP002", "LNT001"})
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: ``rule`` at ``path:line:col`` with a message."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: str | None = field(default=None, compare=False)
+
+    @property
+    def family(self) -> str:
+        return RULES[self.rule].family
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def render(self) -> str:
+        return f"{self.location()}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "family": self.family,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "suppression_reason": self.suppression_reason,
+        }

@@ -1,0 +1,183 @@
+"""PAR rules: parallel-safety invariants of the supervised pool.
+
+The parallel layer's contracts are structural: shared segments are
+owned (created, closed, unlinked) by exactly one scope chain
+(``repro/parallel/shared.py``), work travels to forked workers only as
+picklable top-level callables, and the task vocabulary is the closed
+``TASKS`` registry in ``repro/parallel/work.py`` that the supervised
+pool routes by name. Each rule here rejects the code shape that breaks
+one of those contracts before it can deadlock a pool or leak
+``/dev/shm`` pages.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.findings import Finding
+
+__all__ = ["check", "collect_task_registrations"]
+
+#: Attribute methods that hand a callable to another process (or a
+#: thread pool that may be swapped for one).
+_SUBMIT_METHODS = ("submit", "apply_async", "apply")
+
+
+def _is_shared_memory_create(node: ast.Call) -> bool:
+    """True for ``SharedMemory(..., create=True, ...)`` calls."""
+    callee = node.func
+    name = callee.attr if isinstance(callee, ast.Attribute) else (
+        callee.id if isinstance(callee, ast.Name) else None)
+    if name != "SharedMemory":
+        return False
+    for keyword in node.keywords:
+        if keyword.arg == "create" and isinstance(
+                keyword.value, ast.Constant):
+            return bool(keyword.value.value)
+    return False
+
+
+def _scope_releases_segment(scope: ast.AST) -> bool:
+    """Does ``scope`` contain a close() call plus unlink()/finalize?
+
+    The pairing contract from ``docs/performance.md``: whoever creates
+    a segment must also be the scope chain that unmaps (``close``) and
+    removes (``unlink``) it, or that registers a ``weakref.finalize``
+    backstop doing the same.
+    """
+    saw_close = saw_unlink = saw_finalize = False
+    for node in ast.walk(scope):
+        if not isinstance(node, ast.Call):
+            continue
+        callee = node.func
+        if isinstance(callee, ast.Attribute):
+            if callee.attr == "close":
+                saw_close = True
+            elif callee.attr == "unlink":
+                saw_unlink = True
+            elif callee.attr == "finalize":
+                saw_finalize = True
+        elif isinstance(callee, ast.Name) and callee.id == "finalize":
+            saw_finalize = True
+    return saw_finalize or (saw_close and saw_unlink)
+
+
+def _callable_argument(node: ast.Call) -> ast.AST | None:
+    """The callable handed off by a pool/process call, if this is one."""
+    for keyword in node.keywords:
+        if keyword.arg == "target":
+            return keyword.value
+    if isinstance(node.func, ast.Attribute) and (
+            node.func.attr in _SUBMIT_METHODS) and node.args:
+        return node.args[0]
+    return None
+
+
+def collect_task_registrations(ctx: ModuleContext) -> set[str]:
+    """Task kinds registered by ``TASKS = {"name": fn, ...}`` literals."""
+    kinds: set[str] = set()
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "TASKS"
+                   for t in node.targets):
+            continue
+        if isinstance(node.value, ast.Dict):
+            for key in node.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                        key.value, str):
+                    kinds.add(key.value)
+    return kinds
+
+
+def _map_task_kind(node: ast.Call) -> ast.Constant | None:
+    """The literal task-kind argument of an ``executor.map(...)`` call."""
+    if not (isinstance(node.func, ast.Attribute)
+            and node.func.attr == "map" and node.args):
+        return None
+    first = node.args[0]
+    if isinstance(first, ast.Constant) and isinstance(first.value, str):
+        return first
+    return None
+
+
+def check(ctx: ModuleContext, task_registry: frozenset[str]) -> list[Finding]:
+    findings: list[Finding] = []
+
+    def hit(rule: str, node: ast.AST, message: str) -> None:
+        findings.append(Finding(
+            rule=rule, path=ctx.display_path, line=node.lineno,
+            col=node.col_offset, message=message,
+        ))
+
+    top_level_functions = {
+        stmt.name for stmt in ctx.tree.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+
+        # -- PAR001: unpaired SharedMemory creation --------------------
+        if _is_shared_memory_create(node):
+            if not any(_scope_releases_segment(scope)
+                       for scope in ctx.scope_chain(node)):
+                hit("PAR001", node,
+                    "SharedMemory(create=True) without a paired "
+                    "close()/unlink() or weakref.finalize in the "
+                    "enclosing function/class/module; the segment "
+                    "leaks in /dev/shm if this scope unwinds")
+
+        # -- PAR002: non-top-level pool callables ----------------------
+        callable_arg = _callable_argument(node)
+        if callable_arg is not None:
+            if isinstance(callable_arg, ast.Lambda):
+                hit("PAR002", callable_arg,
+                    "lambda handed to a worker dispatch; lambdas do "
+                    "not pickle across the fork/pipe boundary — use a "
+                    "module-level function")
+            elif isinstance(callable_arg, ast.Name):
+                if callable_arg.id in ctx.nested_function_names(node):
+                    hit("PAR002", callable_arg,
+                        f"nested function {callable_arg.id!r} handed "
+                        "to a worker dispatch; nested functions do "
+                        "not pickle — hoist it to module level")
+
+        # -- PAR003: unregistered task kinds ---------------------------
+        kind = _map_task_kind(node)
+        if kind is not None and kind.value not in task_registry:
+            registered = ", ".join(sorted(task_registry)) or "(none)"
+            hit("PAR003", kind,
+                f"task kind {kind.value!r} is not registered in "
+                f"repro/parallel/work.py TASKS (registered: "
+                f"{registered}); the pool would raise KeyError "
+                "inside a worker")
+
+    # -- PAR002, registry side: TASKS values must be top-level defs ----
+    for stmt in ctx.tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "TASKS"
+                   for t in stmt.targets):
+            continue
+        if not isinstance(stmt.value, ast.Dict):
+            continue
+        for key, value in zip(stmt.value.keys, stmt.value.values):
+            label = key.value if isinstance(key, ast.Constant) else "?"
+            if isinstance(value, ast.Lambda):
+                hit("PAR002", value,
+                    f"task {label!r} is registered as a lambda; "
+                    "workers receive tasks by name but the callable "
+                    "must still be a picklable module-level function")
+            elif isinstance(value, ast.Name) and (
+                    value.id not in top_level_functions
+                    and value.id not in ctx.symbol_imports):
+                hit("PAR002", value,
+                    f"task {label!r} is registered as {value.id!r}, "
+                    "which is neither a top-level function of this "
+                    "module nor an import; pool workers cannot "
+                    "unpickle it")
+
+    return findings

@@ -1,0 +1,139 @@
+"""Suppression pragmas: ``# repro: allow[DET001] why it is safe here``.
+
+A pragma suppresses the named rule(s) on its own line, or — when it
+stands alone on a comment line — on the next line, so both styles work::
+
+    for w in common:  # repro: allow[DET003] folded into a max(), order-free
+        best = max(best, score[w])
+
+    # repro: allow[EXC003] salvage is best-effort; any pipe state is fine
+    except Exception:
+        pass
+
+The reason text is mandatory: an unjustified suppression is exactly the
+kind of silent bypass reprolint exists to prevent. Unknown rule ids and
+syntax the parser cannot read are reported as SUP002 rather than being
+ignored, and pragmas that never matched a finding come back as SUP001
+(see :mod:`repro.analysis.engine`).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import RULE_IDS, Finding
+
+__all__ = ["Pragma", "PragmaSheet", "parse_pragmas"]
+
+#: Anything that *announces* itself as a reprolint directive. Scanning
+#: for this prefix first (rather than only for well-formed pragmas)
+#: is what lets us flag near-miss syntax instead of silently ignoring
+#: a suppression the author believes is active.
+_PRAGMA_PREFIX = re.compile(r"#\s*repro\s*:")
+
+_PRAGMA = re.compile(
+    r"#\s*repro\s*:\s*allow\s*\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
+)
+
+_RULE_TOKEN = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+@dataclass
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    #: True when the pragma is the only thing on its line, in which
+    #: case it also covers the following line.
+    own_line: bool
+    used: bool = False
+    used_rules: set = field(default_factory=set)
+
+    def covers(self, line: int) -> bool:
+        if line == self.line:
+            return True
+        return self.own_line and line == self.line + 1
+
+
+class PragmaSheet:
+    """All pragmas of one module, with match bookkeeping."""
+
+    def __init__(self, pragmas: list[Pragma], malformed: list[Finding]):
+        self.pragmas = pragmas
+        self.malformed = malformed
+
+    def suppression_for(self, rule: str, line: int) -> Pragma | None:
+        """The pragma suppressing ``rule`` at ``line``, if any."""
+        for pragma in self.pragmas:
+            if rule in pragma.rules and pragma.covers(line):
+                return pragma
+        return None
+
+    def unused(self) -> list[tuple[Pragma, str]]:
+        """(pragma, rule) pairs that never matched a finding."""
+        stale = []
+        for pragma in self.pragmas:
+            for rule in pragma.rules:
+                if rule not in pragma.used_rules:
+                    stale.append((pragma, rule))
+        return stale
+
+
+def parse_pragmas(source: str, path: str) -> PragmaSheet:
+    """Extract every pragma (and pragma near-miss) from ``source``."""
+    pragmas: list[Pragma] = []
+    malformed: list[Finding] = []
+
+    def bad(line: int, col: int, why: str) -> None:
+        malformed.append(Finding(
+            rule="SUP002", path=path, line=line, col=col,
+            message=f"malformed suppression pragma: {why}",
+        ))
+
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            tok for tok in tokens if tok.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The engine reports the file itself as LNT001; nothing to do.
+        return PragmaSheet([], [])
+
+    for tok in comments:
+        text = tok.string
+        if not _PRAGMA_PREFIX.match(text):
+            continue
+        line, col = tok.start
+        match = _PRAGMA.match(text)
+        if match is None:
+            bad(line, col,
+                "expected '# repro: allow[RULE001, ...] reason'")
+            continue
+        rules = tuple(
+            token.strip() for token in match.group("rules").split(",")
+            if token.strip()
+        )
+        reason = match.group("reason").strip()
+        if not rules:
+            bad(line, col, "no rule ids inside allow[...]")
+            continue
+        unknown = [r for r in rules if not _RULE_TOKEN.match(r)
+                   or r not in RULE_IDS]
+        if unknown:
+            bad(line, col,
+                f"unknown rule id(s) {', '.join(unknown)}")
+            continue
+        if not reason:
+            bad(line, col,
+                f"allow[{', '.join(rules)}] is missing its "
+                "justification — say why the finding is safe here")
+            continue
+        own_line = source.splitlines()[line - 1].strip().startswith("#")
+        pragmas.append(Pragma(line=line, rules=rules, reason=reason,
+                              own_line=own_line))
+    return PragmaSheet(pragmas, malformed)

@@ -1,0 +1,73 @@
+"""Reprolint reporters: human text and machine-readable JSON.
+
+Both render a :class:`repro.analysis.engine.LintResult`. The text form
+is one ``path:line:col: RULE message`` line per active finding plus a
+summary; the JSON form carries the full structure (active *and*
+suppressed findings, per-rule counts, the schema version) for CI
+artifacts and tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import LintResult
+from repro.analysis.findings import RULES
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    lines = [finding.render() for finding in result.findings]
+    if verbose and result.suppressed:
+        lines.append("")
+        lines.append(f"{len(result.suppressed)} suppressed:")
+        for finding in result.suppressed:
+            lines.append(
+                f"  {finding.render()}  "
+                f"[allowed: {finding.suppression_reason}]"
+            )
+    if result.findings:
+        counts = result.counts_by_rule()
+        breakdown = ", ".join(
+            f"{rule} x{count}" for rule, count in sorted(counts.items())
+        )
+        lines.append("")
+        lines.append(
+            f"{len(result.findings)} finding(s) in "
+            f"{result.files_scanned} file(s): {breakdown}"
+        )
+    else:
+        lines.append(
+            f"{result.files_scanned} file(s) clean"
+            + (f" ({len(result.suppressed)} suppressed)"
+               if result.suppressed else "")
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    counts = result.counts_by_rule()
+    document = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "tool": "reprolint",
+        "paths": result.paths,
+        "files_scanned": result.files_scanned,
+        "clean": result.clean,
+        "summary": {
+            "active": len(result.findings),
+            "suppressed": len(result.suppressed),
+            "by_rule": {rule: counts[rule] for rule in sorted(counts)},
+        },
+        "rules": {
+            rule.id: {"family": rule.family, "summary": rule.summary}
+            for rule in RULES.values()
+            if any(f.rule == rule.id
+                   for f in result.findings + result.suppressed)
+        },
+        "findings": [f.to_dict() for f in result.findings],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+    }
+    return json.dumps(document, indent=2, sort_keys=False)

@@ -8,6 +8,10 @@ Subcommands
 * ``repro global GRAPH --gamma G [--method gbu|gtd]`` — global trusses.
 * ``repro team --keywords data algorithm --gamma G`` — the Section 6.5
   team-formation case study on the synthetic collaboration network.
+* ``repro lint [PATHS...]`` — run the reprolint static invariant
+  checker (determinism / parallel safety / progress protocol /
+  exception taxonomy); exits 0 clean, 1 with findings, 2 on usage
+  errors. See ``docs/static-analysis.md``.
 
 ``GRAPH`` is either a dataset name (see ``repro datasets``) or a path to
 an edge-list / JSON graph file.
@@ -378,6 +382,34 @@ def _cmd_team(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import render_json, render_text, run_lint
+
+    if args.paths:
+        paths = list(args.paths)
+    else:
+        # Default to the tree the CI gate lints, relative to cwd;
+        # only complain when *nothing* is found.
+        paths = [p for p in ("src/repro", "benchmarks", "examples")
+                 if Path(p).exists()]
+        if not paths:
+            raise ParameterError(
+                "no lint paths given and none of src/repro, "
+                "benchmarks, examples exist under the current "
+                "directory"
+            )
+    select = None
+    if args.select:
+        select = [token.strip() for chunk in args.select
+                  for token in chunk.split(",") if token.strip()]
+    result = run_lint(paths, select=select)
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    return 0 if result.clean else 1
+
+
 def _add_runtime_options(p: argparse.ArgumentParser) -> None:
     """Robustness options shared by the long-running subcommands."""
     g = p.add_argument_group("robustness")
@@ -517,6 +549,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="show only the top thresholds (default 10)")
     p.add_argument("--verbose", action="store_true")
     p.set_defaults(func=_cmd_gamma)
+
+    p = sub.add_parser(
+        "lint",
+        help="static invariant checker (determinism, parallel safety, "
+             "progress/exception protocols)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint (default: "
+                        "src/repro benchmarks examples)")
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--select", action="append", metavar="RULES",
+                   default=None,
+                   help="comma-separated rule ids to check "
+                        "(e.g. DET001,EXC003); default: all rules")
+    p.add_argument("--verbose", action="store_true",
+                   help="also list suppressed findings with their "
+                        "pragma justifications")
+    p.set_defaults(func=_cmd_lint)
 
     p = sub.add_parser("team", help="task-driven team formation case study")
     p.add_argument("--query", nargs="+",

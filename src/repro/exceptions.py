@@ -22,6 +22,7 @@ __all__ = [
     "CheckpointError",
     "ComputationInterrupted",
     "TaskQuarantinedError",
+    "WorkerPoolError",
 ]
 
 
@@ -153,6 +154,17 @@ class TaskQuarantinedError(ReproError):
             )
         super().__init__(message)
         self.quarantined = quarantined
+
+
+class WorkerPoolError(ReproError, RuntimeError):
+    """The supervised worker pool cannot make progress.
+
+    Raised by :class:`repro.parallel.supervisor.SupervisedPool` when
+    workers die faster than they complete tasks (e.g. the machine is
+    OOM-killing every replacement) — retrying further would loop
+    forever. Also a :class:`RuntimeError` so pre-taxonomy callers that
+    caught that keep working.
+    """
 
 
 class ComputationInterrupted(ReproError):

@@ -58,6 +58,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection
 
+from repro.exceptions import WorkerPoolError
 from repro.parallel.work import CANCELLED, TASKS, build_worker_state
 
 __all__ = ["QUARANTINED", "QuarantinedTask", "SupervisedPool"]
@@ -183,6 +184,7 @@ def _sendable_exception(exc: BaseException) -> BaseException:
     try:
         pickle.loads(pickle.dumps(exc))
         return exc
+    # repro: allow[EXC003] __reduce__ of arbitrary exceptions raises anything
     except Exception:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
@@ -213,18 +215,21 @@ def _worker_main(worker_id: int, conn, edge_triples, handle, cancel,
             ok, value = True, TASKS[name](state, payload)
         except _WorkerCancelled:
             ok, value = True, CANCELLED
+        # repro: allow[EXC003] the task boundary: any failure must cross
         except BaseException as exc:
             ok, value = False, _sendable_exception(exc)
         try:
             conn.send((epoch, index, ok, value))
         except (BrokenPipeError, OSError):
             break
+        # repro: allow[EXC003] pickling a task result can raise anything
         except Exception as exc:  # result failed to pickle
             try:
                 conn.send((epoch, index, False, RuntimeError(
                     f"task {name!r} produced an unpicklable "
                     f"result/exception: {exc}"
                 )))
+            # repro: allow[EXC003] pipe unusable; parent reaps us via EOF
             except Exception:
                 break
         tasks_done += 1
@@ -412,6 +417,7 @@ class SupervisedPool:
                 while worker.conn.poll():
                     self._on_message(worker, worker.conn.recv(), epoch,
                                      results, quarantined)
+            # repro: allow[EXC003] salvage is best-effort over a dying pipe
             except Exception:
                 pass  # partial write / EOF: nothing to salvage
 
@@ -436,7 +442,7 @@ class SupervisedPool:
             self._discard(worker)
             self._consecutive_deaths += 1
             if self._consecutive_deaths > max(8, 3 * self._n_workers):
-                raise RuntimeError(
+                raise WorkerPoolError(
                     f"worker pool is not making progress: "
                     f"{self._consecutive_deaths} consecutive worker "
                     f"deaths without a completed task (last: {reason})"

@@ -187,6 +187,7 @@ class CheckpointStore:
                 packed = doc["packed"]
                 rows, cols = (int(x) for x in doc["shape"])
                 crc = int(doc["crc"][0])
+        # repro: allow[EXC003] any np.load failure means corruption; rewrapped
         except Exception as err:
             raise CheckpointError(
                 f"corrupt checkpoint sample batch {path}: {err}"

@@ -37,6 +37,10 @@ Emitted phases
 ``task-quarantined``  a payload exhausted ``max_task_retries`` and was
                     quarantined (``step`` = quarantine count this map;
                     ``detail``: task, payload_index, attempts, reason)
+``local-init``      (workers only) Algorithm 1's initial support DPs
+                    completed for another chunk of edges; counted in a
+                    shared counter and re-emitted by the pump (``step``
+                    = cumulative edges initialised)
 ==================  =====================================================
 
 Checkpoints are written *before* the hook runs at each boundary, so a
@@ -53,10 +57,41 @@ parallel runs as sampled.
 
 from __future__ import annotations
 
+import os
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 
-__all__ = ["ProgressEvent", "ProgressHook", "chain_hooks"]
+__all__ = ["KNOWN_PHASES", "ProgressEvent", "ProgressHook", "chain_hooks"]
+
+#: The machine-readable progress-event vocabulary — the single source of
+#: truth behind the docstring table above. ``reprolint``'s EVT rules
+#: check every emitted phase literal against this set (and that every
+#: entry here still has an emitter), and ``tests/test_reprolint.py``
+#: asserts the table and this registry agree. Adding a phase means
+#: adding it in both places.
+KNOWN_PHASES = frozenset({
+    "sample-batch",
+    "local-peel",
+    "local-init",
+    "global-level",
+    "global-level-done",
+    "gtd-state",
+    "gbu-seed",
+    "oracle-eval",
+    "reliability-batch",
+    "reliability-rows",
+    "parallel-heartbeat",
+    "worker-died",
+    "task-retried",
+    "task-quarantined",
+})
+
+#: Debug-mode event validation, read once at import: with ``REPRO_DEBUG``
+#: set (to anything non-empty) every constructed event must carry a
+#: registered phase. Off by default — the hot loops construct events at
+#: batch boundaries and production hooks must accept forward-compatible
+#: phases from newer emitters.
+_VALIDATE_PHASES = bool(os.environ.get("REPRO_DEBUG"))
 
 
 @dataclass(frozen=True)
@@ -80,6 +115,16 @@ class ProgressEvent:
     step: int
     total: int | None = None
     detail: Mapping = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if _VALIDATE_PHASES and self.phase not in KNOWN_PHASES:
+            from repro.exceptions import ParameterError
+
+            raise ParameterError(
+                f"unknown progress phase {self.phase!r}; registered "
+                f"phases are {', '.join(sorted(KNOWN_PHASES))} "
+                "(REPRO_DEBUG validation)"
+            )
 
 
 ProgressHook = Callable[[ProgressEvent], None]

@@ -1,0 +1,15 @@
+"""DET001 positive: process-global RNG use."""
+
+import random
+
+import numpy as np
+
+
+def shuffled(items):
+    random.shuffle(items)
+    return items
+
+
+def reseed_everything():
+    np.random.seed(0)
+    return np.random.RandomState(42)

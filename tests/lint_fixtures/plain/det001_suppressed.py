@@ -1,0 +1,8 @@
+"""DET001 suppressed: global RNG behind a justified pragma."""
+
+import random
+
+
+def shuffled(items):
+    random.shuffle(items)  # repro: allow[DET001] demo script, not library
+    return items

@@ -1,0 +1,15 @@
+"""DET003 negative: sorted() wrappers make the same loops clean."""
+
+
+def collect(graph, nodes):
+    out = []
+    for node in sorted(set(nodes), key=str):
+        out.append(graph[node])
+    return out
+
+
+def fold(weights):
+    total = 0.0
+    for w in sorted({w for w in weights if w > 0}):
+        total += w
+    return total

@@ -1,0 +1,16 @@
+"""DET003 positive: set iteration feeding order-sensitive sinks."""
+
+
+def collect(graph, nodes):
+    out = []
+    for node in set(nodes):
+        out.append(graph[node])
+    return out
+
+
+def fold(weights):
+    total = 0.0
+    candidates = {w for w in weights if w > 0}
+    for w in candidates:
+        total += w
+    return total

@@ -1,0 +1,9 @@
+"""DET003 suppressed: order genuinely cannot matter here."""
+
+
+def count(nodes):
+    seen = []
+    # repro: allow[DET003] len() of the result only; order never observed
+    for node in set(nodes):
+        seen.append(node)
+    return len(seen)

@@ -1,0 +1,7 @@
+"""EVT001 positive: emitting a phase the registry doesn't know."""
+
+from repro.runtime.progress import ProgressEvent
+
+
+def announce(progress, step):
+    progress(ProgressEvent("warp-core-align", step=step))

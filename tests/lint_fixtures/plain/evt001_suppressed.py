@@ -1,0 +1,8 @@
+"""EVT001 suppressed: an experimental phase behind a pragma."""
+
+from repro.runtime.progress import ProgressEvent
+
+
+def announce(progress, step):
+    # repro: allow[EVT001] experimental phase; promoted before merge
+    progress(ProgressEvent("warp-core-align", step=step))

@@ -1,0 +1,5 @@
+"""EVT002 positive: a registered phase nothing emits (dead event)."""
+
+KNOWN_PHASES = frozenset({
+    "ghost-phase",
+})

@@ -1,0 +1,6 @@
+"""EVT002 suppressed: a reserved phase kept registered on purpose."""
+
+# repro: allow[EVT002] reserved for the next protocol version
+KNOWN_PHASES = frozenset({
+    "reserved-phase",
+})

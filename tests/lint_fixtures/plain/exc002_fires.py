@@ -1,0 +1,8 @@
+"""EXC002 positive: a bare except."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None

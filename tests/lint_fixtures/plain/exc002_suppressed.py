@@ -1,0 +1,9 @@
+"""EXC002 suppressed: a bare except behind a justified pragma."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    # repro: allow[EXC002] last-ditch demo loader; never library code
+    except:
+        return None

@@ -1,0 +1,9 @@
+"""EXC003 negative: cleanup-and-bare-raise is exempt by design."""
+
+
+def guarded(pool, callback):
+    try:
+        return callback()
+    except BaseException:
+        pool.abort()
+        raise

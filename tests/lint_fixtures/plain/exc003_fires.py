@@ -1,0 +1,9 @@
+"""EXC003 positive: broad except that swallows."""
+
+
+def probe(callback):
+    try:
+        return callback()
+    except Exception:
+        pass
+    return None

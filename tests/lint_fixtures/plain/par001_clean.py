@@ -1,0 +1,22 @@
+"""PAR001 negative: paired release in the same scope chain."""
+
+import weakref
+from multiprocessing import shared_memory
+
+
+def copy_through(payload):
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    try:
+        shm.buf[: len(payload)] = payload
+        return bytes(shm.buf[: len(payload)])
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+class Segment:
+    """Finalizer-backed ownership, like repro.parallel.shared."""
+
+    def __init__(self, size):
+        self._shm = shared_memory.SharedMemory(create=True, size=size)
+        self._finalizer = weakref.finalize(self, self._shm.close)

@@ -1,0 +1,9 @@
+"""PAR001 positive: a shared segment with no release in scope."""
+
+from multiprocessing import shared_memory
+
+
+def publish(payload):
+    shm = shared_memory.SharedMemory(create=True, size=len(payload))
+    shm.buf[: len(payload)] = payload
+    return shm.name

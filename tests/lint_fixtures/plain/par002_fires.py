@@ -1,0 +1,18 @@
+"""PAR002 positive: unpicklable callables handed to worker dispatch."""
+
+import multiprocessing as mp
+
+
+def launch(values):
+    proc = mp.Process(target=lambda: sum(values))
+    proc.start()
+    return proc
+
+
+def launch_nested(values):
+    def work():
+        return sum(values)
+
+    proc = mp.Process(target=work)
+    proc.start()
+    return proc

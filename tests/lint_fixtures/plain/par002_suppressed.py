@@ -1,0 +1,10 @@
+"""PAR002 suppressed: a thread-only dispatch that never pickles."""
+
+import threading
+
+
+def launch(values):
+    # repro: allow[PAR002] threading.Thread shares memory; no pickling
+    thread = threading.Thread(target=lambda: sum(values))
+    thread.start()
+    return thread

@@ -1,0 +1,5 @@
+"""PAR003 positive: dispatching a task kind the registry doesn't know."""
+
+
+def run(executor, payloads, progress):
+    return executor.map("warp-drive-align", payloads, progress=progress)

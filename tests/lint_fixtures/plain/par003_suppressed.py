@@ -1,0 +1,6 @@
+"""PAR003 suppressed: a .map() that is not the task-dispatch protocol."""
+
+
+def run(frame, payloads):
+    # repro: allow[PAR003] pandas .map(), not the worker-pool protocol
+    return frame.map("category", payloads)

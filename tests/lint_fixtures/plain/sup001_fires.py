@@ -1,0 +1,7 @@
+"""SUP001 positive: a suppression whose violation was fixed long ago."""
+
+
+def tidy(items):
+    # repro: allow[DET003] sorted below makes iteration order canonical
+    for item in sorted(set(items), key=str):
+        yield item

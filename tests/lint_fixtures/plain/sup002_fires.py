@@ -1,0 +1,16 @@
+"""SUP002 positives: every malformed-pragma shape."""
+
+
+def first(values):
+    # repro: allow[DET999] no such rule id
+    return list(set(values))
+
+
+def second(values):
+    # repro: allow[DET001]
+    return list(set(values))
+
+
+def third(values):
+    # repro: allowlist me please
+    return list(set(values))

@@ -1,0 +1,8 @@
+"""DET002 positive: wall clock inside a core algorithm module."""
+
+import time
+
+
+def decompose(graph):
+    started = time.perf_counter()
+    return started

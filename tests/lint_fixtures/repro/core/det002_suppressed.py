@@ -1,0 +1,9 @@
+"""DET002 suppressed: a justified clock read in a core module."""
+
+import time
+
+
+def decompose(graph):
+    # repro: allow[DET002] diagnostic only; never reaches the result
+    started = time.perf_counter()
+    return graph, started

@@ -1,0 +1,7 @@
+"""EXC001 positive: raising a builtin from library code."""
+
+
+def validate(gamma):
+    if not 0 <= gamma <= 1:
+        raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+    return gamma

@@ -1,0 +1,8 @@
+"""EXC001 suppressed: a deliberate builtin raise in library code."""
+
+
+def checked_index(row, column):
+    if column < 0:
+        # repro: allow[EXC001] numpy indexing contract expects IndexError
+        raise IndexError(column)
+    return row[column]
