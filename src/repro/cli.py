@@ -153,6 +153,7 @@ def _cmd_global(args: argparse.Namespace) -> int:
         partial = run_global(
             graph, args.gamma, epsilon=args.epsilon, delta=args.delta,
             method=args.method, seed=args.seed, max_k=args.max_k,
+            max_states=args.max_states,
             batch_size=args.batch_size, budget=_make_budget(args),
             checkpoint_dir=args.checkpoint, resume=args.resume,
             progress=guard.check, workers=args.workers,
@@ -482,6 +483,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--delta", type=float, default=0.1)
     p.add_argument("--method", choices=["gbu", "gtd"], default="gbu")
     p.add_argument("--max-k", type=int, default=None)
+    p.add_argument("--max-states", type=int, default=None,
+                   help="abort the exact GTD search once one component's "
+                        "explored state closure exceeds this many residual "
+                        "subgraphs (default: the library's built-in cap)")
     p.add_argument("--batch-size", type=int, default=25,
                    help="sampling rows per checkpoint/budget boundary")
     p.add_argument("--verbose", action="store_true")

@@ -121,6 +121,11 @@ def _prune_to_structural_ktruss(
     return alive
 
 
+def _edge_sort_key(e: Edge):
+    """Canonical edge ordering shared by every frontier/merge path."""
+    return (str(e[0]), str(e[1]))
+
+
 def _edge_subgraphs_of_components(
     graph: ProbabilisticGraph, edges: set[Edge]
 ) -> list[ProbabilisticGraph]:
@@ -133,14 +138,11 @@ def _edge_subgraphs_of_components(
     at a level boundary must consume the restored RNG stream exactly as
     the uninterrupted run would have.
     """
-    def edge_sort_key(e: Edge):
-        return (str(e[0]), str(e[1]))
-
     ordered = [
-        sorted(cluster, key=edge_sort_key)
+        sorted(cluster, key=_edge_sort_key)
         for cluster in edge_connected_components(graph, edges)
     ]
-    ordered.sort(key=lambda cluster: edge_sort_key(cluster[0]))
+    ordered.sort(key=lambda cluster: _edge_sort_key(cluster[0]))
     return [graph.edge_subgraph(cluster) for cluster in ordered]
 
 
@@ -199,6 +201,153 @@ def top_down_search(
                 piece_key = frozenset(piece.edges())
                 if piece_key not in visited:
                     stack.append(piece)
+    return list(answers.values())
+
+
+def _frontier_shards(frontier: list, workers: int) -> list[list]:
+    """Split a peel round's frontier into canonical contiguous shards.
+
+    Shard size is ``ceil(len(frontier) / (2 * workers))`` — oversplit
+    two-fold so one slow shard cannot serialise a round. The boundaries
+    depend on the worker count, but the merge preserves global candidate
+    order (shard index, then within-shard position), so the merged round
+    outcome is a pure function of the frontier contents alone.
+    """
+    if not frontier:
+        return []
+    shards = min(len(frontier), max(1, workers) * 2)
+    size = -(-len(frontier) // shards)
+    return [frontier[i:i + size] for i in range(0, len(frontier), size)]
+
+
+def _canonical_edge_list(component: ProbabilisticGraph) -> list[Edge]:
+    return sorted(
+        (edge_key(u, v) for u, v in component.edges()), key=_edge_sort_key
+    )
+
+
+def _frontier_search(
+    executor,
+    oracle: GlobalTrussOracle,
+    k: int,
+    comp_index: int,
+    component: ProbabilisticGraph,
+    gamma: float,
+    max_states: int | None,
+    progress,
+    level_found: dict,
+    resume_state: dict | None = None,
+) -> list[ProbabilisticGraph] | None:
+    """Algorithm 4 as round-synchronous sharded frontier expansion.
+
+    Explores exactly the state closure of :func:`top_down_search` — the
+    set of residual edge-subsets reachable by repeated single-edge
+    deletion, pruning, and splitting from ``component``, where only
+    *non-satisfying* states expand — but one peel round at a time: every
+    round evaluates the whole outstanding frontier, dispatched through
+    the executor as canonical contiguous shards (``gtd-frontier`` task),
+    then merges in shard-index order and within-shard candidate order.
+    Since DFS and round-synchronous BFS compute the same closure, and
+    every satisfying state of the closure is an answer in both, the
+    answer *set* matches the serial search for every worker count —
+    and :func:`~repro.runtime.result.serialize_global_result`
+    canonicalises ordering, so the serialised output is bit-identical.
+
+    ``max_states`` counts unique states merged into the visited set,
+    mirroring the serial budget: the closure size alone decides whether
+    :class:`DecompositionError` is raised, so the serial path and every
+    worker count agree on the outcome.
+
+    After each merged round a ``"gtd-frontier"`` progress event carries
+    the complete mid-peel state (level answers so far, next frontier,
+    visited set) — the harness checkpoints it, so kill/resume lands on
+    a round boundary. ``resume_state`` restores exactly that snapshot.
+
+    Returns None when a frontier shard was quarantined (the payload
+    kept killing workers): the caller degrades this component to the
+    GBU heuristic, exactly like a quarantined ``gtd-component`` task.
+    """
+    comp_edges = tuple(component.edges())
+    executor.cache_component(comp_edges, component)
+    answers: dict[frozenset[Edge], ProbabilisticGraph] = {}
+    if resume_state is not None:
+        visited = {frozenset(edges) for edges in resume_state["visited"]}
+        frontier = [list(edges) for edges in resume_state["frontier"]]
+        round_no = int(resume_state["round"])
+    else:
+        first = _canonical_edge_list(component)
+        visited = {frozenset(first)}
+        frontier = [first]
+        round_no = 0
+    if max_states is not None and len(visited) > max_states:
+        raise DecompositionError(
+            f"top-down search exceeded {max_states} explored states at k={k}"
+        )
+    while frontier:
+        payloads = [
+            (comp_edges, shard, k, gamma)
+            for shard in _frontier_shards(frontier, executor.pool_workers)
+        ]
+        mark = len(getattr(executor, "quarantined", []))
+        results = executor.map("gtd-frontier", payloads, progress=progress,
+                               on_quarantine="skip")
+        if any(res is QUARANTINED for res in results):
+            # Honest degradation: some shard of this component's frontier
+            # kept killing workers (or timing out). The exact search
+            # cannot soundly skip states, so the whole component falls
+            # back to the bottom-up heuristic — the same contract as a
+            # quarantined gtd-component payload.
+            for rec in getattr(executor, "quarantined", [])[mark:]:
+                rec.fallback = "gbu"
+            return None
+        next_frontier: list[list[Edge]] = []
+        for res in results:  # shard-index order
+            for kind, data in res:  # within-shard candidate order
+                if kind == "sat":
+                    t = component.edge_subgraph([tuple(e) for e in data])
+                    answers.setdefault(frozenset(t.edges()), t)
+                    continue
+                for succ in data:  # canonical generation order
+                    key = frozenset(tuple(e) for e in succ)
+                    if key in visited:
+                        continue
+                    visited.add(key)
+                    if max_states is not None and len(visited) > max_states:
+                        raise DecompositionError(
+                            f"top-down search exceeded {max_states} "
+                            f"explored states at k={k}"
+                        )
+                    next_frontier.append([tuple(e) for e in succ])
+        frontier = next_frontier
+        if progress is not None:
+            from repro.runtime.progress import ProgressEvent
+
+            # Emitted *after* the round is merged, carrying everything a
+            # resumed run needs to continue from the next round — a hook
+            # that raises here (checkpointing first, as the harness
+            # chains them) loses no completed work.
+            found_lists = [
+                _canonical_edge_list(t)
+                for t in list(level_found.values()) + list(answers.values())
+            ]
+            progress(ProgressEvent(
+                "gtd-frontier", step=round_no,
+                detail={
+                    "k": k, "comp_index": comp_index,
+                    "round": round_no + 1,
+                    "found": found_lists,
+                    "frontier": [list(c) for c in frontier],
+                    # Outer sort keeps the snapshot canonical: `visited`
+                    # is a set, whose iteration order must never leak
+                    # into checkpoint bytes.
+                    "visited": sorted(
+                        (sorted(s, key=_edge_sort_key) for s in visited),
+                        key=lambda st: [_edge_sort_key(e) for e in st],
+                    ),
+                    "states": len(visited),
+                },
+            ))
+        round_no += 1
     return list(answers.values())
 
 
@@ -481,6 +630,7 @@ def global_truss_decomposition(
     workers: int | str | None = None,
     executor=None,
     rng_root: int | None = None,
+    frontier_state: dict | None = None,
 ) -> GlobalTrussResult:
     """Algorithm 3: find all maximal (eps, delta)-approximate global trusses.
 
@@ -529,6 +679,16 @@ def global_truss_decomposition(
         then identical for every worker count, including ``workers=1``,
         but differ from the default sequential-stream mode. ``None``
         for all three (the default) is the unchanged serial behaviour.
+        With an executor, exact GTD levels additionally use the
+        intra-component frontier sharding of :func:`_frontier_search`
+        whenever the level is a single component (or the executor is
+        inline) — same bytes, parallel peel rounds.
+    frontier_state:
+        Mid-peel resume support (requires an executor): the snapshot of
+        a ``"gtd-frontier"`` progress event's detail as restored by
+        :meth:`~repro.runtime.checkpoint.CheckpointStore.load_frontier`.
+        The level it names continues from that round boundary instead of
+        restarting; a snapshot naming any other level is ignored.
 
     Returns
     -------
@@ -592,7 +752,7 @@ def global_truss_decomposition(
         return _decomposition_levels(
             graph, gamma, epsilon, delta, method, rng, samples, oracle,
             local_result, max_k, max_states, progress, start_k,
-            initial_trusses, executor, root,
+            initial_trusses, executor, root, frontier_state,
         )
     finally:
         if own_executor is not None:
@@ -616,6 +776,7 @@ def _decomposition_levels(
     initial_trusses: dict[int, list[ProbabilisticGraph]] | None,
     executor,
     root: int,
+    frontier_state: dict | None = None,
 ) -> GlobalTrussResult:
     """The Algorithm 3 k-loop, shared by the serial and parallel modes."""
 
@@ -651,6 +812,11 @@ def _decomposition_levels(
             break
         found: dict[frozenset[Edge], ProbabilisticGraph] = {}
         pieces = _edge_subgraphs_of_components(graph, candidates)
+        level_frontier = None
+        if frontier_state is not None and int(frontier_state["k"]) == k:
+            # One-shot: the snapshot belongs to exactly this level.
+            level_frontier = frontier_state
+            frontier_state = None
         if (method == "gtd" and executor is not None
                 and executor.pool_workers > 1 and len(pieces) > 1):
             # Components are independent; search them concurrently and
@@ -686,6 +852,38 @@ def _decomposition_levels(
                     continue
                 for t_edges in res:
                     t = piece.edge_subgraph(list(t_edges))
+                    found.setdefault(frozenset(t.edges()), t)
+        elif method == "gtd" and executor is not None:
+            # Intra-component parallelism: the level is one giant
+            # component (the common case on the paper's real datasets)
+            # or the executor is inline — shard each component's peel
+            # rounds instead of fanning whole components.
+            resume_comp = -1
+            if level_frontier is not None:
+                resume_comp = int(level_frontier["comp_index"])
+                for t_edges in level_frontier["found"]:
+                    t = graph.edge_subgraph(list(t_edges))
+                    found.setdefault(frozenset(t.edges()), t)
+            for comp_index, piece in enumerate(pieces):
+                if comp_index < resume_comp:
+                    # Fully searched before the snapshot; its answers
+                    # were restored from the snapshot's `found` above.
+                    continue
+                trusses = _frontier_search(
+                    executor, oracle, k, comp_index, piece, gamma,
+                    max_states, progress, found,
+                    resume_state=(level_frontier
+                                  if comp_index == resume_comp else None),
+                )
+                if trusses is None:
+                    # Quarantined frontier shard: this component degrades
+                    # to the bottom-up heuristic (fallback recorded on
+                    # the quarantine records by _frontier_search).
+                    trusses = _bottom_up_search_parallel(
+                        executor, oracle, k, comp_index, piece, gamma,
+                        root, progress=progress,
+                    )
+                for t in trusses:
                     found.setdefault(frozenset(t.edges()), t)
         else:
             for comp_index, piece in enumerate(pieces):

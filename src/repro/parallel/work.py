@@ -205,6 +205,52 @@ def _gtd_component(state: WorkerState, payload):
     ]
 
 
+def _gtd_frontier(state: WorkerState, payload):
+    """Evaluate one shard of a GTD peel round's frontier (Algorithm 4).
+
+    Payload: ``(component_edges, shard, k, gamma)`` where ``shard`` is a
+    list of candidate edge lists, each canonically sorted. For every
+    candidate the (k, gamma)-truss test runs against the shared sample
+    set; a satisfying candidate yields ``("sat", edges)`` and a failing
+    one ``("exp", successors)`` — its single-edge-deletion expansions
+    after structural k-truss pruning and connected-component splitting,
+    each a canonically sorted edge list in deterministic generation
+    order. The result is a pure function of the payload: the parent's
+    merge (shard-index order, then within-shard candidate order) is
+    therefore identical for every shard boundary and worker count.
+    """
+    from repro.core.global_decomp import (
+        _edge_subgraphs_of_components,
+        _prune_to_structural_ktruss,
+    )
+    from repro.runtime.progress import ProgressEvent
+
+    comp_edges, shard, k, gamma = payload
+    component = state.component(tuple(map(tuple, comp_edges)))
+    out = []
+    for index, cand_edges in enumerate(shard):
+        candidate = component.edge_subgraph([tuple(e) for e in cand_edges])
+        state.hook(ProgressEvent("gtd-state", step=index, detail={"k": k}))
+        if state.oracle.satisfies(candidate, k, gamma):
+            out.append(("sat", [tuple(e) for e in cand_edges]))
+            continue
+        key = {edge_key(u, v) for u, v in candidate.edges()}
+        successors = []
+        for e in list(candidate.edges()):
+            remaining = set(key)
+            remaining.discard(edge_key(*e))
+            pruned = _prune_to_structural_ktruss(candidate, remaining, k)
+            if not pruned:
+                continue
+            for piece in _edge_subgraphs_of_components(candidate, pruned):
+                successors.append(sorted(
+                    (edge_key(u, v) for u, v in piece.edges()),
+                    key=_edge_sort_key,
+                ))
+        out.append(("exp", successors))
+    return out
+
+
 def _oracle_block(state: WorkerState, payload):
     """Classify one block of sample rows for a single oracle evaluation.
 
@@ -266,6 +312,7 @@ def _reliability_block(state: WorkerState, payload):
 TASKS = {
     "gbu-seed": _gbu_seed,
     "gtd-component": _gtd_component,
+    "gtd-frontier": _gtd_frontier,
     "oracle-block": _oracle_block,
     "pmf-init": _pmf_init,
     "reliability-block": _reliability_block,

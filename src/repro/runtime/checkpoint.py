@@ -260,6 +260,89 @@ class CheckpointStore:
             for truss in payload["trusses"]
         ]
 
+    # -- mid-peel GTD frontier -----------------------------------------
+    @property
+    def frontier_path(self) -> Path:
+        return self.path / "frontier.json"
+
+    def save_frontier(self, detail) -> None:
+        """Persist the mid-peel GTD state of one sharded round boundary.
+
+        ``detail`` is a ``"gtd-frontier"`` progress event's payload: the
+        level ``k``, the component index, the next round number, and —
+        as edge lists — the level's answers so far (``found``), the
+        outstanding ``frontier``, and the ``visited`` state set. Written
+        atomically with a CRC like every other checkpoint file, so a
+        kill mid-write leaves the previous round's snapshot behind and
+        resume always lands on a complete round boundary.
+        """
+        def encode_edges(edges):
+            return [[encode_node(u), encode_node(v)] for u, v in edges]
+
+        payload = {
+            "k": int(detail["k"]),
+            "comp_index": int(detail["comp_index"]),
+            "round": int(detail["round"]),
+            "found": [encode_edges(t) for t in detail["found"]],
+            "frontier": [encode_edges(c) for c in detail["frontier"]],
+            "visited": [encode_edges(s) for s in detail["visited"]],
+        }
+        body = _canonical_json(payload)
+        wrapper = {"crc": zlib.crc32(body.encode("utf-8")), "payload": payload}
+        _atomic_write_bytes(
+            self.frontier_path,
+            json.dumps(wrapper, sort_keys=True).encode("utf-8"),
+        )
+
+    def load_frontier(self):
+        """Load the mid-peel snapshot, or None when none was saved.
+
+        Returns the decoded ``{"k", "comp_index", "round", "found",
+        "frontier", "visited"}`` dict with node labels restored —
+        exactly the ``frontier_state`` shape
+        :func:`~repro.core.global_decomp.global_truss_decomposition`
+        accepts. Corruption raises :class:`CheckpointError`.
+        """
+        path = self.frontier_path
+        if not path.exists():
+            return None
+        try:
+            wrapper = json.loads(path.read_text(encoding="utf-8"))
+            payload = wrapper["payload"]
+            body = _canonical_json(payload)
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError,
+                TypeError) as err:
+            raise CheckpointError(
+                f"corrupt checkpoint frontier file {path}: {err}"
+            ) from err
+        if zlib.crc32(body.encode("utf-8")) != wrapper.get("crc"):
+            raise CheckpointError(
+                f"checkpoint frontier file {path} failed its integrity "
+                "check (crc mismatch)"
+            )
+
+        def decode_edges(edges):
+            return [(decode_node(u), decode_node(v)) for u, v in edges]
+
+        try:
+            return {
+                "k": int(payload["k"]),
+                "comp_index": int(payload["comp_index"]),
+                "round": int(payload["round"]),
+                "found": [decode_edges(t) for t in payload["found"]],
+                "frontier": [decode_edges(c) for c in payload["frontier"]],
+                "visited": [decode_edges(s) for s in payload["visited"]],
+            }
+        except (KeyError, TypeError, ValueError) as err:
+            raise CheckpointError(
+                f"corrupt checkpoint frontier file {path}: {err}"
+            ) from err
+
+    def clear_frontier(self) -> None:
+        """Delete the mid-peel snapshot (a finished level supersedes it)."""
+        if self.frontier_path.exists():
+            self.frontier_path.unlink()
+
     # -- misc ----------------------------------------------------------
     def clear(self) -> None:
         """Delete every file of this checkpoint (directory stays)."""

@@ -290,6 +290,19 @@ def run_global(
         if decomp_state.get("fallback"):
             degr.fallback = decomp_state["fallback"]
 
+    # Mid-peel GTD snapshot (sharded frontier rounds): resume continues
+    # the interrupted level from its last round boundary instead of
+    # restarting it. Only meaningful while the run is still on the exact
+    # search — a recorded GTD->GBU fallback supersedes it.
+    frontier_state = None
+    if manifest is not None and method == "gtd" and degr.fallback is None:
+        try:
+            frontier_state = store.load_frontier()
+        except CheckpointError:
+            if on_corrupt != "restart":
+                raise
+            store.clear_frontier()
+
     # Mutable decomposition state shared with the compute stages (which
     # run in a helper function): the manifest writer must observe method
     # fallbacks and completion as they happen.
@@ -432,6 +445,7 @@ def run_global(
             write_manifest, finish,
             effective_epsilon=effective_epsilon, n_drawn=n_drawn,
             world_set=world_set, executor=executor,
+            frontier_state=frontier_state,
         )
     finally:
         if executor is not None:
@@ -443,11 +457,14 @@ def _run_global_compute(
     progress, gtd_fraction, degr, hook, rng, completed, state,
     write_manifest, finish, *,
     effective_epsilon, n_drawn, world_set, executor,
+    frontier_state=None,
 ):
     """Stages 2-3 of :func:`run_global` (split out for executor scoping).
 
     ``state`` is the mutable ``{"method", "finished"}`` dict shared with
-    the caller's manifest writer.
+    the caller's manifest writer. ``frontier_state`` is an optional
+    mid-peel GTD snapshot restored from the checkpoint; it is consumed
+    by the first (and only the first) GTD stage.
     """
     # -- stage 2: local pruning (Eq. 11 candidate generation) ---------
     try:
@@ -474,12 +491,21 @@ def _run_global_compute(
 
     # -- stage 3: the k loop ------------------------------------------
     def level_checkpoint(event: ProgressEvent) -> None:
+        if event.phase == "gtd-frontier":
+            # Mid-peel round boundary: snapshot before any other hook
+            # (fault plan, budget) can abort, so a kill here resumes
+            # from this exact round.
+            if store is not None:
+                store.save_frontier(event.detail)
+            return
         if event.phase != "global-level-done":
             return
         k = event.detail["k"]
         completed[k] = list(event.detail["trusses"])
         if store is not None:
             store.save_level(k, completed[k])
+            # The finished level supersedes any mid-peel snapshot.
+            store.clear_frontier()
             write_manifest()
 
     def build_result() -> GlobalTrussResult:
@@ -507,6 +533,8 @@ def _run_global_compute(
             # derives the exact same streams regardless of where the
             # main generator's state was when the run was killed.
             rng_root=seed if executor is not None else None,
+            frontier_state=(frontier_state if stage_method == "gtd"
+                            else None),
         )
 
     soft_budget = None

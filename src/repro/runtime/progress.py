@@ -20,6 +20,13 @@ Emitted phases
 ``global-level-done``  level k finished; ``detail["trusses"]`` holds the
                     maximal trusses found at k (``step`` = k)
 ``gtd-state``       Algorithm 4 explored another residual state
+``gtd-frontier``    (executor runs only) Algorithm 4 merged one sharded
+                    peel round (``step`` = round index); ``detail``
+                    carries the complete mid-peel snapshot — level
+                    ``k``, component index, next round, answers found,
+                    outstanding frontier and visited states — which the
+                    harness checkpoints so kill/resume lands on a round
+                    boundary
 ``gbu-seed``        Algorithm 5 is processing seed ``step`` of ``total``
 ``oracle-eval``     the Monte-Carlo oracle classified another block of
                     candidate evaluations
@@ -76,6 +83,7 @@ KNOWN_PHASES = frozenset({
     "global-level",
     "global-level-done",
     "gtd-state",
+    "gtd-frontier",
     "gbu-seed",
     "oracle-eval",
     "reliability-batch",

@@ -8,6 +8,11 @@ import pytest
 from repro import ProbabilisticGraph
 from repro.graphs.generators import running_example, windmill_graph
 
+# Re-exported for the many test modules that import the helper from
+# here; the implementation (and its dyadic/exhaustive siblings) lives
+# in tests/strategies.py.
+from tests.strategies import random_probabilistic_graph  # noqa: F401
+
 
 @pytest.fixture
 def empty_graph() -> ProbabilisticGraph:
@@ -62,18 +67,3 @@ def windmill4() -> ProbabilisticGraph:
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
-
-
-def random_probabilistic_graph(
-    n: int, density: float, seed: int
-) -> ProbabilisticGraph:
-    """Deterministic small random graph helper used across test modules."""
-    gen = np.random.default_rng(seed)
-    g = ProbabilisticGraph()
-    for u in range(n):
-        g.add_node(u)
-    for u in range(n):
-        for v in range(u + 1, n):
-            if gen.random() < density:
-                g.add_edge(u, v, float(gen.uniform(0.05, 1.0)))
-    return g

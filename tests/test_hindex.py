@@ -5,7 +5,7 @@ import pytest
 from repro import ParameterError, ProbabilisticGraph, truss_decomposition
 from repro.truss.hindex import h_index, truss_decomposition_hindex
 from repro.graphs.generators import complete_graph, powerlaw_cluster_graph
-from tests.conftest import random_probabilistic_graph
+from tests.strategies import random_probabilistic_graph
 
 
 class TestHIndex:

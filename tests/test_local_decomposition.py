@@ -13,7 +13,7 @@ from repro import (
     truss_decomposition,
 )
 from repro.graphs.generators import complete_graph, running_example
-from tests.conftest import random_probabilistic_graph
+from tests.strategies import random_probabilistic_graph
 
 
 class TestBasics:

@@ -14,7 +14,7 @@ from repro import (
     max_eta_core_number,
 )
 from repro.graphs.generators import complete_graph
-from tests.conftest import random_probabilistic_graph
+from tests.strategies import random_probabilistic_graph
 
 
 class TestEtaDegree:

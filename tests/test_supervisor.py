@@ -43,6 +43,10 @@ from repro.runtime import (
 )
 from repro.runtime.progress import chain_hooks
 
+# The whole battery SIGKILLs real worker processes; it runs in CI's
+# crash-injection and full-battery jobs, not in the tier-1 gate.
+pytestmark = pytest.mark.crash
+
 GAMMA = 0.3
 N_SAMPLES = 60
 BATCH = 20
