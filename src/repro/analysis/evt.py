@@ -14,7 +14,8 @@ Phase literals are recognised at:
 * ``<state>.bump("phase", ...)`` — worker-side counter emission
 * ``COUNTER_PHASES = (...)`` — phases re-emitted by the progress pump
 * FaultPlan phase triggers (``raise_at``, ``raise_on_phase``,
-  ``sigint_at``, ``sigint_on_phase``, ``oom_at``, ``hang_task``) —
+  ``sigint_at``, ``sigint_on_phase``, ``oom_at``, ``hang_task``,
+  ``memory_pressure``, ``stall_task_cpu``, ``spin_task``) —
   references, not emissions, but a typo there disables the fault.
 """
 
@@ -34,7 +35,8 @@ _EMITTER_CALLS = frozenset({"ProgressEvent", "emit", "bump"})
 #: Call shapes whose first string argument *references* a phase.
 _REFERENCE_CALLS = frozenset({
     "raise_at", "raise_on_phase", "sigint_at", "sigint_on_phase",
-    "oom_at", "hang_task",
+    "oom_at", "hang_task", "memory_pressure", "stall_task_cpu",
+    "spin_task",
 })
 
 

@@ -115,21 +115,55 @@ def _make_budget(args: argparse.Namespace) -> Budget | None:
     """Build the cooperative budget requested on the command line."""
     deadline = getattr(args, "deadline", None)
     max_samples = getattr(args, "max_samples", None)
-    if deadline is None and max_samples is None:
+    max_memory = getattr(args, "max_memory", None)
+    if deadline is None and max_samples is None and max_memory is None:
         return None
-    return Budget(deadline=deadline, max_samples=max_samples)
+    return Budget(
+        deadline=deadline, max_samples=max_samples,
+        max_memory_bytes=(
+            None if max_memory is None else int(max_memory * 1024 * 1024)
+        ),
+    )
+
+
+def _make_progress(guard: InterruptGuard, args: argparse.Namespace):
+    """The progress hook: the interrupt guard plus an optional watchdog.
+
+    Returns ``(hook, watchdog)``; the watchdog is None unless
+    ``--watchdog SECONDS`` was given, in which case its one-line status
+    summary is printed after the run.
+    """
+    watchdog_interval = getattr(args, "watchdog", None)
+    if watchdog_interval is None:
+        return guard.check, None
+    from repro.runtime import chain_hooks
+    from repro.runtime.pressure import ResourceWatchdog
+
+    max_memory = getattr(args, "max_memory", None)
+    watchdog = ResourceWatchdog(
+        probe_dir=getattr(args, "checkpoint", None),
+        interval=watchdog_interval,
+        memory_limit_bytes=(
+            None if max_memory is None else int(max_memory * 1024 * 1024)
+        ),
+    )
+    return chain_hooks(guard.check, watchdog), watchdog
 
 
 def _cmd_local(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.seed)
     with InterruptGuard() as guard:
+        progress, watchdog = _make_progress(guard, args)
         partial = run_local(
             graph, args.gamma, method=args.method,
             budget=_make_budget(args), checkpoint_dir=args.checkpoint,
-            resume=args.resume, progress=guard.check, workers=args.workers,
+            resume=args.resume, progress=progress, workers=args.workers,
             task_timeout=args.task_timeout,
+            task_cpu_timeout=args.task_cpu_timeout,
             max_task_retries=args.max_task_retries,
         )
+    if watchdog is not None:
+        print(watchdog.status())
     result = partial.result
     print(f"gamma={args.gamma} k_max={result.k_max}")
     for k in range(2, result.k_max + 1):
@@ -150,16 +184,22 @@ def _cmd_local(args: argparse.Namespace) -> int:
 def _cmd_global(args: argparse.Namespace) -> int:
     graph = _load_graph(args.graph, args.seed)
     with InterruptGuard() as guard:
+        progress, watchdog = _make_progress(guard, args)
         partial = run_global(
             graph, args.gamma, epsilon=args.epsilon, delta=args.delta,
             method=args.method, seed=args.seed, max_k=args.max_k,
             max_states=args.max_states,
             batch_size=args.batch_size, budget=_make_budget(args),
             checkpoint_dir=args.checkpoint, resume=args.resume,
-            progress=guard.check, workers=args.workers,
+            progress=progress, workers=args.workers,
             task_timeout=args.task_timeout,
+            task_cpu_timeout=args.task_cpu_timeout,
             max_task_retries=args.max_task_retries,
+            on_memory_pressure=args.on_memory_pressure,
+            spill_dir=args.spill_dir,
         )
+    if watchdog is not None:
+        print(watchdog.status())
     result = partial.result
     if result is None:
         print(partial.summary())
@@ -283,13 +323,17 @@ def _cmd_reliability(args: argparse.Namespace) -> int:
 
     graph = _load_graph(args.graph, args.seed)
     with InterruptGuard() as guard:
+        progress, watchdog = _make_progress(guard, args)
         partial = run_reliability(
             graph, n_samples=args.samples, seed=args.seed,
             budget=_make_budget(args), checkpoint_dir=args.checkpoint,
-            resume=args.resume, progress=guard.check, workers=args.workers,
+            resume=args.resume, progress=progress, workers=args.workers,
             task_timeout=args.task_timeout,
+            task_cpu_timeout=args.task_cpu_timeout,
             max_task_retries=args.max_task_retries,
         )
+    if watchdog is not None:
+        print(watchdog.status())
     if partial.result is None:
         print(partial.summary())
         return 1
@@ -419,6 +463,15 @@ def _add_runtime_options(p: argparse.ArgumentParser) -> None:
                         "degraded partial result instead of failing")
     g.add_argument("--max-samples", type=int, default=None, metavar="N",
                    help="cap on Monte-Carlo samples actually drawn")
+    g.add_argument("--max-memory", type=float, default=None, metavar="MIB",
+                   help="peak-RSS budget in MiB checked at batch "
+                        "boundaries; on breach the run degrades (or, for "
+                        "'global' with --on-memory-pressure spill, moves "
+                        "its samples to disk)")
+    g.add_argument("--watchdog", type=float, default=None, metavar="SECONDS",
+                   help="probe memory/disk/CPU pressure at most every "
+                        "SECONDS during the run, emit resource-pressure "
+                        "events, and print a one-line summary at the end")
     g.add_argument("--checkpoint", default=None, metavar="DIR",
                    help="write resumable snapshots to DIR at every batch "
                         "boundary")
@@ -438,6 +491,13 @@ def _add_workers_option(p: argparse.ArgumentParser) -> None:
                    help="kill a worker that holds one parallel task longer "
                         "than this and retry the task (default: no timeout); "
                         "see docs/robustness.md")
+    p.add_argument("--task-cpu-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="kill a worker whose CPU clock stands still for "
+                        "this many wall seconds while it holds a task "
+                        "(wedged), but keep extending grace while CPU "
+                        "advances (merely busy); default: no CPU "
+                        "supervision")
     p.add_argument("--max-task-retries", type=int, default=None, metavar="K",
                    help="crashes/timeouts one task payload survives before "
                         "it is quarantined and the run degrades around it "
@@ -489,6 +549,16 @@ def build_parser() -> argparse.ArgumentParser:
                         "subgraphs (default: the library's built-in cap)")
     p.add_argument("--batch-size", type=int, default=25,
                    help="sampling rows per checkpoint/budget boundary")
+    p.add_argument("--on-memory-pressure", choices=["abort", "spill"],
+                   default="spill",
+                   help="what a memory-budget breach during sampling does: "
+                        "'spill' (default) moves the packed samples to a "
+                        "read-only disk mapping and keeps the output "
+                        "byte-identical; 'abort' stops sampling early and "
+                        "degrades the accuracy bound")
+    p.add_argument("--spill-dir", default=None, metavar="DIR",
+                   help="directory for spilled sample files (default: a "
+                        "private temp directory, removed after the run)")
     p.add_argument("--verbose", action="store_true")
     _add_runtime_options(p)
     _add_workers_option(p)
@@ -585,7 +655,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code.
 
-    An interrupted computation (SIGINT, cooperative) exits 130 with a
+    An interrupted computation (cooperative) exits with the signal's
+    conventional status — 130 for SIGINT, 143 for SIGTERM — and a
     one-line pointer to the checkpoint instead of a traceback; a corrupt
     or malformed input graph exits 2 with the parser's diagnostic.
     """
@@ -602,7 +673,7 @@ def main(argv: list[str] | None = None) -> int:
             print("interrupted — no checkpoint written "
                   "(rerun with --checkpoint DIR to make runs resumable)",
                   file=sys.stderr)
-        return 130
+        return getattr(err, "exit_code", None) or 130
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return 130

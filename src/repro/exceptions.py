@@ -20,6 +20,7 @@ __all__ = [
     "DecompositionError",
     "BudgetExceededError",
     "CheckpointError",
+    "CheckpointWriteError",
     "ComputationInterrupted",
     "TaskQuarantinedError",
     "WorkerPoolError",
@@ -130,6 +131,22 @@ class CheckpointError(ReproError):
     """
 
 
+class CheckpointWriteError(CheckpointError):
+    """An atomic checkpoint write failed at the OS level.
+
+    Raised by :class:`repro.runtime.CheckpointStore` when the temp-file
+    write, fsync, or rename fails (``ENOSPC``, read-only filesystem,
+    quota, ...). The partial temp file is unlinked first, so the
+    directory never holds a torn write. The harness catches this once,
+    emits a ``checkpoint-degraded`` event, and finishes the computation
+    with checkpointing disabled rather than dying mid-peel.
+    """
+
+    def __init__(self, message, *, path=None):
+        super().__init__(message)
+        self.path = None if path is None else str(path)
+
+
 class TaskQuarantinedError(ReproError):
     """A parallel task was quarantined and the caller cannot degrade.
 
@@ -170,15 +187,18 @@ class WorkerPoolError(ReproError, RuntimeError):
 class ComputationInterrupted(ReproError):
     """A long-running computation was cooperatively interrupted.
 
-    Raised at the next batch boundary after a SIGINT (real, via
-    :class:`repro.runtime.InterruptGuard`, or injected by the fault
+    Raised at the next batch boundary after a SIGINT or SIGTERM (real,
+    via :class:`repro.runtime.InterruptGuard`, or injected by the fault
     harness) so that checkpoints stay consistent. ``partial`` optionally
     carries salvaged partial state and ``checkpoint_path`` the directory
-    holding the last consistent snapshot, if any.
+    holding the last consistent snapshot, if any. ``exit_code`` is the
+    conventional shell exit status for the signal that triggered the
+    abort (130 for SIGINT, 143 for SIGTERM); the CLI propagates it.
     """
 
     def __init__(self, message="computation interrupted", partial=None,
-                 checkpoint_path=None):
+                 checkpoint_path=None, exit_code=130):
         super().__init__(message)
         self.partial = partial
         self.checkpoint_path = checkpoint_path
+        self.exit_code = exit_code

@@ -14,6 +14,7 @@ Two interchange formats are supported:
 from __future__ import annotations
 
 import json
+import math
 from collections.abc import Callable, Hashable
 from pathlib import Path
 from typing import Any
@@ -105,6 +106,13 @@ def read_edge_list(
                             f"probability {p_str!r} is not a number",
                             source=source, lineno=lineno, token=p_str,
                         ) from None
+                    if not math.isfinite(p):
+                        # float() happily parses "nan"/"inf"/"-inf";
+                        # none of them is a probability.
+                        raise GraphParseError(
+                            f"probability {p_str!r} is not finite",
+                            source=source, lineno=lineno, token=p_str,
+                        )
                 else:
                     raise GraphParseError(
                         f"expected 2 or 3 fields, got {len(fields)} "
@@ -201,9 +209,19 @@ def read_json_graph(path_or_file: Any) -> ProbabilisticGraph:
     """
     handle, should_close = _open_maybe(path_or_file, "r")
     source = _source_name(path_or_file, handle)
+
+    def reject_nonfinite(token: str):
+        # json.load accepts the non-standard NaN/Infinity/-Infinity
+        # literals by default; none of them belongs in a graph document.
+        raise GraphParseError(
+            f"non-finite number {token} is not valid JSON "
+            "(and not a probability)",
+            source=source, token=token,
+        )
+
     try:
         try:
-            doc = json.load(handle)
+            doc = json.load(handle, parse_constant=reject_nonfinite)
         except json.JSONDecodeError as err:
             raise GraphParseError(
                 f"corrupt or truncated JSON: {err.msg}",

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import math
 from collections.abc import Hashable, Iterable, Iterator
+from pathlib import Path
 
 import numpy as np
 
@@ -85,6 +86,31 @@ def sample_possible_worlds(
     Convenience wrapper around :meth:`WorldSampleSet.from_graph`.
     """
     return WorldSampleSet.from_graph(graph, n_samples, seed=seed)
+
+
+class _PackedBatch:
+    """One retained batch, bit-packed along the edge axis (8x RAM cut).
+
+    Stands in for the boolean batch array inside
+    :class:`SampleBatcher`: it keeps the original ``shape`` so row
+    accounting is unchanged, and :meth:`unpack` restores the exact
+    boolean matrix (``packbits``/``unpackbits`` round-trip bit-exactly).
+    """
+
+    __slots__ = ("_packed", "shape")
+
+    def __init__(self, presence: np.ndarray):
+        self.shape = presence.shape
+        if presence.size:
+            self._packed = np.packbits(presence, axis=1)
+        else:
+            self._packed = np.zeros((presence.shape[0], 0), dtype=np.uint8)
+
+    def unpack(self) -> np.ndarray:
+        rows, cols = self.shape
+        if cols:
+            return np.unpackbits(self._packed, axis=1, count=cols).astype(bool)
+        return np.zeros((rows, 0), dtype=bool)
 
 
 class SampleBatcher:
@@ -198,6 +224,25 @@ class SampleBatcher:
         self._batches.append(presence)
         return presence
 
+    def compact(self) -> int:
+        """Bit-pack the retained batches in place; returns bytes freed.
+
+        This is the first, cheap response to memory pressure: the
+        ``n x m`` boolean batches shrink 8x without touching the RNG
+        stream or the assembled result — ``packbits``/``unpackbits``
+        round-trip bit-exactly, so :meth:`result` is unchanged.
+        Idempotent; newly drawn batches stay unpacked until the next
+        call.
+        """
+        freed = 0
+        for i, batch in enumerate(self._batches):
+            if isinstance(batch, _PackedBatch):
+                continue
+            packed = _PackedBatch(batch)
+            freed += int(batch.nbytes) - int(packed._packed.nbytes)
+            self._batches[i] = packed
+        return freed
+
     def result(self, partial_ok: bool = False) -> "WorldSampleSet":
         """Assemble the drawn batches into a :class:`WorldSampleSet`.
 
@@ -210,10 +255,14 @@ class SampleBatcher:
             )
         if not self._batches:
             raise ParameterError("no sample batches drawn yet")
+        batches = [
+            b.unpack() if isinstance(b, _PackedBatch) else b
+            for b in self._batches
+        ]
         presence = (
-            self._batches[0]
-            if len(self._batches) == 1
-            else np.concatenate(self._batches, axis=0)
+            batches[0]
+            if len(batches) == 1
+            else np.concatenate(batches, axis=0)
         )
         return WorldSampleSet(presence, self._edges)
 
@@ -228,7 +277,8 @@ class WorldSampleSet:
     projection strategy justified by Theorem 3.
     """
 
-    __slots__ = ("_packed", "_n_samples", "_edge_index", "_edges")
+    __slots__ = ("_packed", "_n_samples", "_edge_index", "_edges",
+                 "_spill_path")
 
     def __init__(self, presence: np.ndarray, edges: list[Edge]):
         presence = np.asarray(presence, dtype=bool)
@@ -250,6 +300,7 @@ class WorldSampleSet:
             raise ParameterError("duplicate edges in sample-set column order")
         # Pack along the sample axis: one column of bits per edge.
         self._packed = np.packbits(presence, axis=0)
+        self._spill_path = None
 
     @classmethod
     def from_packed(
@@ -282,6 +333,7 @@ class WorldSampleSet:
         if len(obj._edge_index) != len(obj._edges):
             raise ParameterError("duplicate edges in sample-set column order")
         obj._packed = packed
+        obj._spill_path = None
         return obj
 
     @property
@@ -292,6 +344,45 @@ class WorldSampleSet:
         layout :meth:`from_packed` accepts back. Treat as read-only.
         """
         return self._packed
+
+    # -- spill-to-disk backend -----------------------------------------
+    @property
+    def is_spilled(self) -> bool:
+        """True iff the packed bits live in a file-backed memmap."""
+        return self._spill_path is not None
+
+    @property
+    def spill_path(self) -> Path | None:
+        """The memmap file backing the packed bits, or None (RAM)."""
+        return self._spill_path
+
+    def spill_to(self, path) -> Path | None:
+        """Move the packed bits into a read-only ``np.memmap`` at ``path``.
+
+        The on-disk bytes are exactly :attr:`packed_bits` — same dtype,
+        shape, and C order — so every downstream read is byte-identical
+        to the RAM backing; only the residency changes. The mapping is
+        reopened read-only so no consumer (this process or a worker
+        mapping the same file) can scribble on the samples. Idempotent:
+        an already spilled set returns its existing path. Returns None
+        without spilling when there is nothing to spill (an edgeless
+        matrix maps to a zero-byte file, which mmap rejects).
+        """
+        if self._spill_path is not None:
+            return self._spill_path
+        packed = np.ascontiguousarray(self._packed)
+        if packed.size == 0:
+            return None
+        path = Path(path)
+        mapped = np.memmap(path, dtype=np.uint8, mode="w+",
+                           shape=packed.shape)
+        mapped[:] = packed
+        mapped.flush()
+        del mapped  # close the writable mapping before reopening
+        self._packed = np.memmap(path, dtype=np.uint8, mode="r",
+                                 shape=packed.shape)
+        self._spill_path = path
+        return path
 
     @classmethod
     def from_graph(

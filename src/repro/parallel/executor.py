@@ -150,6 +150,12 @@ class ParallelExecutor:
     task_timeout:
         Seconds one payload may run on a worker before that worker is
         killed and the payload charged a strike; ``None`` disables.
+    task_cpu_timeout:
+        Seconds a worker's self-reported CPU clock may stand still
+        (while wall time advances) before the worker is presumed wedged
+        and reclaimed; CPU progress extends the grace window, so a
+        merely descheduled-but-busy worker survives. ``None`` disables.
+        Environment fallback: ``REPRO_TASK_CPU_TIMEOUT``.
     max_task_retries:
         Strikes (crashes or timeouts) a payload survives before it is
         quarantined; default 2, i.e. three attempts total.
@@ -173,13 +179,18 @@ class ParallelExecutor:
     """
 
     def __init__(self, workers, *, graph, samples=None, oracle=None,
-                 task_timeout=None, max_task_retries=None,
-                 pump_interval=None, abort_grace=None, faults=None):
+                 task_timeout=None, task_cpu_timeout=None,
+                 max_task_retries=None, pump_interval=None,
+                 abort_grace=None, faults=None):
         self.workers = resolve_workers(workers)
         self.pool_workers = 1
         self.task_timeout = _float_knob(
             task_timeout, "REPRO_TASK_TIMEOUT", None,
             name="task_timeout", allow_none=True,
+        )
+        self.task_cpu_timeout = _float_knob(
+            task_cpu_timeout, "REPRO_TASK_CPU_TIMEOUT", None,
+            name="task_cpu_timeout", allow_none=True,
         )
         self.max_task_retries = _int_knob(
             max_task_retries, "REPRO_MAX_TASK_RETRIES", _MAX_TASK_RETRIES,
@@ -244,6 +255,7 @@ class ParallelExecutor:
                         ctx, self.workers, self._worker_args,
                         cancel=self._cancel, counters=self._counters,
                         task_timeout=self.task_timeout,
+                        task_cpu_timeout=self.task_cpu_timeout,
                         max_task_retries=self.max_task_retries,
                         pump_interval=self.pump_interval,
                         abort_grace=self.abort_grace,
@@ -287,9 +299,29 @@ class ParallelExecutor:
         return self._shared is None or self._shared.verify()
 
     def _republish_segment(self) -> None:
+        if self._shared is not None and self._shared._shm is None:
+            # A spilled publication is a read-only file mapping: workers
+            # physically cannot scribble over it, and there is no
+            # pristine RAM copy to republish from. A CRC mismatch here
+            # means the spill file itself was damaged on disk.
+            from repro.exceptions import WorkerPoolError
+
+            raise WorkerPoolError(
+                "spilled sample file failed its integrity check and "
+                "cannot be re-published from memory"
+            )
         old = self._shared
         self._shared = SharedWorldSamples.publish(self._samples)
         old.close()
+
+    def worker_cpu_seconds(self) -> float:
+        """Aggregate worker CPU time (0.0 inline or before first report).
+
+        Fed to :class:`~repro.runtime.pressure.ResourceWatchdog` as its
+        ``cpu_probe`` so resource-pressure samples can record how much
+        CPU the pool is actually consuming.
+        """
+        return 0.0 if self._pool is None else self._pool.worker_cpu_seconds()
 
     @property
     def pool_pids(self) -> list[int]:
@@ -372,7 +404,7 @@ class ParallelExecutor:
         if take is None or not take():
             return
         rows, cols = self._shared.handle.packed_shape
-        if rows * cols == 0:
-            return
+        if rows * cols == 0 or self._shared._shm is None:
+            return  # spilled sets are mapped read-only: nothing to scribble
         buf = self._shared._shm.buf
         buf[0] = buf[0] ^ 0xFF

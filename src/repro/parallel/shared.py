@@ -36,28 +36,36 @@ class SharedSamplesHandle:
     Attributes
     ----------
     name:
-        The shared-memory segment name.
+        The shared-memory segment name (None for a spilled set).
     n_samples:
         Number of sampled worlds ``N``.
     packed_shape:
         Shape ``(ceil(N/8), m)`` of the packed bit matrix.
     edges:
         Column order (canonical edge keys) of the matrix.
+    spill_path:
+        For a sample set that spilled to disk: the memmap file workers
+        map read-only instead of a shared-memory segment. None for the
+        RAM-backed path.
     """
 
-    __slots__ = ("name", "n_samples", "packed_shape", "edges")
+    __slots__ = ("name", "n_samples", "packed_shape", "edges", "spill_path")
 
-    def __init__(self, name, n_samples, packed_shape, edges):
+    def __init__(self, name, n_samples, packed_shape, edges,
+                 spill_path=None):
         self.name = name
         self.n_samples = int(n_samples)
         self.packed_shape = tuple(int(x) for x in packed_shape)
         self.edges = list(edges)
+        self.spill_path = None if spill_path is None else str(spill_path)
 
     def __getstate__(self):
-        return (self.name, self.n_samples, self.packed_shape, self.edges)
+        return (self.name, self.n_samples, self.packed_shape, self.edges,
+                self.spill_path)
 
     def __setstate__(self, state):
-        self.name, self.n_samples, self.packed_shape, self.edges = state
+        (self.name, self.n_samples, self.packed_shape, self.edges,
+         self.spill_path) = state
 
 
 def _release_segment(shm: shared_memory.SharedMemory) -> None:
@@ -90,17 +98,37 @@ class SharedWorldSamples:
     and re-publishes from the pristine parent copy when it did.
     """
 
-    def __init__(self, shm: shared_memory.SharedMemory,
+    def __init__(self, shm: shared_memory.SharedMemory | None,
                  handle: SharedSamplesHandle, crc: int = 0):
         self._shm = shm
         self.handle = handle
         self.crc = crc
-        self._finalizer = weakref.finalize(self, _release_segment, shm)
+        # A spilled set has no segment to guard (shm is None): the
+        # memmap file is owned by the harness's SpillDirectory.
+        self._finalizer = (
+            None if shm is None
+            else weakref.finalize(self, _release_segment, shm)
+        )
 
     @classmethod
     def publish(cls, samples: WorldSampleSet) -> "SharedWorldSamples":
-        """Copy ``samples``' packed bits into a fresh shared segment."""
+        """Publish ``samples`` for worker processes, zero-copy either way.
+
+        A RAM-backed set is copied once into a fresh shared-memory
+        segment. A *spilled* set (see
+        :meth:`~repro.graphs.sampling.WorldSampleSet.spill_to`) needs no
+        segment at all: the handle carries the memmap file's path and
+        every worker maps the same file read-only — the page cache plays
+        the role ``/dev/shm`` plays for the RAM path.
+        """
         packed = samples.packed_bits
+        if getattr(samples, "is_spilled", False):
+            handle = SharedSamplesHandle(
+                None, samples.n_samples, packed.shape,
+                list(samples.edge_index),
+                spill_path=samples.spill_path,
+            )
+            return cls(None, handle, zlib.crc32(packed.tobytes()))
         if packed.size == 0:
             # Zero-byte segments are rejected by the OS; keep one page so
             # edgeless graphs follow the same code path as real ones.
@@ -119,6 +147,8 @@ class SharedWorldSamples:
 
     def view(self) -> WorldSampleSet:
         """A :class:`WorldSampleSet` over the shared bits (owner-side)."""
+        if self._shm is None:
+            return _wrap_spilled(self.handle)
         return _wrap(self._shm, self.handle)
 
     def verify(self) -> bool:
@@ -126,11 +156,21 @@ class SharedWorldSamples:
         rows, cols = self.handle.packed_shape
         if rows * cols == 0:
             return True
+        if self._shm is None:
+            mapped = np.memmap(self.handle.spill_path, dtype=np.uint8,
+                               mode="r", shape=(rows, cols))
+            return zlib.crc32(mapped.tobytes()) == self.crc
         view = np.ndarray((rows, cols), dtype=np.uint8, buffer=self._shm.buf)
         return zlib.crc32(view.tobytes()) == self.crc
 
     def close(self, unlink: bool = True) -> None:
-        """Unmap the segment; with ``unlink`` also remove it (owner only)."""
+        """Unmap the segment; with ``unlink`` also remove it (owner only).
+
+        A spilled publication owns nothing — the memmap file belongs to
+        the harness's spill directory — so there is nothing to release.
+        """
+        if self._shm is None:
+            return
         self._finalizer.detach()
         self._shm.close()
         if unlink:
@@ -156,14 +196,34 @@ def _wrap(shm: shared_memory.SharedMemory,
     return WorldSampleSet.from_packed(packed, handle.n_samples, handle.edges)
 
 
+def _wrap_spilled(handle: SharedSamplesHandle) -> WorldSampleSet:
+    """Map the spilled packed bits read-only and wrap them, zero-copy."""
+    rows, cols = handle.packed_shape
+    if rows * cols == 0:
+        packed = np.zeros((rows, cols), dtype=np.uint8)
+    else:
+        try:
+            packed = np.memmap(handle.spill_path, dtype=np.uint8,
+                               mode="r", shape=(rows, cols))
+        except (FileNotFoundError, ValueError) as err:
+            raise ParameterError(
+                f"spilled sample file {handle.spill_path!r} cannot be "
+                f"mapped: {err}"
+            ) from err
+    return WorldSampleSet.from_packed(packed, handle.n_samples, handle.edges)
+
+
 def attach_samples(
     handle: SharedSamplesHandle,
-) -> tuple[WorldSampleSet, shared_memory.SharedMemory]:
+) -> tuple[WorldSampleSet, object]:
     """Attach to a published sample set from a worker process.
 
-    Returns the zero-copy :class:`WorldSampleSet` view plus the
-    :class:`SharedMemory` object keeping the mapping alive — the caller
-    must hold a reference to the latter for as long as the view is used.
+    Returns the zero-copy :class:`WorldSampleSet` view plus the object
+    keeping the mapping alive — the :class:`SharedMemory` segment for
+    the RAM path, the read-only ``np.memmap`` itself for a spilled set —
+    the caller must hold a reference to the latter for as long as the
+    view is used. The read-only mapping means a misbehaving worker
+    physically cannot scribble over a spilled sample set.
 
     Note on resource tracking: attaching registers the segment with the
     process's resource tracker (CPython registers unconditionally on
@@ -173,6 +233,9 @@ def attach_samples(
     the one tracked entry cleanly. Attaching from a *spawned* process
     would hand ownership to that process's private tracker — don't.
     """
+    if handle.spill_path is not None:
+        samples = _wrap_spilled(handle)
+        return samples, samples.packed_bits
     try:
         shm = shared_memory.SharedMemory(name=handle.name)
     except FileNotFoundError:

@@ -63,6 +63,11 @@ from repro.parallel.work import CANCELLED, TASKS, build_worker_state
 
 __all__ = ["QUARANTINED", "QuarantinedTask", "SupervisedPool"]
 
+#: Minimum CPU-seconds advance that counts as progress between stall
+#: checks — the reporter thread itself burns a few microseconds per
+#: report, which must not keep a wedged worker alive forever.
+_CPU_EPSILON = 0.02
+
 
 class _Quarantined:
     """Singleton placeholder for a quarantined payload's result slot."""
@@ -134,16 +139,23 @@ class PoolFaultState:
     """
 
     __slots__ = ("kill_after", "kill_token", "hang_name", "hang_index",
-                 "hang_limit", "hang_count")
+                 "hang_limit", "hang_count", "spin_name", "spin_index",
+                 "spin_seconds", "spin_limit", "spin_count")
 
     def __init__(self, ctx, *, kill_after=None, hang_name=None,
-                 hang_index=None, hang_limit=None):
+                 hang_index=None, hang_limit=None, spin_name=None,
+                 spin_index=None, spin_seconds=None, spin_limit=None):
         self.kill_after = kill_after
         self.kill_token = ctx.Value("i", 0) if kill_after is not None else None
         self.hang_name = hang_name
         self.hang_index = hang_index
         self.hang_limit = hang_limit
         self.hang_count = ctx.Value("i", 0) if hang_name is not None else None
+        self.spin_name = spin_name
+        self.spin_index = spin_index
+        self.spin_seconds = spin_seconds
+        self.spin_limit = spin_limit
+        self.spin_count = ctx.Value("i", 0) if spin_name is not None else None
 
 
 def _maybe_inject_fault(fault: PoolFaultState | None, tasks_done: int,
@@ -172,6 +184,25 @@ def _maybe_inject_fault(fault: PoolFaultState | None, tasks_done: int,
         if fire:
             while True:  # until the supervisor's timeout SIGKILLs us
                 time.sleep(3600)
+    if fault.spin_name == name and (
+            fault.spin_index is None or fault.spin_index == index):
+        fire = False
+        with fault.spin_count.get_lock():
+            if (fault.spin_limit is None
+                    or fault.spin_count.value < fault.spin_limit):
+                fault.spin_count.value += 1
+                fire = True
+        if fire:
+            # Busy-burn CPU before running the task: wall clock and CPU
+            # both advance, so a CPU-aware timeout must extend grace.
+            deadline = time.monotonic() + fault.spin_seconds
+            while time.monotonic() < deadline:
+                sum(range(1000))
+
+
+def _is_cpu_report(msg) -> bool:
+    """True for a reporter-thread ``("cpu", seconds)`` side-channel tuple."""
+    return isinstance(msg, tuple) and len(msg) == 2 and msg[0] == "cpu"
 
 
 def _sendable_exception(exc: BaseException) -> BaseException:
@@ -189,15 +220,63 @@ def _sendable_exception(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
+def _worker_cpu_seconds() -> float:
+    """This worker's cumulative CPU time (self + reaped children)."""
+    import resource
+
+    own = resource.getrusage(resource.RUSAGE_SELF)
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN)
+    return own.ru_utime + own.ru_stime + kids.ru_utime + kids.ru_stime
+
+
+def _cpu_report_loop(conn, send_lock, interval: float) -> None:
+    """Body of the reporter thread: periodic CPU sends until the pipe dies."""
+    while True:
+        time.sleep(interval)
+        try:
+            with send_lock:
+                conn.send(("cpu", _worker_cpu_seconds()))
+        except (BrokenPipeError, OSError, ValueError):
+            return  # pipe gone: the worker is shutting down
+
+
+def _start_cpu_reporter(conn, send_lock, interval: float):
+    """Side-channel CPU self-reports over the worker's existing pipe.
+
+    A daemon thread sends ``("cpu", seconds)`` every ``interval``
+    seconds. It keeps running even while the main thread is wedged in a
+    hung task (``time.sleep`` and long numpy kernels release the GIL),
+    which is the whole point: the parent sees wall clock advancing with
+    CPU standing still — a stall — versus CPU advancing — a busy worker
+    on an oversubscribed machine that deserves more grace.
+    """
+    import threading
+
+    thread = threading.Thread(
+        target=_cpu_report_loop, args=(conn, send_lock, interval),
+        daemon=True, name="repro-cpu-report",
+    )
+    thread.start()
+    return thread
+
+
 def _worker_main(worker_id: int, conn, edge_triples, handle, cancel,
-                 counters, fault: PoolFaultState | None) -> None:
+                 counters, fault: PoolFaultState | None,
+                 cpu_interval: float | None = None) -> None:
     """The worker process loop: build state once, then serve tasks.
 
-    SIGINT is ignored — the parent handles Ctrl-C, writes its
-    checkpoint, and winds the pool down; a worker dying mid-task to the
-    same signal would turn a clean resumable exit into a replay.
+    SIGINT and SIGTERM are ignored — the parent handles Ctrl-C and
+    orchestrator shutdowns, writes its checkpoint, and winds the pool
+    down; a worker dying mid-task to the same signal would turn a clean
+    resumable exit into a replay.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    import threading
+
+    send_lock = threading.Lock()  # results and CPU reports share the pipe
+    if cpu_interval is not None:
+        _start_cpu_reporter(conn, send_lock, cpu_interval)
     state = build_worker_state(edge_triples, handle, cancel, counters)
     tasks_done = 0
     from repro.parallel.work import _WorkerCancelled
@@ -219,16 +298,18 @@ def _worker_main(worker_id: int, conn, edge_triples, handle, cancel,
         except BaseException as exc:
             ok, value = False, _sendable_exception(exc)
         try:
-            conn.send((epoch, index, ok, value))
+            with send_lock:
+                conn.send((epoch, index, ok, value))
         except (BrokenPipeError, OSError):
             break
         # repro: allow[EXC003] pickling a task result can raise anything
         except Exception as exc:  # result failed to pickle
             try:
-                conn.send((epoch, index, False, RuntimeError(
-                    f"task {name!r} produced an unpicklable "
-                    f"result/exception: {exc}"
-                )))
+                with send_lock:
+                    conn.send((epoch, index, False, RuntimeError(
+                        f"task {name!r} produced an unpicklable "
+                        f"result/exception: {exc}"
+                    )))
             # repro: allow[EXC003] pipe unusable; parent reaps us via EOF
             except Exception:
                 break
@@ -239,7 +320,8 @@ def _worker_main(worker_id: int, conn, edge_triples, handle, cancel,
 class _Worker:
     """Parent-side record of one worker process."""
 
-    __slots__ = ("id", "proc", "conn", "current", "started_at", "served")
+    __slots__ = ("id", "proc", "conn", "current", "started_at", "served",
+                 "cpu_seen", "cpu_mark", "stall_since")
 
     def __init__(self, wid, proc, conn):
         self.id = wid
@@ -248,6 +330,9 @@ class _Worker:
         self.current: int | None = None  # payload index in flight
         self.started_at: float | None = None
         self.served = 0
+        self.cpu_seen: float | None = None  # latest CPU self-report
+        self.cpu_mark: float | None = None  # CPU at last observed progress
+        self.stall_since: float | None = None  # wall time CPU stopped moving
 
 
 class SupervisedPool:
@@ -268,6 +353,14 @@ class SupervisedPool:
         workers through ``make_worker_args``).
     task_timeout / max_task_retries:
         Supervision knobs; ``task_timeout=None`` disables timeouts.
+    task_cpu_timeout:
+        CPU-time stall limit: a worker whose self-reported CPU clock
+        stands still for this many wall seconds while it holds a task is
+        presumed wedged and reclaimed (kill, strike, respawn) — while a
+        worker whose CPU keeps advancing gets its grace extended, so a
+        busy task on an oversubscribed machine is not misclassified as
+        hung. ``None`` disables CPU supervision (and its reporter
+        thread).
     pump_interval / abort_grace:
         Progress-pump cadence and how long an abort waits for workers to
         notice the cancel flag before SIGKILLing them.
@@ -277,8 +370,8 @@ class SupervisedPool:
     """
 
     def __init__(self, ctx, workers: int, make_worker_args, *, cancel,
-                 counters, task_timeout=None, max_task_retries=2,
-                 pump_interval=0.05, abort_grace=30.0,
+                 counters, task_timeout=None, task_cpu_timeout=None,
+                 max_task_retries=2, pump_interval=0.05, abort_grace=30.0,
                  verify_segment=None, rebuild_segment=None):
         self._ctx = ctx
         self._n_workers = workers
@@ -286,6 +379,7 @@ class SupervisedPool:
         self._cancel = cancel
         self._counters = counters or {}
         self._task_timeout = task_timeout
+        self._task_cpu_timeout = task_cpu_timeout
         self._max_task_retries = max_task_retries
         self._pump_interval = pump_interval
         self._abort_grace = abort_grace
@@ -313,8 +407,10 @@ class SupervisedPool:
         self._next_id += 1
         parent_conn, child_conn = self._ctx.Pipe(duplex=True)
         args = self._make_worker_args()
+        cpu_interval = (self._pump_interval
+                        if self._task_cpu_timeout is not None else None)
         proc = self._ctx.Process(
-            target=_worker_main, args=(wid, child_conn, *args),
+            target=_worker_main, args=(wid, child_conn, *args, cpu_interval),
             daemon=True, name=f"repro-worker-{wid}",
         )
         proc.start()
@@ -480,6 +576,8 @@ class SupervisedPool:
                     continue
                 worker.current = index
                 worker.started_at = time.monotonic()
+                worker.cpu_mark = worker.cpu_seen
+                worker.stall_since = None
 
         def collect() -> None:
             conns = {w.conn: w for w in self._workers.values()}
@@ -507,13 +605,32 @@ class SupervisedPool:
                             f"worker died (exit {worker.proc.exitcode})")
 
         def check_timeouts() -> None:
-            if self._task_timeout is None:
+            if self._task_timeout is None and self._task_cpu_timeout is None:
                 return
             now = time.monotonic()
             for worker in list(self._workers.values()):
                 if worker.current is None or worker.started_at is None:
                     continue
-                if now - worker.started_at <= self._task_timeout:
+                verdict = None
+                if (self._task_timeout is not None
+                        and now - worker.started_at > self._task_timeout):
+                    verdict = f"timed out after {self._task_timeout:.3g}s"
+                elif self._task_cpu_timeout is not None:
+                    seen = worker.cpu_seen
+                    if seen is not None and (
+                            seen > (worker.cpu_mark or 0.0) + _CPU_EPSILON):
+                        # CPU advanced since we last looked: the task is
+                        # busy (perhaps descheduled, not wedged) — extend
+                        # its grace window instead of killing it.
+                        worker.cpu_mark = seen
+                        worker.stall_since = now
+                    elif (now - (worker.stall_since or worker.started_at)
+                            > self._task_cpu_timeout):
+                        verdict = (
+                            f"CPU stalled: no CPU progress in "
+                            f"{self._task_cpu_timeout:.3g}s of wall time"
+                        )
+                if verdict is None:
                     continue
                 index = worker.current
                 self._kill(worker)
@@ -523,8 +640,7 @@ class SupervisedPool:
                     "payload_index": index,
                 })
                 if index not in results:
-                    strike(index,
-                           f"timed out after {self._task_timeout:.3g}s")
+                    strike(index, verdict)
                 segment_ok = (self._verify_segment is None
                               or self._verify_segment())
                 if not segment_ok:
@@ -570,6 +686,9 @@ class SupervisedPool:
     def _on_message(self, worker: _Worker, msg, epoch: int,
                     results: dict, quarantined: dict,
                     pending: deque | None = None) -> None:
+        if _is_cpu_report(msg):
+            worker.cpu_seen = float(msg[1])
+            return
         m_epoch, index, ok, value = msg
         if m_epoch != epoch:
             return  # stale answer from an aborted map
@@ -591,6 +710,15 @@ class SupervisedPool:
         if index not in results and index not in quarantined:
             results[index] = value
 
+    def worker_cpu_seconds(self) -> float:
+        """Total CPU-seconds self-reported by the live workers.
+
+        Zero until the first reports arrive (or with CPU supervision
+        off); a freshly respawned worker restarts its own clock, so the
+        total is a floor, not an exact account across recoveries.
+        """
+        return sum(w.cpu_seen or 0.0 for w in self._workers.values())
+
     # -- abort ----------------------------------------------------------
     def abort(self) -> None:
         """Flag running work, wait out the grace period, kill stragglers.
@@ -611,7 +739,8 @@ class SupervisedPool:
                 worker = conns[conn]
                 try:
                     while worker.conn.poll():
-                        worker.conn.recv()  # discard
+                        if _is_cpu_report(worker.conn.recv()):
+                            continue  # side-channel, not the task's answer
                         worker.current = None
                         worker.started_at = None
                 except (EOFError, OSError, pickle.UnpicklingError):

@@ -10,8 +10,12 @@ heuristic sweeps (GBU). This package makes long runs *survivable*:
   memory limits, checked at those boundaries;
 * :mod:`~repro.runtime.checkpoint` — versioned, CRC-checked snapshots
   enabling bit-identical kill-and-resume;
-* :mod:`~repro.runtime.interrupts` — SIGINT turned into a cooperative,
-  checkpoint-safe stop;
+* :mod:`~repro.runtime.interrupts` — SIGINT/SIGTERM turned into a
+  cooperative, checkpoint-safe stop;
+* :mod:`~repro.runtime.pressure` — the resource watchdog probing peak
+  RSS, free disk, and worker CPU time at batch boundaries;
+* :mod:`~repro.runtime.spill` — managed scratch directories for sample
+  sets that spill to disk under memory pressure;
 * :mod:`~repro.runtime.faults` — deterministic fault injection for
   testing all of the above;
 * :mod:`~repro.runtime.result` — the structured
@@ -25,6 +29,8 @@ See ``docs/robustness.md`` for the full semantics.
 from repro.runtime.progress import ProgressEvent, chain_hooks
 from repro.runtime.budget import Budget, default_memory_probe
 from repro.runtime.interrupts import InterruptGuard
+from repro.runtime.pressure import ResourceWatchdog
+from repro.runtime.spill import SpillDirectory
 from repro.runtime.faults import FaultPlan, corrupt_checkpoint
 from repro.runtime.checkpoint import (
     CHECKPOINT_FORMAT,
@@ -51,6 +57,8 @@ __all__ = [
     "Budget",
     "default_memory_probe",
     "InterruptGuard",
+    "ResourceWatchdog",
+    "SpillDirectory",
     "FaultPlan",
     "corrupt_checkpoint",
     "CHECKPOINT_FORMAT",

@@ -27,7 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.exceptions import CheckpointError
+from repro.exceptions import CheckpointError, CheckpointWriteError
 
 __all__ = [
     "CHECKPOINT_FORMAT",
@@ -74,21 +74,48 @@ def _canonical_json(payload) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-def _atomic_write_bytes(path: Path, data: bytes) -> None:
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
-
-
 class CheckpointStore:
     """Read/write access to one checkpoint directory."""
 
     def __init__(self, directory):
         self.path = Path(directory)
         self.path.mkdir(parents=True, exist_ok=True)
+        #: Fault-injection hook: a callable returning an exception to
+        #: raise mid-write, or None. Armed by the harness from
+        #: :meth:`repro.runtime.FaultPlan.exhaust_disk` so the ENOSPC
+        #: path is deterministically testable.
+        self.write_fault = None
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        """Write ``data`` to ``path`` via temp file + fsync + rename.
+
+        Any :class:`OSError` along the way — short write, failed fsync,
+        failed rename; ENOSPC, quota, read-only filesystem — is caught
+        exactly here: the partial temp file is unlinked so the
+        directory never holds a torn write, and the failure surfaces as
+        a :class:`~repro.exceptions.CheckpointWriteError` the harness
+        can downgrade to "continue without checkpointing".
+        """
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            injected = (
+                None if self.write_fault is None else self.write_fault()
+            )
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                if injected is not None:
+                    raise injected
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except OSError as err:
+            if tmp.exists():
+                # Unlinking frees space rather than needing it, so this
+                # succeeds even on the full disk that got us here.
+                tmp.unlink()
+            raise CheckpointWriteError(
+                f"checkpoint write to {path} failed: {err}", path=path
+            ) from err
 
     # -- manifest ------------------------------------------------------
     @property
@@ -106,7 +133,7 @@ class CheckpointStore:
         doc["version"] = CHECKPOINT_VERSION
         body = _canonical_json(doc)
         wrapper = {"crc": zlib.crc32(body.encode("utf-8")), "manifest": doc}
-        _atomic_write_bytes(
+        self._write_atomic(
             self.manifest_path,
             json.dumps(wrapper, sort_keys=True).encode("utf-8"),
         )
@@ -175,7 +202,7 @@ class CheckpointStore:
             shape=np.array(presence.shape, dtype=np.int64),
             crc=np.array([zlib.crc32(packed.tobytes())], dtype=np.uint64),
         )
-        _atomic_write_bytes(self._batch_path(index), buffer.getvalue())
+        self._write_atomic(self._batch_path(index), buffer.getvalue())
 
     def load_sample_batch(self, index: int) -> np.ndarray:
         """Load one presence batch, verifying shape and checksum."""
@@ -231,7 +258,7 @@ class CheckpointStore:
         }
         body = _canonical_json(payload)
         wrapper = {"crc": zlib.crc32(body.encode("utf-8")), "payload": payload}
-        _atomic_write_bytes(
+        self._write_atomic(
             self._level_path(k),
             json.dumps(wrapper, sort_keys=True).encode("utf-8"),
         )
@@ -289,7 +316,7 @@ class CheckpointStore:
         }
         body = _canonical_json(payload)
         wrapper = {"crc": zlib.crc32(body.encode("utf-8")), "payload": payload}
-        _atomic_write_bytes(
+        self._write_atomic(
             self.frontier_path,
             json.dumps(wrapper, sort_keys=True).encode("utf-8"),
         )
@@ -342,6 +369,38 @@ class CheckpointStore:
         """Delete the mid-peel snapshot (a finished level supersedes it)."""
         if self.frontier_path.exists():
             self.frontier_path.unlink()
+
+    # -- garbage collection --------------------------------------------
+    def collect_garbage(self, batches_drawn: int | None = None) -> list:
+        """Prune files a completed run no longer needs; returns them.
+
+        Removes orphaned ``*.tmp`` partial writes (a crash between
+        temp-file creation and rename leaves one behind), the stale
+        mid-peel ``frontier.json`` (a finished run supersedes it), and —
+        when ``batches_drawn`` is given — sample-batch files with an
+        index at or beyond it (left over from an earlier, larger run in
+        the same directory). Everything a finished checkpoint still
+        resumes from — the manifest, in-range sample batches, and level
+        files — is kept, so ``resume=True`` of a completed run keeps
+        returning the identical result.
+        """
+        removed = []
+        for path in sorted(self.path.glob("*.tmp")):
+            path.unlink()
+            removed.append(path)
+        if self.frontier_path.exists():
+            self.frontier_path.unlink()
+            removed.append(self.frontier_path)
+        if batches_drawn is not None:
+            for path in sorted(self.path.glob("samples_*.npz")):
+                try:
+                    index = int(path.stem.split("_", 1)[1])
+                except (IndexError, ValueError):
+                    continue
+                if index >= batches_drawn:
+                    path.unlink()
+                    removed.append(path)
+        return removed
 
     # -- misc ----------------------------------------------------------
     def clear(self) -> None:

@@ -28,10 +28,15 @@ testable too.
 
 from __future__ import annotations
 
+import errno
 import os
 from pathlib import Path
 
-from repro.exceptions import CheckpointError, ComputationInterrupted
+from repro.exceptions import (
+    BudgetExceededError,
+    CheckpointError,
+    ComputationInterrupted,
+)
 from repro.runtime.progress import ProgressEvent
 
 __all__ = ["FaultPlan", "corrupt_checkpoint"]
@@ -52,6 +57,7 @@ class FaultPlan:
         #: (keyword arguments of ``PoolFaultState``), or None.
         self.pool_faults: dict | None = None
         self._corrupt_segment = False
+        self._disk_faults = 0
 
     def raise_at(self, phase: str, step: int,
                  exc: Exception | type) -> "FaultPlan":
@@ -74,6 +80,21 @@ class FaultPlan:
             phase, step,
             MemoryError(f"simulated OOM at {phase} step {step}"),
         )
+
+    def memory_pressure(self, phase: str, step: int) -> "FaultPlan":
+        """Simulate a memory-budget breach at ``(phase, step)``.
+
+        Raises the same :class:`BudgetExceededError` (``resource ==
+        "memory"``) a real :class:`~repro.runtime.Budget` produces when
+        peak RSS crosses its limit, so the harness's memory-pressure
+        policy (abort vs spill-to-disk) is exercised without actually
+        allocating gigabytes.
+        """
+        err = BudgetExceededError(
+            "memory", 0, 1,
+            message=f"injected memory pressure at {phase} step {step}",
+        )
+        return self.raise_at(phase, step, err)
 
     def raise_on_phase(self, phase: str,
                        exc: Exception | type) -> "FaultPlan":
@@ -117,6 +138,63 @@ class FaultPlan:
             hang_limit=None if times is None else int(times),
         )
         return self
+
+    def stall_task_cpu(self, matching: str, payload_index: int | None = None,
+                       times: int = 1) -> "FaultPlan":
+        """Make task ``matching`` wedge with *zero* CPU progress.
+
+        A wedged task is exactly a hang: wall clock advances, CPU does
+        not — the signature the supervisor's ``task_cpu_timeout``
+        distinguishes from a merely descheduled-but-busy worker (see
+        :meth:`spin_task` for that opposite case).
+        """
+        return self.hang_task(matching, payload_index, times)
+
+    def spin_task(self, matching: str, seconds: float,
+                  payload_index: int | None = None,
+                  times: int = 1) -> "FaultPlan":
+        """Make task ``matching`` burn CPU for ``seconds`` before running.
+
+        Wall clock *and* CPU advance, so a ``task_cpu_timeout`` must
+        keep extending the worker's grace instead of killing it — the
+        oversubscribed-machine case a pure wall-clock timeout
+        misclassifies.
+        """
+        self.pool_faults = dict(
+            self.pool_faults or {},
+            spin_name=str(matching),
+            spin_index=None if payload_index is None else int(payload_index),
+            spin_seconds=float(seconds),
+            spin_limit=None if times is None else int(times),
+        )
+        return self
+
+    def exhaust_disk(self, times: int = 1) -> "FaultPlan":
+        """Make the next ``times`` checkpoint writes fail with ENOSPC.
+
+        The harness arms :attr:`CheckpointStore.write_fault` with
+        :meth:`take_disk_fault`, so the injected failure travels the
+        exact path a real full disk does: torn temp file unlinked,
+        :class:`~repro.exceptions.CheckpointWriteError` raised,
+        computation continuing with checkpointing disabled.
+        """
+        self._disk_faults = int(times)
+        return self
+
+    def take_disk_fault(self) -> OSError | None:
+        """Store-side: consume one scheduled disk fault, or None.
+
+        Returns a *constructed* ``ENOSPC`` :class:`OSError` (the write
+        path raises it mid-write, inside its own ``except OSError``
+        conversion) rather than raising here.
+        """
+        if self._disk_faults <= 0:
+            return None
+        self._disk_faults -= 1
+        self.fired.append(("exhaust-disk", self._disk_faults))
+        return OSError(
+            errno.ENOSPC, "injected disk exhaustion (fault plan)"
+        )
 
     def corrupt_shared_segment(self) -> "FaultPlan":
         """Scribble over the shared sample segment at the next pool map.

@@ -36,8 +36,10 @@ from repro.core.local import LocalTrussResult, local_truss_decomposition
 from repro.exceptions import (
     BudgetExceededError,
     CheckpointError,
+    CheckpointWriteError,
     ComputationInterrupted,
     DecompositionError,
+    ParameterError,
     TaskQuarantinedError,
 )
 from repro.graphs.probabilistic import ProbabilisticGraph
@@ -50,6 +52,7 @@ from repro.runtime.budget import Budget
 from repro.runtime.checkpoint import CheckpointStore, decode_node, encode_node
 from repro.runtime.progress import ProgressEvent, chain_hooks
 from repro.runtime.result import PartialResult
+from repro.runtime.spill import SpillDirectory
 
 __all__ = ["run_global", "run_local", "run_reliability", "DEFAULT_BATCH_SIZE"]
 
@@ -126,6 +129,94 @@ def _attach_checkpoint(err: ComputationInterrupted,
         err.checkpoint_path = str(store.path)
 
 
+class _DegradableStore:
+    """A checkpoint store whose *writes* degrade instead of failing.
+
+    The first :class:`~repro.exceptions.CheckpointWriteError` (a full
+    disk, a torn atomic write) disables checkpointing for the rest of
+    the run: the error is recorded as a degradation reason, a
+    ``checkpoint-degraded`` event is emitted through the user's progress
+    hooks, and every later write becomes a no-op — the computation keeps
+    going and still produces its result, it just loses resumability.
+    Reads are never degraded: a corrupt *existing* checkpoint still
+    raises, because silently ignoring one would resume the wrong run.
+    """
+
+    def __init__(self, store: CheckpointStore, note, progress):
+        self._store = store
+        self._note = note
+        self._progress = progress
+        self.degraded = False
+        self.write_error: CheckpointWriteError | None = None
+
+    def __getattr__(self, name):
+        # Reads, paths, clears, GC: straight through to the real store.
+        return getattr(self._store, name)
+
+    def _disable(self, err: CheckpointWriteError) -> None:
+        self.degraded = True
+        self.write_error = err
+        self._note(
+            f"checkpoint write failed ({err}); checkpointing disabled "
+            "for the rest of the run"
+        )
+        if self._progress is not None:
+            self._progress(ProgressEvent(
+                "checkpoint-degraded", step=0,
+                detail={"checkpoint_error": str(err), "path": err.path},
+            ))
+
+    def _write(self, method, *args) -> None:
+        if self.degraded:
+            return
+        try:
+            getattr(self._store, method)(*args)
+        except CheckpointWriteError as err:
+            self._disable(err)
+
+    def save_manifest(self, manifest: dict) -> None:
+        self._write("save_manifest", manifest)
+
+    def save_sample_batch(self, index: int, presence) -> None:
+        self._write("save_sample_batch", index, presence)
+
+    def save_level(self, k: int, trusses) -> None:
+        self._write("save_level", k, trusses)
+
+    def save_frontier(self, detail) -> None:
+        self._write("save_frontier", detail)
+
+
+def _wrap_store(store: CheckpointStore | None, note,
+                progress) -> _DegradableStore | None:
+    """Wrap a store (arming any injected disk faults) or pass None."""
+    if store is None:
+        return None
+    plan = _disk_faults_of(progress)
+    if plan is not None:
+        store.write_fault = plan.take_disk_fault
+    return _DegradableStore(store, note, progress)
+
+
+def _disk_faults_of(progress):
+    """Extract a FaultPlan with armed disk faults from a progress hook.
+
+    Mirrors :func:`_pool_faults_of`: a FaultPlan carrying
+    ``exhaust_disk`` faults is found anywhere in the (possibly chained)
+    progress hook and handed to the checkpoint store as its
+    ``write_fault`` supplier.
+    """
+    if progress is None:
+        return None
+    if getattr(progress, "_disk_faults", 0) > 0:
+        return progress
+    for sub in getattr(progress, "hooks", ()):  # chain_hooks composition
+        found = _disk_faults_of(sub)
+        if found is not None:
+            return found
+    return None
+
+
 def _pool_faults_of(progress):
     """Extract a FaultPlan carrying pool faults from a progress hook.
 
@@ -179,7 +270,10 @@ def run_global(
     on_corrupt: str = "raise",
     workers: int | str | None = None,
     task_timeout: float | None = None,
+    task_cpu_timeout: float | None = None,
     max_task_retries: int | None = None,
+    on_memory_pressure: str = "spill",
+    spill_dir=None,
 ) -> PartialResult:
     """Run a global (k, gamma)-truss decomposition under the harness.
 
@@ -221,6 +315,20 @@ def run_global(
         ``"raise"`` (default) surfaces a corrupt checkpoint as
         :class:`CheckpointError`; ``"restart"`` clears it and starts
         fresh.
+    on_memory_pressure / spill_dir:
+        Policy for a *memory*-budget breach during sampling.
+        ``"spill"`` (default) bit-packs the batches drawn so far, keeps
+        sampling, and moves the finished packed matrix into a read-only
+        ``np.memmap`` file under ``spill_dir`` (a private temp directory
+        when None) — output stays byte-identical for every worker
+        count, so this is reported as a ``resource-pressure`` event, not
+        a degradation. ``"abort"`` restores the old behaviour: stop
+        sampling early and degrade via the widened Hoeffding epsilon.
+    task_cpu_timeout:
+        CPU-stall supervision (see
+        :class:`~repro.parallel.ParallelExecutor`): a worker whose CPU
+        clock stands still this many wall seconds is presumed wedged
+        and reclaimed; CPU progress extends its grace.
 
     Returns
     -------
@@ -258,7 +366,13 @@ def run_global(
         # deliberately absent — any count resumes any compatible run.
         "rng_scheme": "per-seed" if workers is not None else "sequential",
     }
+    if on_memory_pressure not in ("abort", "spill"):
+        raise ParameterError(
+            f"on_memory_pressure must be 'abort' or 'spill', "
+            f"got {on_memory_pressure!r}"
+        )
     degr = _Degradations()
+    store = _wrap_store(store, degr.note, progress)
     if budget is not None:
         budget.start()
     hook = chain_hooks(progress, budget)
@@ -334,8 +448,10 @@ def run_global(
         })
 
     # Filled in once the executor exists (after sampling); `finish`
-    # reads it to fold quarantine degradation into the result.
+    # reads it to fold quarantine degradation into the result. The
+    # spill block below records where the samples went, if anywhere.
     supervision = {"executor": None}
+    spill_info: dict = {}
 
     def finish(result, complete: bool) -> PartialResult:
         quarantined, rows_lost = _quarantine_report(supervision["executor"])
@@ -362,6 +478,11 @@ def run_global(
         detail = {}
         if quarantined:
             detail["quarantined"] = [q.to_dict() for q in quarantined]
+        detail.update(spill_info)
+        if complete and store is not None and not store.degraded:
+            # The run is done: stale mid-peel snapshots, torn temp
+            # files, and out-of-range sample batches are dead weight.
+            store.collect_garbage(batches_drawn=batcher.batches_drawn)
         return PartialResult(
             kind="global",
             result=result,
@@ -380,6 +501,7 @@ def run_global(
         )
 
     # -- stage 1: sampling --------------------------------------------
+    spill_pending = False
     while (batcher.batches_drawn < batcher.n_batches
            and not sampling_stopped_early):
         index = batcher.batches_drawn
@@ -402,6 +524,19 @@ def run_global(
                 detail={"samples_drawn": batcher.samples_drawn},
             ))
         except BudgetExceededError as err:
+            if (err.resource == "memory" and on_memory_pressure == "spill"
+                    and not spill_pending):
+                # Memory pressure under the spill policy: bit-pack the
+                # batches already drawn (8x smaller in place), lift the
+                # memory limit — peak RSS is monotone, so the tripped
+                # probe would re-fire forever — and finish sampling;
+                # the packed matrix moves to a read-only memmap below.
+                # Output is byte-identical, so this is *not* degraded.
+                batcher.compact()
+                if err.budget is not None:
+                    err.budget.max_memory_bytes = None
+                spill_pending = True
+                continue
             sampling_stopped_early = str(err)
             degr.note(sampling_stopped_early)
             write_manifest()
@@ -427,18 +562,42 @@ def run_global(
 
     # The executor (and its shared-memory sample segment) lives for the
     # compute stages only; the sampling stage above is sequential-RNG
-    # and stays out of it by design.
+    # and stays out of it by design. A spilled sample set's memmap file
+    # (and its directory, when privately created) lives exactly as long.
     executor = None
-    if workers is not None:
-        from repro.parallel import ParallelExecutor
-
-        executor = ParallelExecutor(
-            workers, graph=graph, samples=world_set,
-            task_timeout=task_timeout, max_task_retries=max_task_retries,
-            faults=_pool_faults_of(progress),
-        ).start()
-        supervision["executor"] = executor
+    spill_store = None
     try:
+        if spill_pending:
+            spill_store = SpillDirectory(spill_dir)
+            spilled_path = world_set.spill_to(
+                spill_store.allocate("samples.bits")
+            )
+            if spilled_path is not None:
+                spill_info["spilled_to"] = str(spilled_path)
+            if spilled_path is not None and progress is not None:
+                try:
+                    progress(ProgressEvent(
+                        "resource-pressure", step=0, detail={
+                            "resource": "memory", "action": "spill",
+                            "path": str(spilled_path),
+                            "bytes": int(world_set.packed_bits.nbytes),
+                            "free_bytes": spill_store.free_bytes(),
+                        },
+                    ))
+                except ComputationInterrupted as err:
+                    _attach_checkpoint(err, store)
+                    raise
+        if workers is not None:
+            from repro.parallel import ParallelExecutor
+
+            executor = ParallelExecutor(
+                workers, graph=graph, samples=world_set,
+                task_timeout=task_timeout,
+                task_cpu_timeout=task_cpu_timeout,
+                max_task_retries=max_task_retries,
+                faults=_pool_faults_of(progress),
+            ).start()
+            supervision["executor"] = executor
         return _run_global_compute(
             graph, gamma, delta, seed, max_k, max_states, budget, store,
             progress, gtd_fraction, degr, hook, rng, completed, state,
@@ -450,6 +609,8 @@ def run_global(
     finally:
         if executor is not None:
             executor.close()
+        if spill_store is not None:
+            spill_store.cleanup()
 
 
 def _run_global_compute(
@@ -612,6 +773,7 @@ def run_local(
     on_corrupt: str = "raise",
     workers: int | str | None = None,
     task_timeout: float | None = None,
+    task_cpu_timeout: float | None = None,
     max_task_retries: int | None = None,
 ) -> PartialResult:
     """Run a local decomposition under the harness.
@@ -636,6 +798,8 @@ def run_local(
         "graph": _graph_fingerprint(graph),
         "pmf_order": "canonical" if workers is not None else "adjacency",
     }
+    degr = _Degradations()
+    store = _wrap_store(store, degr.note, progress)
     if budget is not None:
         budget.start()
     hook = chain_hooks(progress, budget)
@@ -644,6 +808,8 @@ def run_local(
         result = LocalTrussResult(
             graph=graph, gamma=gamma, trussness=trussness, method=method,
         )
+        reasons = [r for r in (reason, degr.reason) if r]
+        reason = "; ".join(reasons) if reasons else None
         return PartialResult(
             kind="local", result=result, complete=complete,
             degraded=reason is not None, reason=reason,
@@ -668,7 +834,8 @@ def run_local(
 
         executor = ParallelExecutor(
             workers, graph=graph,
-            task_timeout=task_timeout, max_task_retries=max_task_retries,
+            task_timeout=task_timeout, task_cpu_timeout=task_cpu_timeout,
+            max_task_retries=max_task_retries,
             faults=_pool_faults_of(progress),
         ).start()
     try:
@@ -713,6 +880,8 @@ def run_local(
                 for (u, v), tau in result.trussness.items()
             ),
         })
+        if not store.degraded:
+            store.collect_garbage()
     return to_partial(result.trussness, complete=True)
 
 
@@ -746,6 +915,7 @@ def run_reliability(
     on_corrupt: str = "raise",
     workers: int | str | None = None,
     task_timeout: float | None = None,
+    task_cpu_timeout: float | None = None,
     max_task_retries: int | None = None,
 ) -> PartialResult:
     """Estimate network reliability under the harness.
@@ -779,6 +949,7 @@ def run_reliability(
         "graph": _graph_fingerprint(graph),
     }
     degr = _Degradations()
+    store = _wrap_store(store, degr.note, progress)
     if budget is not None:
         budget.start()
     hook = chain_hooks(progress, budget)
@@ -841,7 +1012,8 @@ def run_reliability(
 
         executor = ParallelExecutor(
             workers, graph=graph,
-            task_timeout=task_timeout, max_task_retries=max_task_retries,
+            task_timeout=task_timeout, task_cpu_timeout=task_cpu_timeout,
+            max_task_retries=max_task_retries,
             faults=_pool_faults_of(progress),
         ).start()
         supervision["executor"] = executor
@@ -931,4 +1103,6 @@ def run_reliability(
             executor.close()
 
     write_manifest(status="complete")
+    if store is not None and not store.degraded:
+        store.collect_garbage()
     return finish(complete=True)

@@ -1,11 +1,17 @@
-"""Cooperative SIGINT handling for long-running computations.
+"""Cooperative SIGINT/SIGTERM handling for long-running computations.
 
-An :class:`InterruptGuard` converts the first SIGINT into a flag that is
-checked — like a budget — at the next batch boundary, where it raises
-:class:`~repro.exceptions.ComputationInterrupted`. Checkpoints are
-written before hooks run, so the raise never loses committed work. A
-second SIGINT while the guard is armed falls through to an immediate
+An :class:`InterruptGuard` converts the first SIGINT *or* SIGTERM into a
+flag that is checked — like a budget — at the next batch boundary, where
+it raises :class:`~repro.exceptions.ComputationInterrupted`. Checkpoints
+are written before hooks run, so the raise never loses committed work.
+A second SIGINT while the guard is armed falls through to an immediate
 :class:`KeyboardInterrupt` for users who really mean it.
+
+The two signals are handled identically but reported distinctly: the
+raised exception carries ``exit_code`` 130 (128+SIGINT) for a Ctrl-C and
+143 (128+SIGTERM) for an orchestrator shutdown, so a supervised process
+(systemd, Kubernetes, a batch scheduler) that terminates a run observes
+the conventional exit status while still getting a resumable checkpoint.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ __all__ = ["InterruptGuard"]
 
 
 class InterruptGuard:
-    """Context manager translating SIGINT into a cooperative abort.
+    """Context manager translating SIGINT/SIGTERM into a cooperative abort.
 
     Use as a progress hook (the guard is callable)::
 
@@ -29,43 +35,68 @@ class InterruptGuard:
 
     Outside the main thread — or when ``install=False`` — no signal
     handler is installed and the guard only reacts to :meth:`trigger`,
-    which is how the fault harness simulates SIGINT deterministically.
+    which is how the fault harness simulates signals deterministically.
+    ``handle_sigterm=False`` restores the SIGINT-only behaviour.
     """
 
-    def __init__(self, install: bool = True):
+    def __init__(self, install: bool = True, handle_sigterm: bool = True):
         self._install = install
+        self._handle_sigterm = handle_sigterm
         self._previous = None
+        self._previous_term = None
         self._triggered = False
+        self._signum: int | None = None
 
     @property
     def triggered(self) -> bool:
-        """True once a SIGINT (or a simulated one) was received."""
+        """True once a SIGINT/SIGTERM (or a simulated one) was received."""
         return self._triggered
 
-    def trigger(self) -> None:
-        """Arm the guard as if a SIGINT had been received."""
+    @property
+    def signum(self) -> int | None:
+        """The signal number received, or None before any arrived."""
+        return self._signum
+
+    def trigger(self, signum: int = signal.SIGINT) -> None:
+        """Arm the guard as if ``signum`` had been received."""
         self._triggered = True
+        if self._signum is None:
+            self._signum = int(signum)
 
     def _handler(self, signum, frame):  # pragma: no cover - signal path
-        if self._triggered:
+        if self._triggered and signum == signal.SIGINT:
+            # Only a *repeated Ctrl-C* escalates: an orchestrator often
+            # sends SIGTERM more than once while waiting out its grace
+            # period, and escalating those would forfeit the checkpoint
+            # the grace period exists to protect.
             raise KeyboardInterrupt
-        self._triggered = True
+        self.trigger(signum)
 
     def __enter__(self) -> "InterruptGuard":
         if self._install and threading.current_thread() is threading.main_thread():
             self._previous = signal.signal(signal.SIGINT, self._handler)
+            if self._handle_sigterm:
+                self._previous_term = signal.signal(
+                    signal.SIGTERM, self._handler
+                )
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         if self._previous is not None:
             signal.signal(signal.SIGINT, self._previous)
             self._previous = None
+        if self._previous_term is not None:
+            signal.signal(signal.SIGTERM, self._previous_term)
+            self._previous_term = None
 
     def check(self, event: ProgressEvent) -> None:
         """Raise :class:`ComputationInterrupted` if the guard was armed."""
         if self._triggered:
+            signum = self._signum
+            name = ("SIGTERM" if signum == signal.SIGTERM else "SIGINT")
             raise ComputationInterrupted(
-                f"interrupted at {event.phase} step {event.step}"
+                f"interrupted by {name} at {event.phase} step {event.step}",
+                exit_code=(143 if signum == signal.SIGTERM else 130),
             )
 
     __call__ = check

@@ -1,0 +1,154 @@
+"""Resource-pressure watchdog: RSS, disk headroom, and worker CPU.
+
+A :class:`ResourceWatchdog` is a progress hook. Riding the same batch
+boundaries every other hook uses, it probes — at most once per
+``interval`` seconds — the process's peak RSS, the free bytes at the
+checkpoint/spill directory, and (when a probe is wired in) the
+cumulative CPU seconds of the worker pool. Every probe is recorded in
+:attr:`samples`; a probe that crosses a configured threshold is
+additionally recorded in :attr:`alerts` and announced as a
+``resource-pressure`` progress event through the ``emit`` callback, so
+operators see pressure building *before* a budget aborts the run or
+the kernel's OOM killer ends it.
+
+Unlike a :class:`~repro.runtime.budget.Budget` the watchdog never
+raises: it observes and warns. The pressure *responses* live elsewhere
+(spill-to-disk in the harness, checkpoint degradation in the store,
+CPU-stall reclaim in the supervisor); the watchdog is their shared
+pair of eyes.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from pathlib import Path
+
+from repro.exceptions import ParameterError
+from repro.runtime.budget import default_memory_probe
+from repro.runtime.progress import ProgressEvent
+
+__all__ = ["ResourceWatchdog"]
+
+#: Phases the watchdog itself (or its sibling degradation paths) emits;
+#: reacting to them would recurse through the same hook chain.
+_SELF_PHASES = frozenset({"resource-pressure", "checkpoint-degraded"})
+
+
+class ResourceWatchdog:
+    """Progress hook sampling resource probes on a pump cadence.
+
+    Parameters
+    ----------
+    probe_dir:
+        Directory whose filesystem headroom to watch (checkpoint or
+        spill directory); None disables the disk probe.
+    interval:
+        Minimum seconds between probes; 0 probes at every boundary.
+    memory_limit_bytes, min_free_bytes:
+        Alert thresholds for peak RSS and disk headroom; None disables
+        the respective alert (the probe is still recorded).
+    emit:
+        Callable receiving the ``resource-pressure``
+        :class:`ProgressEvent` for each alert; None keeps alerts local.
+    memory_probe, cpu_probe, clock:
+        Injectable probes — peak RSS in bytes (defaults to
+        :func:`~repro.runtime.budget.default_memory_probe`), cumulative
+        worker CPU seconds (e.g. a bound
+        ``ParallelExecutor.worker_cpu_seconds``), and a monotonic time
+        source.
+    """
+
+    def __init__(self, *, probe_dir=None, interval: float = 5.0,
+                 memory_limit_bytes: int | None = None,
+                 min_free_bytes: int | None = None,
+                 emit=None, memory_probe=None, cpu_probe=None,
+                 clock=time.monotonic):
+        if interval < 0:
+            raise ParameterError(
+                f"watchdog interval must be >= 0, got {interval}"
+            )
+        self.probe_dir = None if probe_dir is None else Path(probe_dir)
+        self.interval = float(interval)
+        self.memory_limit_bytes = memory_limit_bytes
+        self.min_free_bytes = min_free_bytes
+        self._emit = emit
+        self._memory_probe = memory_probe or default_memory_probe
+        self._cpu_probe = cpu_probe
+        self._clock = clock
+        self._last_probe: float | None = None
+        #: Every probe taken, in order: dicts with ``tick``,
+        #: ``peak_rss_bytes``, and — when probed — ``free_bytes`` and
+        #: ``worker_cpu_seconds``.
+        self.samples: list[dict] = []
+        #: The subset of probes that crossed a threshold, annotated
+        #: with ``resource`` (``"memory"``/``"disk"``).
+        self.alerts: list[dict] = []
+
+    def probe(self) -> dict:
+        """Take one probe now (ignoring the interval) and record it."""
+        sample: dict = {
+            "tick": len(self.samples),
+            "peak_rss_bytes": self._memory_probe(),
+        }
+        if self.probe_dir is not None:
+            sample["free_bytes"] = int(shutil.disk_usage(self.probe_dir).free)
+        if self._cpu_probe is not None:
+            sample["worker_cpu_seconds"] = self._cpu_probe()
+        self.samples.append(sample)
+        self._check_thresholds(sample)
+        return sample
+
+    def _check_thresholds(self, sample: dict) -> None:
+        rss = sample.get("peak_rss_bytes")
+        if (self.memory_limit_bytes is not None and rss is not None
+                and rss > self.memory_limit_bytes):
+            self._alert("memory", sample, observed=rss,
+                        threshold=self.memory_limit_bytes)
+        free = sample.get("free_bytes")
+        if (self.min_free_bytes is not None and free is not None
+                and free < self.min_free_bytes):
+            self._alert("disk", sample, observed=free,
+                        threshold=self.min_free_bytes)
+
+    def _alert(self, resource: str, sample: dict, *, observed,
+               threshold) -> None:
+        alert = dict(sample, resource=resource, observed=observed,
+                     threshold=threshold)
+        self.alerts.append(alert)
+        if self._emit is not None:
+            self._emit(ProgressEvent(
+                "resource-pressure",
+                step=len(self.alerts) - 1,
+                detail={
+                    "resource": resource,
+                    "action": "warn",
+                    "observed": observed,
+                    "threshold": threshold,
+                },
+            ))
+
+    def status(self) -> str:
+        """One-line human summary of the latest probe."""
+        if not self.samples:
+            return "watchdog: no probes taken"
+        last = self.samples[-1]
+        parts = [f"probes={len(self.samples)}", f"alerts={len(self.alerts)}"]
+        rss = last.get("peak_rss_bytes")
+        if rss is not None:
+            parts.append(f"peak_rss={rss / 2**20:.1f}MiB")
+        if "free_bytes" in last:
+            parts.append(f"disk_free={last['free_bytes'] / 2**20:.1f}MiB")
+        if "worker_cpu_seconds" in last:
+            parts.append(f"worker_cpu={last['worker_cpu_seconds']:.2f}s")
+        return "watchdog: " + " ".join(parts)
+
+    def __call__(self, event: ProgressEvent) -> None:
+        if event.phase in _SELF_PHASES:
+            return
+        now = self._clock()
+        if (self._last_probe is not None
+                and now - self._last_probe < self.interval):
+            return
+        self._last_probe = now
+        self.probe()

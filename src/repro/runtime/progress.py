@@ -48,6 +48,17 @@ Emitted phases
                     completed for another chunk of edges; counted in a
                     shared counter and re-emitted by the pump (``step``
                     = cumulative edges initialised)
+``resource-pressure``  a resource probe crossed a pressure threshold or
+                    a pressure response fired (``detail``: resource —
+                    ``memory``/``disk``/``cpu`` —, action, observed
+                    bytes/seconds); emitted by the
+                    :class:`~repro.runtime.pressure.ResourceWatchdog`
+                    and by the harness when the sample matrix spills
+                    to disk
+``checkpoint-degraded``  an atomic checkpoint write failed at the OS
+                    level (ENOSPC, quota, ...); the run continues with
+                    checkpointing disabled (``detail``:
+                    checkpoint_error, path)
 ==================  =====================================================
 
 Checkpoints are written *before* the hook runs at each boundary, so a
@@ -92,6 +103,8 @@ KNOWN_PHASES = frozenset({
     "worker-died",
     "task-retried",
     "task-quarantined",
+    "resource-pressure",
+    "checkpoint-degraded",
 })
 
 #: Debug-mode event validation, read once at import: with ``REPRO_DEBUG``

@@ -117,6 +117,94 @@ class TestInterruptHandling:
         assert code == 130
         assert "interrupted" in capsys.readouterr().err
 
+    def test_sigterm_interrupt_exits_143(self, monkeypatch, capsys,
+                                         example_path):
+        import repro.cli as cli
+
+        def fake_run_global(*args, **kwargs):
+            raise ComputationInterrupted(
+                "interrupted by SIGTERM at sample-batch step 1",
+                checkpoint_path="/tmp/ck", exit_code=143,
+            )
+
+        monkeypatch.setattr(cli, "run_global", fake_run_global)
+        code = main(["global", str(example_path), "--gamma", "0.3"])
+        captured = capsys.readouterr()
+        assert code == 143
+        assert captured.err.strip() == "interrupted — partial results at /tmp/ck"
+        assert "Traceback" not in captured.err
+
+
+@pytest.mark.crash
+class TestSigtermSubprocess:
+    """A real ``kill -TERM`` mid-run: conventional 143, resumable."""
+
+    CHILD = """\
+import sys, time
+import repro.cli as cli
+
+real_run_global = cli.run_global
+
+def slowed(*args, **kwargs):
+    inner = kwargs.get("progress")
+
+    def hook(event):
+        if inner is not None:
+            inner(event)
+        if event.phase == "sample-batch":
+            print("batch", event.step, flush=True)
+            time.sleep(0.25)
+
+    kwargs["progress"] = hook
+    return real_run_global(*args, **kwargs)
+
+cli.run_global = slowed
+sys.exit(cli.main(sys.argv[1:]))
+"""
+
+    def argv(self, example_path, ck):
+        return ["--seed", "5", "global", str(example_path),
+                "--gamma", "0.3", "--batch-size", "20",
+                "--checkpoint", str(ck)]
+
+    def test_kill_term_exits_143_and_resumes_identically(
+            self, example_path, tmp_path, capsys):
+        import os
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        repo_root = Path(__file__).resolve().parents[1]
+        baseline_argv = ["--seed", "5", "global", str(example_path),
+                         "--gamma", "0.3", "--batch-size", "20"]
+        assert main(baseline_argv) == 0
+        baseline_out = capsys.readouterr().out
+
+        ck = tmp_path / "ck"
+        proc = subprocess.Popen(
+            [sys.executable, "-c", self.CHILD] + self.argv(example_path, ck),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            env=dict(os.environ, PYTHONPATH=str(repo_root / "src")),
+            cwd=repo_root,
+        )
+        # Wait until the run is demonstrably mid-sampling, then TERM it.
+        line = proc.stdout.readline()
+        assert line.startswith("batch")
+        proc.send_signal(signal.SIGTERM)
+        proc.wait(timeout=30)
+        stderr = proc.stderr.read()
+        assert proc.returncode == 143
+        assert "interrupted — partial results at" in stderr
+        assert str(ck) in stderr
+        assert "Traceback" not in stderr
+        assert (ck / "manifest.json").exists()
+
+        # Resuming the snapshot completes and prints the identical
+        # report an uninterrupted run produces.
+        assert main(self.argv(example_path, ck) + ["--resume"]) == 0
+        assert capsys.readouterr().out == baseline_out
+
 
 class TestBadInputHandling:
     def test_checkpoint_param_mismatch_exits_2(self, example_path, tmp_path,

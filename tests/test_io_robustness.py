@@ -57,6 +57,18 @@ class TestEdgeListErrors:
             read_edge_list(path)
         assert exc_info.value.lineno == 1
 
+    @pytest.mark.parametrize("token", ["nan", "NaN", "inf", "-inf",
+                                       "Infinity", "1e999"])
+    def test_non_finite_probability_rejected(self, token):
+        # float() parses all of these without complaint ("1e999"
+        # overflows to inf); none of them is a probability.
+        with pytest.raises(GraphParseError) as exc_info:
+            read_edge_list(io.StringIO(f"a b 0.5\nc d {token}\n"))
+        err = exc_info.value
+        assert err.lineno == 2
+        assert err.token == token
+        assert "not finite" in str(err)
+
     def test_unconvertible_node_label(self):
         with pytest.raises(GraphParseError, match="node label"):
             read_edge_list(io.StringIO("a b 0.5\n"), node_type=int)
@@ -137,4 +149,13 @@ class TestJsonErrors:
         doc = ('{"format": "repro-probabilistic-graph", "version": 1, '
                '"nodes": [], "edges": [["a", "b", 3.0]]}')
         with pytest.raises(GraphParseError, match="malformed"):
+            read_json_graph(io.StringIO(doc))
+
+    @pytest.mark.parametrize("literal", ["NaN", "Infinity", "-Infinity"])
+    def test_non_finite_json_literal_rejected(self, literal):
+        # Python's json module accepts these non-standard literals by
+        # default; the reader must not let them become probabilities.
+        doc = ('{"format": "repro-probabilistic-graph", "version": 1, '
+               f'"nodes": [], "edges": [["a", "b", {literal}]]}}')
+        with pytest.raises(GraphParseError, match="non-finite"):
             read_json_graph(io.StringIO(doc))

@@ -134,9 +134,61 @@ class TestInterruptGuard:
         import signal
 
         before = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
         with InterruptGuard() as guard:
             assert signal.getsignal(signal.SIGINT) == guard._handler
+            assert signal.getsignal(signal.SIGTERM) == guard._handler
         assert signal.getsignal(signal.SIGINT) == before
+        assert signal.getsignal(signal.SIGTERM) == before_term
+
+    def test_handle_sigterm_false_leaves_sigterm_alone(self):
+        import signal
+
+        before_term = signal.getsignal(signal.SIGTERM)
+        with InterruptGuard(handle_sigterm=False) as guard:
+            assert signal.getsignal(signal.SIGINT) == guard._handler
+            assert signal.getsignal(signal.SIGTERM) == before_term
+
+    def test_sigint_carries_exit_code_130(self):
+        guard = InterruptGuard(install=False)
+        guard.trigger()
+        with pytest.raises(ComputationInterrupted) as exc_info:
+            guard.check(event())
+        assert exc_info.value.exit_code == 130
+        assert "SIGINT" in str(exc_info.value)
+
+    def test_sigterm_carries_exit_code_143(self):
+        import signal
+
+        guard = InterruptGuard(install=False)
+        guard.trigger(signal.SIGTERM)
+        assert guard.signum == signal.SIGTERM
+        with pytest.raises(ComputationInterrupted) as exc_info:
+            guard.check(event(step=4))
+        assert exc_info.value.exit_code == 143
+        assert "SIGTERM" in str(exc_info.value)
+
+    def test_first_signal_wins_the_exit_code(self):
+        import signal
+
+        guard = InterruptGuard(install=False)
+        guard.trigger(signal.SIGTERM)
+        guard.trigger(signal.SIGINT)  # late Ctrl-C does not relabel
+        with pytest.raises(ComputationInterrupted) as exc_info:
+            guard.check(event())
+        assert exc_info.value.exit_code == 143
+
+    def test_repeated_sigint_escalates_but_sigterm_does_not(self):
+        import signal
+
+        guard = InterruptGuard(install=False)
+        guard._handler(signal.SIGTERM, None)
+        # Orchestrators resend SIGTERM during their grace period; the
+        # guard must absorb the repeats and protect the checkpoint.
+        guard._handler(signal.SIGTERM, None)
+        assert guard.triggered
+        with pytest.raises(KeyboardInterrupt):
+            guard._handler(signal.SIGINT, None)
 
 
 class TestHoeffding:

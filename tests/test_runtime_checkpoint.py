@@ -137,6 +137,58 @@ class TestCheckpointStore:
         assert list(tmp_path.glob("*")) == []
 
 
+class TestCollectGarbage:
+    """Pruning a finished checkpoint never touches what resume needs."""
+
+    def test_removes_tmp_frontier_and_stale_batches(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save_manifest({"params": {}})
+        for index in range(4):
+            store.save_sample_batch(index, np.ones((2, 2), dtype=bool))
+        store.save_frontier({"k": 3, "comp_index": 0, "round": 1,
+                             "found": [], "frontier": [], "visited": []})
+        torn = tmp_path / "samples_0009.npz.tmp"
+        torn.write_bytes(b"partial")
+        removed = store.collect_garbage(batches_drawn=2)
+        assert torn in removed
+        assert store.frontier_path in removed
+        # Batches 2 and 3 are beyond the run that finished with 2.
+        names = sorted(p.name for p in removed)
+        assert "samples_0002.npz" in names and "samples_0003.npz" in names
+        # What resume reads is untouched.
+        assert store.exists()
+        assert store.load_sample_batch(0) is not None
+        assert store.load_sample_batch(1) is not None
+        with pytest.raises(CheckpointError, match="missing"):
+            store.load_sample_batch(2)
+
+    def test_without_batches_drawn_keeps_all_batches(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save_sample_batch(0, np.ones((2, 2), dtype=bool))
+        removed = store.collect_garbage()
+        assert removed == []
+        assert store.load_sample_batch(0) is not None
+
+    def test_empty_directory_is_a_no_op(self, tmp_path):
+        assert CheckpointStore(tmp_path).collect_garbage() == []
+
+    def test_completed_global_run_leaves_no_garbage(self, tmp_path):
+        """The harness GCs on completion: no *.tmp, no frontier, no
+        out-of-range sample batches — and the pruned checkpoint still
+        resumes byte-identically."""
+        graph = running_example()
+        first = full_run(graph, 7, checkpoint_dir=tmp_path)
+        assert first.complete
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.suffix == ".tmp" or p.name == "frontier.json"]
+        assert leftovers == []
+        batches = sorted(p.name for p in tmp_path.glob("samples_*.npz"))
+        assert len(batches) == N_SAMPLES // BATCH
+        again = full_run(graph, 7, checkpoint_dir=tmp_path, resume=True)
+        assert (serialize_global_result(again.result)
+                == serialize_global_result(first.result))
+
+
 class TestBatcherResume:
     """The checkpoint-resume path of :class:`SampleBatcher`."""
 

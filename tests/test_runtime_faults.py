@@ -19,7 +19,7 @@ from repro.runtime import (
     run_reliability,
     serialize_global_result,
 )
-from repro.runtime.progress import ProgressEvent
+from repro.runtime.progress import ProgressEvent, chain_hooks
 
 
 def global_run(graph, **kwargs):
@@ -134,6 +134,56 @@ class TestBudgetBreachPaths:
             global_truss_decomposition(
                 graph, 0.3, seed=1, n_samples=60,
                 progress=Budget(deadline=0.0))
+
+
+class TestDiskFaults:
+    """Injected ENOSPC travels the real torn-write path end to end."""
+
+    def test_enospc_degrades_checkpointing_but_finishes(self, tmp_path):
+        graph = running_example()
+        baseline = serialize_global_result(global_run(graph).result)
+        events: list[ProgressEvent] = []
+        plan = FaultPlan().exhaust_disk()
+        partial = global_run(graph, checkpoint_dir=tmp_path,
+                             progress=chain_hooks(events.append, plan))
+        # The run completes and the answer is untouched...
+        assert partial.complete
+        assert serialize_global_result(partial.result) == baseline
+        # ...but the degradation is on the record.
+        assert partial.degraded
+        assert "checkpoint write failed" in partial.reason
+        assert "Errno 28" in partial.reason  # ENOSPC
+        assert plan.fired == [("exhaust-disk", 0)]
+        degraded = [e for e in events if e.phase == "checkpoint-degraded"]
+        assert len(degraded) == 1
+        assert "checkpoint_error" in degraded[0].detail
+        assert degraded[0].detail["path"]
+        # No torn temp file survives the failed write.
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_checkpointing_stays_disabled_after_first_failure(
+            self, tmp_path):
+        graph = running_example()
+        plan = FaultPlan().exhaust_disk()  # only the FIRST write fails
+        partial = global_run(graph, checkpoint_dir=tmp_path, progress=plan)
+        assert partial.complete and partial.degraded
+        # Later writes would have succeeded, but the store is disabled:
+        # a degraded checkpoint must not masquerade as a resumable one.
+        assert not (tmp_path / "manifest.json").exists()
+
+    def test_write_fault_raises_checkpoint_write_error(self, tmp_path):
+        from repro.exceptions import CheckpointWriteError
+        from repro.runtime import CheckpointStore
+
+        store = CheckpointStore(tmp_path)
+        store.write_fault = FaultPlan().exhaust_disk().take_disk_fault
+        with pytest.raises(CheckpointWriteError) as exc_info:
+            store.save_manifest({"params": {}})
+        assert exc_info.value.path
+        assert list(tmp_path.glob("*.tmp")) == []
+        # The fault is consumed: the next write goes through.
+        store.save_manifest({"params": {}})
+        assert store.exists()
 
 
 class TestCorruptCheckpoints:

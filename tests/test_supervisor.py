@@ -101,17 +101,20 @@ class TestKnobs:
         assert ex.pump_interval == pytest.approx(0.05)
         assert ex.abort_grace == pytest.approx(30.0)
         assert ex.task_timeout is None
+        assert ex.task_cpu_timeout is None
         assert ex.max_task_retries == 2
 
     def test_env_overrides(self, monkeypatch):
         monkeypatch.setenv("REPRO_PUMP_INTERVAL", "0.01")
         monkeypatch.setenv("REPRO_ABORT_GRACE", "1.5")
         monkeypatch.setenv("REPRO_TASK_TIMEOUT", "7")
+        monkeypatch.setenv("REPRO_TASK_CPU_TIMEOUT", "3")
         monkeypatch.setenv("REPRO_MAX_TASK_RETRIES", "5")
         ex = ParallelExecutor(2, graph=running_example())
         assert ex.pump_interval == pytest.approx(0.01)
         assert ex.abort_grace == pytest.approx(1.5)
         assert ex.task_timeout == pytest.approx(7.0)
+        assert ex.task_cpu_timeout == pytest.approx(3.0)
         assert ex.max_task_retries == 5
 
     def test_kwarg_beats_env(self, monkeypatch):
@@ -129,6 +132,8 @@ class TestKnobs:
         ("REPRO_ABORT_GRACE", "-1"),
         ("REPRO_ABORT_GRACE", "soon"),
         ("REPRO_TASK_TIMEOUT", "0"),
+        ("REPRO_TASK_CPU_TIMEOUT", "0"),
+        ("REPRO_TASK_CPU_TIMEOUT", "never"),
         ("REPRO_MAX_TASK_RETRIES", "-1"),
         ("REPRO_MAX_TASK_RETRIES", "2.5"),
     ])
@@ -143,6 +148,8 @@ class TestKnobs:
         {"abort_grace": -1},
         {"task_timeout": 0},
         {"task_timeout": -3},
+        {"task_cpu_timeout": 0},
+        {"task_cpu_timeout": "never"},
         {"max_task_retries": -1},
         {"max_task_retries": True},
     ])
@@ -305,6 +312,69 @@ class TestTimeouts:
         retried = [e for e in recorder.events if e.phase == "task-retried"]
         assert retried[0].detail["payload_index"] == 0
         assert "timed out" in retried[0].detail["reason"]
+
+
+# ----------------------------------------------------------------------
+# CPU-time watchdog: wedged vs descheduled-but-busy workers
+# ----------------------------------------------------------------------
+class TestCpuStall:
+    def test_wedged_task_is_killed_and_retried(self):
+        """Zero CPU progress over task_cpu_timeout of wall time → the
+        worker is reclaimed even though no wall-clock task_timeout is
+        set, and the replay keeps the output byte-identical."""
+        graph = gnp_graph(11, 0.35, seed=5)
+        payloads = pmf_payloads(graph)
+        with ParallelExecutor(1, graph=graph) as inline:
+            reference = inline.map("pmf-init", payloads)
+        plan = FaultPlan().stall_task_cpu("pmf-init", payload_index=0,
+                                          times=1)
+        recorder = Recorder()
+        with ParallelExecutor(2, graph=graph, task_cpu_timeout=TIMEOUT,
+                              faults=plan) as ex:
+            results = ex.map("pmf-init", payloads, progress=recorder)
+        assert results == reference
+        assert "worker-died" in recorder.phases()
+        retried = [e for e in recorder.events if e.phase == "task-retried"]
+        assert retried[0].detail["payload_index"] == 0
+        assert "CPU stalled" in retried[0].detail["reason"]
+
+    def test_busy_task_gets_its_grace_extended(self):
+        """A task that burns CPU for longer than task_cpu_timeout is
+        *not* killed: advancing CPU time is proof of life, the exact
+        case a pure wall-clock timeout misclassifies."""
+        graph = gnp_graph(9, 0.35, seed=5)
+        payloads = pmf_payloads(graph, chunk=4)
+        with ParallelExecutor(1, graph=graph) as inline:
+            reference = inline.map("pmf-init", payloads)
+        plan = FaultPlan().spin_task("pmf-init", seconds=4 * TIMEOUT,
+                                     payload_index=0)
+        recorder = Recorder()
+        with ParallelExecutor(2, graph=graph, task_cpu_timeout=TIMEOUT,
+                              faults=plan) as ex:
+            results = ex.map("pmf-init", payloads, progress=recorder)
+            # The spin really consumed CPU and the supervisor saw it.
+            assert ex.worker_cpu_seconds() > TIMEOUT
+        assert results == reference
+        assert "worker-died" not in recorder.phases()
+        assert "task-retried" not in recorder.phases()
+
+    def test_stall_during_run_global_is_transparent(self):
+        graph = gnp_graph(13, 0.3, seed=1)
+        undisturbed = run_global(
+            graph, GAMMA, method="gbu", seed=4, n_samples=N_SAMPLES,
+            batch_size=BATCH, workers=2,
+        )
+        plan = FaultPlan().stall_task_cpu("gbu-seed", payload_index=0,
+                                          times=1)
+        recorder = Recorder()
+        disturbed = run_global(
+            graph, GAMMA, method="gbu", seed=4, n_samples=N_SAMPLES,
+            batch_size=BATCH, workers=2, task_cpu_timeout=TIMEOUT,
+            progress=chain_hooks(plan, recorder),
+        )
+        assert disturbed.complete and not disturbed.degraded
+        assert canon(disturbed.result) == canon(undisturbed.result)
+        assert "worker-died" in recorder.phases()
 
 
 # ----------------------------------------------------------------------
