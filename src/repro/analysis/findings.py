@@ -97,6 +97,17 @@ RULES: dict[str, Rule] = {
             "misreads as an application failure and replays.",
         ),
         Rule(
+            "PAR004", "PAR",
+            "np.unpackbits outside repro.core.kernels",
+            "Unpacking the presence bits materialises an 8x boolean "
+            "blow-up per call site — in every worker at once under the "
+            "pool, and straight back into RAM for spilled (memmapped) "
+            "sample sets, defeating the memory budget that triggered "
+            "the spill. All packed/unpacked crossings go through the "
+            "popcount kernels in repro/core/kernels.py, which unpack "
+            "only the partial candidate rows classification needs.",
+        ),
+        Rule(
             "EVT001", "EVT",
             "unknown progress phase literal",
             "Every emitted phase must belong to "

@@ -23,6 +23,11 @@ __all__ = ["check", "collect_task_registrations"]
 #: thread pool that may be swapped for one).
 _SUBMIT_METHODS = ("submit", "apply_async", "apply")
 
+#: The one module allowed to cross the packed/unpacked boundary; every
+#: other ``np.unpackbits`` call re-inflates the presence bits 8x
+#: (PAR004).
+_UNPACK_HOME = "repro.core.kernels"
+
 
 def _is_shared_memory_create(node: ast.Call) -> bool:
     """True for ``SharedMemory(..., create=True, ...)`` calls."""
@@ -144,6 +149,17 @@ def check(ctx: ModuleContext, task_registry: frozenset[str]) -> list[Finding]:
                         f"nested function {callable_arg.id!r} handed "
                         "to a worker dispatch; nested functions do "
                         "not pickle — hoist it to module level")
+
+        # -- PAR004: unpackbits outside the kernels module -------------
+        if (ctx.in_repro_package and ctx.module != _UNPACK_HOME
+                and ctx.resolves_to(node.func) == "numpy.unpackbits"):
+            hit("PAR004", node,
+                "np.unpackbits outside repro/core/kernels.py "
+                "materialises the 8x boolean blow-up the packed "
+                "popcount kernels exist to avoid (and re-inflates "
+                "spilled sample sets into RAM); go through "
+                "repro.core.kernels, which unpacks only the partial "
+                "candidate rows")
 
         # -- PAR003: unregistered task kinds ---------------------------
         kind = _map_task_kind(node)

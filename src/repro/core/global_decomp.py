@@ -360,6 +360,8 @@ def bottom_up_search(
     skip_covered: bool = True,
     seed_order: str = "probability-desc",
     progress=None,
+    stream_root: int | None = None,
+    comp_index: int = 0,
 ) -> list[ProbabilisticGraph]:
     """Algorithm 5: heuristic bottom-up growth of satisfying trusses.
 
@@ -375,6 +377,14 @@ def bottom_up_search(
     answer are not re-seeded — every reported truss is still a satisfying
     maximal truss, the pass just avoids rediscovering the same answer
     from each of its edges.
+
+    With ``stream_root`` (how the decomposition always calls this), each
+    seed's growth draws from its own
+    ``SeedSequence([stream_root, k, comp_index, seed_index])`` stream —
+    the same streams :func:`_bottom_up_search_parallel` fans across
+    workers, so the serial pass is byte-identical to every parallel
+    worker count. Without it (direct API use), ``rng`` is one shared
+    sequential stream threaded through all seeds.
     """
     if not isinstance(rng, np.random.Generator):
         rng = np.random.default_rng(rng)
@@ -411,7 +421,13 @@ def bottom_up_search(
         # alpha_hat(seed) can never exceed the seed's world frequency.
         if oracle.edge_frequency(u0, v0) < gamma * (1.0 - 1e-9):
             continue
-        grown = _grow_candidate(component, (u0, v0), k, rng)
+        if stream_root is not None:
+            seed_rng = np.random.default_rng(np.random.SeedSequence(
+                [stream_root, k, comp_index, seed_index]
+            ))
+        else:
+            seed_rng = rng
+        grown = _grow_candidate(component, (u0, v0), k, seed_rng)
         if grown is None:
             continue
         if not oracle.satisfies(grown, k, gamma):
@@ -726,19 +742,21 @@ def global_truss_decomposition(
             workers, graph=graph, samples=samples
         ).start()
         executor = own_executor
-    root = 0
     if executor is not None:
         executor.attach_oracle(oracle)
-        if rng_root is not None:
-            root = int(rng_root)
-        elif isinstance(seed, int):
-            root = seed
-        else:
-            # One draw from the main stream anchors every per-seed
-            # stream of this run; Generator/None seeds are therefore
-            # reproducible within a run but not across checkpoint
-            # resume — the harness enforces an int seed there.
-            root = int(rng.integers(0, np.iinfo(np.int64).max))
+    if rng_root is not None:
+        root = int(rng_root)
+    elif isinstance(seed, int):
+        root = seed
+    else:
+        # One draw from the main stream anchors every per-seed
+        # stream of this run; Generator/None seeds are therefore
+        # reproducible within a run but not across checkpoint
+        # resume — the harness enforces an int seed there. Serial and
+        # parallel modes derive the root identically (same rng state at
+        # this point), which is what makes GBU output byte-identical
+        # across workers in {None, 1, 2, 4, ...}.
+        root = int(rng.integers(0, np.iinfo(np.int64).max))
     try:
         if local_result is None:
             local_result = local_truss_decomposition(
@@ -805,6 +823,10 @@ def _decomposition_levels(
             progress(ProgressEvent(
                 "global-level", step=k, detail={"method": method},
             ))
+        # Finished levels are never revisited: drop their memoised
+        # evaluations (and the recomputable frequency memo) so the
+        # oracle's footprint is bounded by one level, not the whole run.
+        oracle.trim_level_cache(k)
         local_edges = {e for e, tau in local_result.trussness.items() if tau >= k}
         candidates = local_edges & prev_union
         candidates = _prune_to_structural_ktruss(graph, candidates, k)
@@ -898,7 +920,9 @@ def _decomposition_levels(
                     )
                 else:
                     trusses = bottom_up_search(oracle, k, piece, gamma,
-                                               rng=rng, progress=progress)
+                                               rng=rng, progress=progress,
+                                               stream_root=root,
+                                               comp_index=comp_index)
                 for t in trusses:
                     found.setdefault(frozenset(t.edges()), t)
         # Line 12: keep only the maximal answers.

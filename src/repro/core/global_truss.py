@@ -20,6 +20,8 @@ from collections.abc import Hashable, Iterable, Sequence
 
 import numpy as np
 
+from repro.core import kernels
+from repro.core.kernels import WorldClassifier as _WorldClassifier
 from repro.exceptions import ParameterError
 from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
 from repro.graphs.sampling import WorldSampleSet
@@ -136,71 +138,6 @@ def is_global_truss_exact(
     return all(a >= threshold for a in alpha.values())
 
 
-class _WorldClassifier:
-    """Fast per-candidate classifier for sampled world patterns.
-
-    Nodes and edges are mapped to integer indices once per candidate.
-    Spanning connectivity of *all* patterns is decided in one shot by
-    stacking them into a block-diagonal sparse graph and running scipy's
-    C connected-components over it; the k-truss condition (k >= 3) is
-    then checked per surviving pattern with index-based common-neighbour
-    counts. Semantically identical to
-    :func:`world_is_connected_ktruss`, orders of magnitude faster in the
-    Monte-Carlo oracle's inner loop.
-    """
-
-    __slots__ = ("n", "ends_u", "ends_v", "k")
-
-    def __init__(self, edges: Sequence[Edge], nodes: Sequence[Node], k: int):
-        index = {u: i for i, u in enumerate(nodes)}
-        self.n = len(nodes)
-        self.ends_u = np.array([index[u] for u, _ in edges], dtype=np.int64)
-        self.ends_v = np.array([index[v] for _, v in edges], dtype=np.int64)
-        self.k = k
-
-    def connected_mask(self, patterns: np.ndarray) -> np.ndarray:
-        """Boolean mask: which patterns connect all ``n`` nodes.
-
-        ``patterns`` is a (P, m) boolean matrix. Patterns are stacked
-        into one disjoint union (pattern t's nodes live at offset t*n)
-        and classified with a single C-level connected-components call.
-        """
-        n_patterns = patterns.shape[0]
-        if self.n == 0 or n_patterns == 0:
-            return np.zeros(n_patterns, dtype=bool)
-        if self.n == 1:
-            return np.ones(n_patterns, dtype=bool)
-        from scipy.sparse import coo_matrix
-        from scipy.sparse.csgraph import connected_components
-
-        t_idx, j_idx = np.nonzero(patterns)
-        rows = t_idx * self.n + self.ends_u[j_idx]
-        cols = t_idx * self.n + self.ends_v[j_idx]
-        total = n_patterns * self.n
-        graph = coo_matrix(
-            (np.ones(len(rows), dtype=np.int8), (rows, cols)),
-            shape=(total, total),
-        )
-        _, labels = connected_components(graph, directed=False)
-        blocks = labels.reshape(n_patterns, self.n)
-        return (blocks == blocks[:, :1]).all(axis=1)
-
-    def truss_ok(self, present_columns: np.ndarray) -> bool:
-        """k-truss condition over the present edges (k >= 3 only)."""
-        need = self.k - 2
-        if need <= 0:
-            return True
-        adj: list[set[int]] = [set() for _ in range(self.n)]
-        us = self.ends_u[present_columns]
-        vs = self.ends_v[present_columns]
-        for a, b in zip(us, vs):
-            adj[a].add(b)
-            adj[b].add(a)
-        return all(
-            len(adj[a] & adj[b]) >= need for a, b in zip(us, vs)
-        )
-
-
 def classify_worlds(
     edges: Sequence[Edge], nodes: Sequence[Node], k: int,
     matrix: np.ndarray, candidate_rows: np.ndarray,
@@ -217,6 +154,11 @@ def classify_worlds(
     Counts are additive over disjoint row sets — the property the
     parallel oracle uses to classify row blocks in worker processes and
     sum the integer counts with no change in the result.
+
+    This boolean-matrix path is the *differential-test reference* for
+    :func:`repro.core.kernels.classify_worlds_packed`, which computes
+    identical counts directly on the packed bits; the oracle's hot paths
+    use the packed kernel and never materialise ``matrix``.
     """
     edges = list(edges)
     counts = {e: 0 for e in edges}
@@ -264,7 +206,10 @@ class GlobalTrussOracle:
     per-world classification loop: a world-size filter (a qualifying
     world needs at least ``max(n - 1, n (k-1) / 2)`` edges) and a
     per-edge count bound (``alpha_hat(e) * N`` cannot exceed the number
-    of size-qualified worlds containing ``e``).
+    of size-qualified worlds containing ``e``). Both bounds, and the
+    classification itself, run on the bit-packed presence columns via
+    :mod:`repro.core.kernels` — the full boolean projection is never
+    materialised.
     """
 
     #: Candidate evaluations between progress-hook notifications; the
@@ -273,8 +218,16 @@ class GlobalTrussOracle:
 
     #: Minimum classification size (candidate rows x edges) before a
     #: single evaluation is split across worker processes. Below this the
-    #: serial classifier beats the dispatch round-trip.
+    #: serial classifier beats the dispatch round-trip. This constant is
+    #: the *fallback*: an attached executor that measured its actual
+    #: dispatch cost at startup overrides it via ``parallel_min_cells``.
     _PARALLEL_MIN_CELLS = 1 << 17
+
+    #: Memoised evaluations kept before the oldest are evicted. Worker
+    #: processes never see the per-level trim (they outlive levels), so
+    #: the cache itself must be bounded; eviction only costs recompute,
+    #: never changes a result.
+    _CACHE_MAX = 8192
 
     def __init__(self, samples: WorldSampleSet, progress=None, executor=None):
         self._samples = samples
@@ -309,7 +262,9 @@ class GlobalTrussOracle:
 
         This is a sound upper bound on ``alpha_hat_k(H, e)`` for any
         candidate ``H`` — used by the searches to discard hopeless edges
-        without a full evaluation.
+        without a full evaluation. Computed by popcount on the packed
+        column; the memo is bounded by the host graph's edge count and
+        dropped with the per-level trim (:meth:`trim_level_cache`).
         """
         key = edge_key(u, v)
         freq = self._frequency.get(key)
@@ -318,28 +273,60 @@ class GlobalTrussOracle:
             self._frequency[key] = freq
         return freq
 
+    def trim_level_cache(self, k: int) -> int:
+        """Drop memoised evaluations from levels other than ``k``.
+
+        The decomposition's k-loop never revisits a finished level, but
+        the memo keys carry their k, so without this trim the cache (and
+        the per-edge frequency memo) grows monotonically across levels —
+        the unbounded-growth bug this call fixes. Returns the number of
+        evaluations dropped. Dropping only costs recompute on a stale
+        hit; results are unaffected.
+        """
+        stale = [key for key in self._cache if key[2] != k]
+        for key in stale:
+            del self._cache[key]
+        self._frequency.clear()
+        return len(stale)
+
     # ------------------------------------------------------------------
+    def _remember(self, key, estimates: dict[Edge, float]) -> None:
+        """Memoise an evaluation, evicting oldest beyond the size bound."""
+        while len(self._cache) >= self._CACHE_MAX:
+            self._cache.pop(next(iter(self._cache)))
+        self._cache[key] = estimates
+
     def _classify(
         self, edges: list[Edge], nodes: list[Node], k: int,
-        matrix: np.ndarray, candidate_rows: np.ndarray,
+        packed: np.ndarray, candidate_rows: np.ndarray,
     ) -> dict[Edge, int]:
-        return classify_worlds(edges, nodes, k, matrix, candidate_rows)
+        return kernels.classify_worlds_packed(
+            edges, nodes, k, packed, candidate_rows
+        )
+
+    def _parallel_min_cells(self) -> int:
+        """The dispatch threshold: calibrated by the executor, else fixed."""
+        calibrated = getattr(self.executor, "parallel_min_cells", None)
+        return self._PARALLEL_MIN_CELLS if calibrated is None else calibrated
 
     def _parallel_worthwhile(self, n_edges: int, n_rows: int) -> bool:
         return (
             self.executor is not None
             and getattr(self.executor, "pool_workers", 1) > 1
-            and n_edges * n_rows >= self._PARALLEL_MIN_CELLS
+            and n_edges * n_rows >= self._parallel_min_cells()
         )
 
     def _parallel_counts(
         self, edges: list[Edge], nodes: list[Node], k: int,
-        candidate_rows: np.ndarray,
+        packed: np.ndarray, candidate_rows: np.ndarray,
     ) -> tuple[dict[Edge, int], int]:
         """Classify row blocks in worker processes and sum the counts.
 
-        One block per worker: each worker pays the projection
-        (``presence_matrix``) once, so fewer, larger blocks win.
+        The parent projects the packed columns *once* and ships each
+        worker only the byte rows its sample-row block touches — workers
+        never re-project (the old per-block ``presence_matrix`` call
+        paid the full projection once per worker) and never unpack
+        beyond their own partial rows.
 
         Returns ``(totals, denominator)``. A block whose payload was
         quarantined by the supervision layer contributes nothing to the
@@ -351,10 +338,19 @@ class GlobalTrussOracle:
         from repro.parallel.supervisor import QUARANTINED
 
         blocks = np.array_split(candidate_rows, self.executor.pool_workers)
-        payloads = [
-            (list(edges), list(nodes), k, block)
-            for block in blocks if block.size
-        ]
+        payloads = []
+        for block in blocks:
+            if not block.size:
+                continue
+            # Byte-aligned slice covering this block's sample rows; the
+            # block's row indices become relative to the slice start.
+            byte_lo = int(block[0]) >> 3
+            byte_hi = (int(block[-1]) >> 3) + 1
+            payloads.append((
+                list(edges), list(nodes), k,
+                np.ascontiguousarray(packed[byte_lo:byte_hi]),
+                block - (byte_lo << 3),
+            ))
         results = self.executor.map(
             "oracle-block", payloads, progress=self._progress,
             on_quarantine="skip",
@@ -363,7 +359,7 @@ class GlobalTrussOracle:
         rows_lost = 0
         for payload, counts in zip(payloads, results):
             if counts is QUARANTINED:
-                rows_lost += len(payload[3])
+                rows_lost += len(payload[4])
                 continue
             for e, c in zip(edges, counts):
                 totals[e] += c
@@ -394,24 +390,24 @@ class GlobalTrussOracle:
         counts: dict[Edge, int] = {e: 0 for e in edges}
         denominator = self._samples.n_samples
         if edges:
-            matrix = self._samples.presence_matrix(edges)
-            row_sums = matrix.sum(axis=1)
+            packed = self._samples.packed_columns(edges)
+            row_sums = kernels.row_sums(packed, denominator)
             candidate_rows = np.flatnonzero(
                 row_sums >= _minimum_world_edges(len(nodes), k)
             )
             if self._parallel_worthwhile(len(edges), candidate_rows.size):
                 counts, denominator = self._parallel_counts(
-                    edges, nodes, k, candidate_rows
+                    edges, nodes, k, packed, candidate_rows
                 )
             else:
                 counts = self._classify(
-                    edges, nodes, k, matrix, candidate_rows
+                    edges, nodes, k, packed, candidate_rows
                 )
         if denominator > 0:
             estimates = {e: c / denominator for e, c in counts.items()}
         else:
             estimates = {e: 0.0 for e in edges}
-        self._cache[key] = estimates
+        self._remember(key, estimates)
         return dict(estimates)
 
     def satisfies(
@@ -447,8 +443,8 @@ class GlobalTrussOracle:
             return all(a >= threshold for a in cached.values())
 
         needed = threshold * self._samples.n_samples
-        matrix = self._samples.presence_matrix(edges)
-        row_sums = matrix.sum(axis=1)
+        packed = self._samples.packed_columns(edges)
+        row_sums = kernels.row_sums(packed, self._samples.n_samples)
         candidate_rows = np.flatnonzero(
             row_sums >= _minimum_world_edges(len(node_list), k)
         )
@@ -458,8 +454,10 @@ class GlobalTrussOracle:
         # False fast-path; estimates are NOT cached here.)
         if candidate_rows.size * 1.0 < needed:
             return False
-        sub = matrix[candidate_rows]
-        upper = sub.sum(axis=0)
+        candidate_mask = kernels.pack_row_mask(
+            row_sums >= _minimum_world_edges(len(node_list), k)
+        )
+        upper = kernels.masked_column_counts(packed, candidate_mask)
         if (upper < needed).any():
             return False
         if self._parallel_worthwhile(len(edges), candidate_rows.size):
@@ -468,28 +466,24 @@ class GlobalTrussOracle:
             # yields the same boolean (and the same cached estimates as a
             # completed serial pass).
             counts, denominator = self._parallel_counts(
-                edges, node_list, k, candidate_rows
+                edges, node_list, k, packed, candidate_rows
             )
             if denominator > 0:
                 estimates = {e: counts[e] / denominator for e in edges}
             else:
                 estimates = {e: 0.0 for e in edges}
-            self._cache[key] = estimates
+            self._remember(key, estimates)
             return all(a >= threshold for a in estimates.values())
         # One batched C-level connectivity pass over all unique patterns,
         # then (for k >= 3 only) per-pattern truss checks, heaviest
         # first, with a live per-edge bound achieved(e) + pending(e) for
-        # early rejection.
+        # early rejection. Pattern dedup happens in the packed domain:
+        # all-edges-present rows are counted by popcount of the byte
+        # AND-mask and only partial rows are gathered/unpacked.
         classifier = _WorldClassifier(edges, node_list, k)
-        # Deduplicate sampled patterns only while duplicates are likely:
-        # beyond a few dozen edges nearly every sampled world is unique
-        # and the unique() sort is pure overhead.
-        if len(edges) <= 48:
-            patterns, multiplicity = np.unique(
-                sub, axis=0, return_counts=True
-            )
-        else:
-            patterns, multiplicity = sub, np.ones(sub.shape[0], dtype=np.int64)
+        patterns, multiplicity = kernels.dedup_candidate_patterns(
+            packed, candidate_rows
+        )
         weights = multiplicity.astype(float)
         connected = classifier.connected_mask(patterns)
         if k <= 2:
@@ -516,7 +510,7 @@ class GlobalTrussOracle:
             e: achieved[j] / self._samples.n_samples
             for j, e in enumerate(edges)
         }
-        self._cache[key] = estimates
+        self._remember(key, estimates)
         return all(a >= threshold for a in estimates.values())
 
     def cache_size(self) -> int:

@@ -30,6 +30,7 @@ from repro.graphs.probabilistic import ProbabilisticGraph
 __all__ = [
     "triangle_probabilities",
     "support_pmf",
+    "support_pmf_reference",
     "support_tail",
     "support_pmf_bruteforce",
     "SupportProbability",
@@ -58,14 +59,14 @@ def triangle_probabilities(
     }
 
 
-def support_pmf(qs: Sequence[float]) -> list[float]:
-    """Return the Poisson-binomial PMF of the number of existing triangles.
+def support_pmf_reference(qs: Sequence[float]) -> list[float]:
+    """Pure-Python rolling-array DP — differential reference.
 
-    ``qs`` are the per-triangle probabilities ``q_w``; the result ``f``
-    has length ``len(qs) + 1`` with ``f[i] = Pr[sup(e) = i | e exists]``.
-    This is Algorithm 2's dynamic program: processing common neighbours
-    one at a time, ``f(i, l) = q_l f(i-1, l-1) + (1 - q_l) f(i, l-1)``,
-    kept as a single rolling array.
+    Same recurrence, element at a time. IEEE addition and
+    multiplication make :func:`support_pmf`'s vectorized convolution
+    step bit-identical to this loop (each output element is the sum of
+    the same two products), so the two agree exactly, not just within
+    tolerance — the property the differential tests assert.
     """
     f = [1.0]
     for q in qs:
@@ -77,6 +78,32 @@ def support_pmf(qs: Sequence[float]) -> list[float]:
             nxt[i + 1] += q * mass
         f = nxt
     return f
+
+
+def support_pmf(qs: Sequence[float]) -> list[float]:
+    """Return the Poisson-binomial PMF of the number of existing triangles.
+
+    ``qs`` are the per-triangle probabilities ``q_w``; the result ``f``
+    has length ``len(qs) + 1`` with ``f[i] = Pr[sup(e) = i | e exists]``.
+    This is Algorithm 2's dynamic program: processing common neighbours
+    one at a time, ``f(i, l) = q_l f(i-1, l-1) + (1 - q_l) f(i, l-1)``,
+    with the inner convolution step as two vectorized numpy shifts
+    instead of the per-element Python loop (bit-identical to
+    :func:`support_pmf_reference`).
+    """
+    import numpy as np
+
+    qs = list(qs)
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ParameterError(f"triangle probability must be in [0, 1], got {q}")
+    f = np.ones(1, dtype=np.float64)
+    for q in qs:
+        nxt = np.zeros(f.size + 1, dtype=np.float64)
+        nxt[:-1] += (1.0 - q) * f
+        nxt[1:] += q * f
+        f = nxt
+    return f.tolist()
 
 
 def support_tail(pmf: Sequence[float]) -> list[float]:

@@ -109,6 +109,7 @@ class _PackedBatch:
     def unpack(self) -> np.ndarray:
         rows, cols = self.shape
         if cols:
+            # repro: allow[PAR004] one batch_size-bounded batch (axis=1), not a projection
             return np.unpackbits(self._packed, axis=1, count=cols).astype(bool)
         return np.zeros((rows, 0), dtype=bool)
 
@@ -463,21 +464,19 @@ class WorldSampleSet:
 
     def edge_bits(self, u: Node, v: Node) -> np.ndarray:
         """Return the length-``N`` boolean presence vector of edge (u, v)."""
+        from repro.core import kernels
+
         key = edge_key(u, v)
         try:
             col = self._edge_index[key]
         except KeyError:
             raise EdgeNotFoundError(u, v) from None
-        return np.unpackbits(
-            self._packed[:, col], count=self._n_samples
-        ).astype(bool)
+        return kernels.unpack_matrix(
+            self._packed[:, col:col + 1], self._n_samples
+        )[:, 0]
 
-    def presence_matrix(self, edges: Iterable[Edge]) -> np.ndarray:
-        """Return the ``N x len(edges)`` presence submatrix for ``edges``.
-
-        This is the projection ``G_i ↓ H`` for every sample at once, for a
-        subgraph ``H`` with the given edge set.
-        """
+    def _columns(self, edges: Iterable[Edge]) -> list[int]:
+        """Resolve edges to column indices, raising on unknown edges."""
         cols: list[int] = []
         for u, v in edges:
             key = edge_key(u, v)
@@ -485,12 +484,36 @@ class WorldSampleSet:
                 cols.append(self._edge_index[key])
             except KeyError:
                 raise EdgeNotFoundError(u, v) from None
+        return cols
+
+    def packed_columns(self, edges: Iterable[Edge]) -> np.ndarray:
+        """Return the packed ``(ceil(N/8), len(edges))`` column submatrix.
+
+        The bit-packed projection ``G_i ↓ H`` for every sample at once —
+        8x smaller than :meth:`presence_matrix` and the only copy a
+        spilled (memmapped) sample set's classification brings into RAM.
+        Bit layout follows the :mod:`repro.core.kernels` contract.
+        """
+        cols = self._columns(edges)
+        if not cols:
+            return np.zeros((-(-self._n_samples // 8), 0), dtype=np.uint8)
+        return np.ascontiguousarray(self._packed[:, cols])
+
+    def presence_matrix(self, edges: Iterable[Edge]) -> np.ndarray:
+        """Return the ``N x len(edges)`` presence submatrix for ``edges``.
+
+        This is the projection ``G_i ↓ H`` for every sample at once, for a
+        subgraph ``H`` with the given edge set. The result is the fully
+        unpacked boolean matrix — 8x the packed bits; hot paths use
+        :meth:`packed_columns` with the :mod:`repro.core.kernels`
+        popcount kernels instead and never materialise this.
+        """
+        from repro.core import kernels
+
+        cols = self._columns(edges)
         if not cols:
             return np.zeros((self._n_samples, 0), dtype=bool)
-        unpacked = np.unpackbits(
-            self._packed[:, cols], axis=0, count=self._n_samples
-        )
-        return unpacked.astype(bool)
+        return kernels.unpack_matrix(self._packed[:, cols], self._n_samples)
 
     def world_edges(
         self, sample: int, restrict_to: Iterable[Edge] | None = None
@@ -500,6 +523,8 @@ class WorldSampleSet:
         With ``restrict_to``, only those edges are reported — i.e. the
         edge set of the projected world ``G_sample ↓ H``.
         """
+        from repro.core import kernels
+
         if not 0 <= sample < self._n_samples:
             raise ParameterError(
                 f"sample index {sample} out of range [0, {self._n_samples})"
@@ -508,22 +533,49 @@ class WorldSampleSet:
             candidates = list(self._edges)
         else:
             candidates = [edge_key(u, v) for u, v in restrict_to]
-        matrix = self.presence_matrix(candidates)
-        return {candidates[j] for j in np.flatnonzero(matrix[sample])}
+        packed = self.packed_columns(candidates)
+        row = kernels.gather_rows(packed, np.array([sample]))[0]
+        return {candidates[j] for j in np.flatnonzero(row)}
+
+    #: Samples per chunk when iterating worlds; bounds the unpacked
+    #: working set to ``chunk x m`` bools regardless of N (spilled sets
+    #: stream through this window instead of materialising 8x N x m).
+    _ITER_CHUNK = 1024
 
     def iter_worlds(
         self, restrict_to: Iterable[Edge] | None = None
     ) -> Iterator[set[Edge]]:
-        """Yield the (optionally projected) edge set of every sampled world."""
+        """Yield the (optionally projected) edge set of every sampled world.
+
+        Worlds are unpacked in bounded row chunks, so iteration over a
+        spilled (memmapped) sample set never materialises the full
+        boolean matrix.
+        """
+        from repro.core import kernels
+
         if restrict_to is None:
             candidates = list(self._edges)
         else:
             candidates = [edge_key(u, v) for u, v in restrict_to]
-        matrix = self.presence_matrix(candidates)
-        for i in range(self._n_samples):
-            yield {candidates[j] for j in np.flatnonzero(matrix[i])}
+        packed = self.packed_columns(candidates)
+        for lo in range(0, self._n_samples, self._ITER_CHUNK):
+            hi = min(lo + self._ITER_CHUNK, self._n_samples)
+            chunk = kernels.gather_rows(packed, np.arange(lo, hi))
+            for i in range(hi - lo):
+                yield {candidates[j] for j in np.flatnonzero(chunk[i])}
 
     def edge_frequency(self, u: Node, v: Node) -> float:
-        """Return the fraction of sampled worlds containing edge (u, v)."""
-        bits = self.edge_bits(u, v)
-        return float(bits.sum()) / self._n_samples
+        """Return the fraction of sampled worlds containing edge (u, v).
+
+        Computed by popcount on the packed column — the boolean
+        presence vector is never materialised.
+        """
+        from repro.core import kernels
+
+        key = edge_key(u, v)
+        try:
+            col = self._edge_index[key]
+        except KeyError:
+            raise EdgeNotFoundError(u, v) from None
+        count = kernels.column_counts(self._packed[:, col:col + 1])[0]
+        return float(count) / self._n_samples

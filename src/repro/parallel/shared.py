@@ -8,8 +8,11 @@ every search at every level — which makes it the textbook case for
 bits into one shared segment, and each worker maps the same physical
 pages and wraps them in a :class:`WorldSampleSet` view via
 :meth:`~repro.graphs.sampling.WorldSampleSet.from_packed`. No worker
-ever copies the samples; projections (``unpackbits`` on selected
-columns) materialise only the slice a candidate needs.
+ever copies the samples; candidate projections stay bit-packed
+(:meth:`~repro.graphs.sampling.WorldSampleSet.packed_columns` feeding
+the :mod:`repro.core.kernels` popcount kernels), so a worker
+materialises at most the packed column slice a candidate needs —
+never an unpacked boolean matrix.
 
 The handle that travels to workers (:class:`SharedSamplesHandle`)
 carries just the segment name, the matrix geometry, and the column

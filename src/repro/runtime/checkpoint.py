@@ -225,6 +225,7 @@ class CheckpointStore:
                 "check (crc mismatch)"
             )
         if cols:
+            # repro: allow[PAR004] one batch_size-bounded batch restore (axis=1)
             presence = np.unpackbits(packed, axis=1, count=cols).astype(bool)
         else:
             presence = np.zeros((rows, 0), dtype=bool)

@@ -286,14 +286,13 @@ def run_global(
     workers:
         Parallel mode: one :class:`~repro.parallel.ParallelExecutor`
         (created after sampling, over the shared sample set) is threaded
-        through the local pruning and the k loop, switching GBU to
-        per-seed RNG streams rooted at the int ``seed``. Results are
-        identical for every worker count — including 1 — but form a
-        separate determinism family from the ``workers=None`` serial
-        mode, so checkpoints carry an ``rng_scheme`` tag and a resumed
-        run may change ``workers`` freely but not add/drop the flag.
-        Checkpointed parallel runs additionally require an int seed (a
-        None seed's stream root cannot be re-derived on resume).
+        through the local pruning and the k loop. GBU always draws from
+        per-seed RNG streams rooted at the int ``seed`` — serial and
+        parallel alike — so results are byte-identical for every
+        ``workers`` value, including None; a resumed run may change
+        ``workers`` freely. Checkpointed parallel runs additionally
+        require an int seed (a None seed's stream root cannot be
+        re-derived on resume).
     task_timeout / max_task_retries:
         Supervision knobs forwarded to the executor: seconds one payload
         may hold a worker before it is killed and retried, and how many
@@ -361,10 +360,13 @@ def run_global(
         "max_k": max_k,
         "max_states": max_states,
         "graph": _graph_fingerprint(graph),
-        # Parallel mode is a distinct determinism family (per-seed GBU
-        # streams, canonical PMF factor order); the worker *count* is
-        # deliberately absent — any count resumes any compatible run.
-        "rng_scheme": "per-seed" if workers is not None else "sequential",
+        # One determinism family: serial GBU uses the same per-seed RNG
+        # streams the parallel mode fans out, so results are
+        # byte-identical for workers in {None, 1, 2, 4, ...}. The worker
+        # *count* is deliberately absent — any count resumes any
+        # compatible run. (Pre-unification "sequential" checkpoints are
+        # a different family and correctly refuse to resume.)
+        "rng_scheme": "per-seed",
     }
     if on_memory_pressure not in ("abort", "spill"):
         raise ParameterError(
@@ -691,9 +693,12 @@ def _run_global_compute(
             initial_trusses={k: list(v) for k, v in completed.items()},
             executor=executor,
             # Per-seed streams root at the int seed, so a resumed run
-            # derives the exact same streams regardless of where the
-            # main generator's state was when the run was killed.
-            rng_root=seed if executor is not None else None,
+            # (and a GTD->GBU fallback stage) derives the exact same
+            # streams regardless of where the main generator's state
+            # was when the run was killed or degraded. A None seed
+            # falls back to drawing the root from ``rng``, which is
+            # fine: checkpointed runs require an int seed.
+            rng_root=seed,
             frontier_state=(frontier_state if stage_method == "gtd"
                             else None),
         )

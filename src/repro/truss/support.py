@@ -4,15 +4,30 @@ The *support* of an edge ``(u, v)`` in a graph ``H`` is the number of
 triangles of ``H`` containing it, ``|N(u) ∩ N(v)|`` (Section 3). All
 functions here ignore edge probabilities — they implement the
 deterministic notion the probabilistic semantics are layered on.
+
+:func:`edge_supports` counts every edge's triangles in one vectorized
+pass over packed adjacency bitsets: node neighbourhoods become rows of
+a bit matrix, and ``|N(u) ∩ N(v)|`` is the popcount of the AND of two
+rows — the same bit-parallel technique the PKT shared-memory truss
+decomposition uses. :func:`edge_supports_reference` keeps the
+per-edge set-intersection loop as the differential-test reference.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable
 
+import numpy as np
+
+from repro.core.kernels import popcount
 from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
 
-__all__ = ["edge_supports", "support_of_edge", "triangle_count"]
+__all__ = [
+    "edge_supports",
+    "edge_supports_reference",
+    "support_of_edge",
+    "triangle_count",
+]
 
 Node = Hashable
 Edge = tuple[Node, Node]
@@ -23,16 +38,44 @@ def support_of_edge(graph: ProbabilisticGraph, u: Node, v: Node) -> int:
     return graph.support(u, v)
 
 
-def edge_supports(graph: ProbabilisticGraph) -> dict[Edge, int]:
-    """Return ``{edge: support}`` for every edge of ``graph``.
+def edge_supports_reference(graph: ProbabilisticGraph) -> dict[Edge, int]:
+    """Per-edge supports by per-edge neighbour-set intersection.
 
     Runs in O(sum over edges of min-degree endpoint scans) — the standard
-    arboricity-bounded triangle-counting cost.
+    arboricity-bounded triangle-counting cost. Kept as the pure-Python
+    differential-test reference for :func:`edge_supports`.
     """
     supports: dict[Edge, int] = {}
     for u, v in graph.edges():
         supports[edge_key(u, v)] = len(graph.common_neighbors(u, v))
     return supports
+
+
+def edge_supports(graph: ProbabilisticGraph) -> dict[Edge, int]:
+    """Return ``{edge: support}`` for every edge of ``graph``.
+
+    Bit-parallel: each node's neighbourhood is one row of a packed
+    ``(n, ceil(n/8))`` adjacency bit matrix; the support of ``(u, v)``
+    is the popcount of ``row(u) AND row(v)``, computed for all edges in
+    one vectorized gather. Exactly equal to
+    :func:`edge_supports_reference`.
+    """
+    edges = [edge_key(u, v) for u, v in graph.edges()]
+    if not edges:
+        return {}
+    index = {u: i for i, u in enumerate(graph.nodes())}
+    n = len(index)
+    us = np.fromiter((index[u] for u, _ in edges), dtype=np.int64,
+                     count=len(edges))
+    vs = np.fromiter((index[v] for _, v in edges), dtype=np.int64,
+                     count=len(edges))
+    adj = np.zeros((n, -(-n // 8)), dtype=np.uint8)
+    u_bit = (np.uint8(1) << (7 - (us & 7)).astype(np.uint8))
+    v_bit = (np.uint8(1) << (7 - (vs & 7)).astype(np.uint8))
+    np.bitwise_or.at(adj, (us, vs >> 3), v_bit)
+    np.bitwise_or.at(adj, (vs, us >> 3), u_bit)
+    common = popcount(adj[us] & adj[vs]).sum(axis=1, dtype=np.int64)
+    return {e: int(c) for e, c in zip(edges, common)}
 
 
 def triangle_count(graph: ProbabilisticGraph) -> int:

@@ -1,0 +1,7 @@
+"""PAR004 negative space: the one module allowed to call unpackbits."""
+
+import numpy as np
+
+
+def unpack_matrix(packed, n_samples):
+    return np.unpackbits(packed, axis=0, count=n_samples).astype(bool)

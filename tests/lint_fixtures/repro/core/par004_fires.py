@@ -1,0 +1,7 @@
+"""PAR004 positive: unpacking presence bits outside the kernels module."""
+
+import numpy as np
+
+
+def project(packed, n_samples):
+    return np.unpackbits(packed, axis=0, count=n_samples).astype(bool)

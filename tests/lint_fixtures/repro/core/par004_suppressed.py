@@ -1,0 +1,8 @@
+"""PAR004 suppressed: a justified bounded unpack outside the kernels."""
+
+import numpy as np
+
+
+def restore_batch(packed, rows):
+    # repro: allow[PAR004] one batch_size-bounded batch, not a projection
+    return np.unpackbits(packed, axis=1, count=rows).astype(bool)

@@ -1,11 +1,11 @@
 """Parallel execution layer: bit-identical equivalence with serial runs.
 
-The contract under test (see ``docs/performance.md``): for any fixed
-``workers=N`` request — including the inline ``workers=1`` — every
-worker count produces *identical* output, because the work is keyed by
-deterministic per-seed RNG streams and canonical orderings rather than
-by dispatch order. ``workers=None`` remains the legacy sequential-RNG
-family and is deliberately not compared against.
+The contract under test (see ``docs/performance.md``): every
+``workers=`` value — ``None``, the inline ``workers=1``, and any pool
+size — produces *identical* output, because the work is keyed by
+deterministic per-seed RNG streams and canonical orderings rather
+than by dispatch order. The serial path derives the same per-seed
+streams as the pool, so there is one determinism family, not two.
 """
 
 from __future__ import annotations

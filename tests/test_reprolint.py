@@ -48,6 +48,7 @@ FIRES = {
     "PAR001": "plain/par001_fires.py",
     "PAR002": "plain/par002_fires.py",
     "PAR003": "plain/par003_fires.py",
+    "PAR004": "repro/core/par004_fires.py",
     "EVT001": "plain/evt001_fires.py",
     "EVT002": "plain/evt002_fires.py",
     "EXC001": "repro/exc001_fires.py",
@@ -72,6 +73,9 @@ CLEAN = [
     "plain/det003_clean.py",
     "plain/par001_clean.py",
     "plain/exc003_clean.py",
+    # Resolves to the module repro.core.kernels, the whitelisted home
+    # of np.unpackbits — PAR004 must stay quiet there.
+    "repro/core/kernels.py",
 ]
 
 
