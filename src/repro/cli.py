@@ -12,6 +12,9 @@ Subcommands
   checker (determinism / parallel safety / progress protocol /
   exception taxonomy); exits 0 clean, 1 with findings, 2 on usage
   errors. See ``docs/static-analysis.md``.
+* ``repro serve --state-dir DIR`` — the fault-tolerant HTTP query
+  service over persistent decomposition indexes; see
+  ``docs/serving.md``.
 
 ``GRAPH`` is either a dataset name (see ``repro datasets``) or a path to
 an edge-list / JSON graph file.
@@ -427,6 +430,30 @@ def _cmd_team(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import ServeConfig, serve
+
+    config = ServeConfig(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        seed=args.seed,
+        workers=args.workers,
+        default_deadline=args.default_deadline,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        grace=args.grace,
+        breaker_threshold=args.breaker_threshold,
+        backoff_base=args.backoff_base,
+        watchdog_interval=args.watchdog,
+        max_memory_mb=args.max_memory,
+        batch_size=args.batch_size,
+        build_throttle=args.build_throttle,
+        trace=args.trace,
+    )
+    return serve(config)
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import render_json, render_text, run_lint
 
@@ -642,6 +669,66 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also list suppressed findings with their "
                         "pragma justifications")
     p.set_defaults(func=_cmd_lint)
+
+    p = sub.add_parser(
+        "serve",
+        help="fault-tolerant HTTP query service over persistent "
+             "decomposition indexes (see docs/serving.md)",
+    )
+    p.add_argument("--state-dir", required=True, metavar="DIR",
+                   help="directory holding the persistent indexes and "
+                        "build checkpoints; a warm restart resumes "
+                        "interrupted builds from here byte-identically")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = ephemeral; the bound "
+                        "address is printed on startup)")
+    p.add_argument("--workers", type=_workers_arg, default=None, metavar="N",
+                   help="worker processes for background index builds "
+                        "('auto' = CPU count); results are bit-identical "
+                        "for every N")
+    p.add_argument("--default-deadline", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="per-request deadline when the client sends none; "
+                        "slow queries return honestly degraded partial "
+                        "payloads instead of hanging")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="requests processed concurrently before arrivals "
+                        "queue")
+    p.add_argument("--max-queue", type=int, default=16,
+                   help="requests allowed to queue for a slot; beyond "
+                        "this, arrivals are shed with 503 + Retry-After")
+    p.add_argument("--grace", type=float, default=10.0, metavar="SECONDS",
+                   help="drain budget on SIGTERM/SIGINT: finish in-flight "
+                        "requests and checkpoint the in-progress build "
+                        "within this window, then exit 143/130")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive build failures before an index's "
+                        "circuit breaker opens and rebuilds back off "
+                        "exponentially")
+    p.add_argument("--backoff-base", type=float, default=0.5,
+                   metavar="SECONDS",
+                   help="initial rebuild backoff when a breaker opens "
+                        "(doubles per failure, capped)")
+    p.add_argument("--watchdog", type=float, default=None, metavar="SECONDS",
+                   help="probe memory/disk pressure at this cadence and "
+                        "shed requests (503) while thresholds are "
+                        "exceeded")
+    p.add_argument("--max-memory", type=float, default=None, metavar="MIB",
+                   help="peak-RSS pressure threshold for --watchdog "
+                        "shedding")
+    p.add_argument("--batch-size", type=int, default=25,
+                   help="sampling rows per checkpoint boundary in "
+                        "background builds")
+    p.add_argument("--build-throttle", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="sleep this long per sample batch during builds "
+                        "(testing aid: makes a kill land mid-build "
+                        "deterministically)")
+    p.add_argument("--trace", action="store_true",
+                   help="print one line per service event (request, "
+                        "response, shed, build, breaker, drain)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("team", help="task-driven team formation case study")
     p.add_argument("--query", nargs="+",

@@ -24,6 +24,11 @@ __all__ = [
     "ComputationInterrupted",
     "TaskQuarantinedError",
     "WorkerPoolError",
+    "ServiceError",
+    "OverloadedError",
+    "IndexUnavailableError",
+    "HTTP_STATUS_BY_ERROR",
+    "http_status_of",
 ]
 
 
@@ -184,6 +189,50 @@ class WorkerPoolError(ReproError, RuntimeError):
     """
 
 
+class ServiceError(ReproError):
+    """The query service cannot serve a request.
+
+    Base of the serving failure contract (``repro serve``, see
+    ``docs/serving.md``): every subclass maps to exactly one HTTP
+    status code via :data:`HTTP_STATUS_BY_ERROR`, so a client can
+    dispatch on the status line alone and the body's ``error`` field
+    names the taxonomy class for programmatic callers.
+    """
+
+
+class OverloadedError(ServiceError):
+    """Admission control shed the request (load shedding).
+
+    Raised when the bounded request queue is full, the in-flight limit
+    cannot be acquired before the request's deadline, or the resource
+    watchdog reports pressure. ``retry_after`` is the server's estimate
+    (seconds) of when capacity returns; it is surfaced as the HTTP
+    ``Retry-After`` header.
+    """
+
+    def __init__(self, message="service overloaded; request shed",
+                 retry_after: float = 1.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class IndexUnavailableError(ServiceError):
+    """No usable decomposition index exists for the requested key.
+
+    Raised when an index build has not completed (and the request did
+    not ask to wait), when a circuit breaker is open with no last-good
+    cached result to degrade to, or when the build failed terminally.
+    ``retry_after`` estimates when a rebuild may have produced one;
+    ``building`` distinguishes "in progress, come back" from "broken".
+    """
+
+    def __init__(self, message="decomposition index unavailable",
+                 retry_after: float | None = None, building: bool = False):
+        super().__init__(message)
+        self.retry_after = None if retry_after is None else float(retry_after)
+        self.building = bool(building)
+
+
 class ComputationInterrupted(ReproError):
     """A long-running computation was cooperatively interrupted.
 
@@ -202,3 +251,47 @@ class ComputationInterrupted(ReproError):
         self.partial = partial
         self.checkpoint_path = checkpoint_path
         self.exit_code = exit_code
+
+
+#: The single place the taxonomy maps to HTTP status codes — the query
+#: service (``repro serve``) resolves every raised exception through
+#: :func:`http_status_of`, which walks the exception's MRO and returns
+#: the first match here, so subclasses inherit their parent's status
+#: unless listed explicitly. Documented in ``docs/serving.md``; the
+#: serving tests assert the table and the docs table agree.
+HTTP_STATUS_BY_ERROR: dict[type, int] = {
+    # Bad request: the caller's parameters can never succeed as given.
+    ParameterError: 400,
+    InvalidProbabilityError: 400,
+    GraphParseError: 400,
+    # Not found: the named graph/node/edge does not exist server-side.
+    DatasetError: 404,
+    NodeNotFoundError: 404,
+    EdgeNotFoundError: 404,
+    # Service unavailable (retryable): shed load or an index that is
+    # not (yet, or currently) usable; carries Retry-After when known.
+    OverloadedError: 503,
+    IndexUnavailableError: 503,
+    # Internal: everything else the taxonomy distinguishes is a
+    # server-side failure the client cannot fix by changing the call.
+    ServiceError: 500,
+    CheckpointError: 500,
+    WorkerPoolError: 500,
+    TaskQuarantinedError: 500,
+    BudgetExceededError: 500,
+    ReproError: 500,
+}
+
+
+def http_status_of(exc: BaseException) -> int:
+    """The HTTP status for ``exc`` per :data:`HTTP_STATUS_BY_ERROR`.
+
+    Walks the MRO so subclasses inherit the nearest registered
+    ancestor's status; unregistered exception types (including
+    non-taxonomy ones) map to 500.
+    """
+    for klass in type(exc).__mro__:
+        status = HTTP_STATUS_BY_ERROR.get(klass)
+        if status is not None:
+            return status
+    return 500

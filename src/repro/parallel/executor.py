@@ -350,6 +350,7 @@ class ParallelExecutor:
 
     def close(self) -> None:
         if self._pool is not None:
+            self._last_pool_stats = dict(self._pool.stats)
             self._pool.close()
             self._pool = None
         if self._shared is not None:
@@ -389,6 +390,27 @@ class ParallelExecutor:
         old = self._shared
         self._shared = SharedWorldSamples.publish(self._samples)
         old.close()
+
+    def supervision_stats(self) -> dict:
+        """Lifetime supervision counters of this executor's pool.
+
+        A copy of :attr:`SupervisedPool.stats <repro.parallel.supervisor
+        .SupervisedPool.stats>` (``maps``, ``workers_respawned``,
+        ``tasks_retried``, ``tasks_quarantined``) plus ``quarantined``,
+        the number of poison payloads accumulated across maps. All
+        zeros in inline mode. The last live pool's counters survive
+        :meth:`close`, so the harness can fold them into its
+        :class:`~repro.runtime.result.PartialResult` after teardown.
+        """
+        if self._pool is not None:
+            stats = dict(self._pool.stats)
+        else:
+            stats = dict(getattr(self, "_last_pool_stats", None) or {
+                "maps": 0, "workers_respawned": 0,
+                "tasks_retried": 0, "tasks_quarantined": 0,
+            })
+        stats["quarantined"] = len(self.quarantined)
+        return stats
 
     def worker_cpu_seconds(self) -> float:
         """Aggregate worker CPU time (0.0 inline or before first report).

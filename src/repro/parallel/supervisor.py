@@ -390,6 +390,17 @@ class SupervisedPool:
         self._epoch = 0
         self._consecutive_deaths = 0
         self._closed = False
+        #: Lifetime supervision counters, monotone across maps — the
+        #: query service reports these per build and aggregates them in
+        #: its health endpoint. Keys: ``maps``, ``workers_respawned``
+        #: (crash, timeout, and CPU-stall recoveries alike),
+        #: ``tasks_retried``, ``tasks_quarantined``.
+        self.stats: dict[str, int] = {
+            "maps": 0,
+            "workers_respawned": 0,
+            "tasks_retried": 0,
+            "tasks_quarantined": 0,
+        }
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> "SupervisedPool":
@@ -468,6 +479,7 @@ class SupervisedPool:
         exactly like the serial loop.
         """
         self._epoch += 1
+        self.stats["maps"] += 1
         epoch = self._epoch
         n = len(payloads)
         results: dict[int, object] = {}
@@ -496,12 +508,14 @@ class SupervisedPool:
                     payload_summary=_describe_payload(payloads[index]),
                 )
                 quarantined[index] = record
+                self.stats["tasks_quarantined"] += 1
                 emit("task-quarantined", len(quarantined), {
                     "task": name, "payload_index": index,
                     "attempts": attempts[index], "reason": reason,
                 })
             else:
                 pending.appendleft(index)
+                self.stats["tasks_retried"] += 1
                 emit("task-retried", attempts[index], {
                     "task": name, "payload_index": index,
                     "reason": reason,
@@ -543,6 +557,7 @@ class SupervisedPool:
                     f"{self._consecutive_deaths} consecutive worker "
                     f"deaths without a completed task (last: {reason})"
                 )
+            self.stats["workers_respawned"] += 1
             emit("worker-died", self._consecutive_deaths, {
                 "task": name, "reason": reason, "exitcode": exitcode,
                 "payload_index": index,
@@ -635,6 +650,7 @@ class SupervisedPool:
                 index = worker.current
                 self._kill(worker)
                 self._consecutive_deaths = 0  # intentional, not a crash
+                self.stats["workers_respawned"] += 1
                 emit("worker-died", 0, {
                     "task": name, "reason": "task timeout",
                     "payload_index": index,

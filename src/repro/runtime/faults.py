@@ -58,6 +58,10 @@ class FaultPlan:
         self.pool_faults: dict | None = None
         self._corrupt_segment = False
         self._disk_faults = 0
+        #: Service-side fault tokens consumed by the ``repro serve``
+        #: HTTP layer: kind -> remaining fire count (plus
+        #: ``slow_client_seconds`` for the stall duration).
+        self.service_faults: dict = {}
 
     def raise_at(self, phase: str, step: int,
                  exc: Exception | type) -> "FaultPlan":
@@ -195,6 +199,66 @@ class FaultPlan:
         return OSError(
             errno.ENOSPC, "injected disk exhaustion (fault plan)"
         )
+
+    # -- service faults (consumed by the ``repro serve`` HTTP layer) ----
+    def drop_connection(self, times: int = 1) -> "FaultPlan":
+        """Abruptly close the next ``times`` client connections just
+        before the response bytes would be written.
+
+        The client observes a reset/empty reply — exactly what a
+        crashed proxy or a yanked network cable produces — and the
+        chaos battery asserts the server itself stays healthy: the
+        admission slot is released, the trace records the request, and
+        the next request on a fresh connection succeeds.
+        """
+        self.service_faults["drop_connection"] = (
+            self.service_faults.get("drop_connection", 0) + int(times)
+        )
+        return self
+
+    def slow_client(self, seconds: float, times: int = 1) -> "FaultPlan":
+        """Stall the response write of the next ``times`` requests for
+        ``seconds``, simulating a client that stops draining its socket.
+
+        The stalled request holds its admission slot the whole time, so
+        this is also how tests fill the in-flight limit
+        deterministically and prove load shedding (typed 503 +
+        ``Retry-After``) for the requests behind it.
+        """
+        self.service_faults["slow_client"] = (
+            self.service_faults.get("slow_client", 0) + int(times)
+        )
+        self.service_faults["slow_client_seconds"] = float(seconds)
+        return self
+
+    def refuse_accept(self, times: int = 1) -> "FaultPlan":
+        """Refuse the next ``times`` incoming connections at accept
+        time (the server closes them without reading the request).
+
+        Models accept-queue exhaustion; the server emits a
+        ``service-shed`` event per refusal and keeps serving later
+        connections normally.
+        """
+        self.service_faults["refuse_accept"] = (
+            self.service_faults.get("refuse_accept", 0) + int(times)
+        )
+        return self
+
+    def take_service_fault(self, kind: str) -> float | None:
+        """Server-side: consume one scheduled service fault of ``kind``.
+
+        Returns None when no fault of that kind is pending; otherwise
+        records the firing and returns the stall duration for
+        ``slow_client`` (0.0 for the other kinds).
+        """
+        remaining = self.service_faults.get(kind, 0)
+        if remaining <= 0:
+            return None
+        self.service_faults[kind] = remaining - 1
+        self.fired.append((kind, remaining - 1))
+        if kind == "slow_client":
+            return float(self.service_faults.get("slow_client_seconds", 0.0))
+        return 0.0
 
     def corrupt_shared_segment(self) -> "FaultPlan":
         """Scribble over the shared sample segment at the next pool map.

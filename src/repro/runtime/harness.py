@@ -480,6 +480,10 @@ def run_global(
         detail = {}
         if quarantined:
             detail["quarantined"] = [q.to_dict() for q in quarantined]
+        if supervision["executor"] is not None:
+            detail["supervision"] = (
+                supervision["executor"].supervision_stats()
+            )
         detail.update(spill_info)
         if complete and store is not None and not store.degraded:
             # The run is done: stale mid-peel snapshots, torn temp

@@ -59,6 +59,26 @@ Emitted phases
                     level (ENOSPC, quota, ...); the run continues with
                     checkpointing disabled (``detail``:
                     checkpoint_error, path)
+``service-request``  (``repro serve`` only) an admitted query began
+                    processing (``detail``: endpoint, request id,
+                    deadline)
+``service-response``  a query's response was written (``detail``:
+                    endpoint, status, elapsed, degraded)
+``service-shed``    admission control refused a request — queue full,
+                    in-flight limit not acquired before the deadline,
+                    watchdog pressure, or an injected accept refusal
+                    (``detail``: endpoint, reason, retry_after)
+``service-degraded``  a degraded payload was served: a deadline-capped
+                    partial, or the last-good cached index under an
+                    open circuit breaker (``detail``: endpoint, reason)
+``service-build``   a background index build changed state (``detail``:
+                    key token, action — queued/started/finished/
+                    failed/interrupted —, and for failures the reason)
+``service-breaker``  an index's circuit breaker transitioned
+                    (``detail``: key token, state — open/half-open/
+                    closed —, failures, retry_after)
+``service-drain``   graceful shutdown progress (``detail``: action —
+                    begin/idle/done —, in-flight count, signal)
 ==================  =====================================================
 
 Checkpoints are written *before* the hook runs at each boundary, so a
@@ -105,6 +125,13 @@ KNOWN_PHASES = frozenset({
     "task-quarantined",
     "resource-pressure",
     "checkpoint-degraded",
+    "service-request",
+    "service-response",
+    "service-shed",
+    "service-degraded",
+    "service-build",
+    "service-breaker",
+    "service-drain",
 })
 
 #: Debug-mode event validation, read once at import: with ``REPRO_DEBUG``

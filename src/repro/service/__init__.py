@@ -1,0 +1,26 @@
+"""``repro.service`` — the fault-tolerant ``repro serve`` query service.
+
+A long-running, stdlib-only HTTP server answering truss-decomposition
+queries from persistent indexes of precomputed results, with background
+builds running through the execution harness. See ``docs/serving.md``
+for the endpoint reference and the robustness contract (admission
+control, per-request deadlines, circuit breakers, graceful drain).
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.breaker import CircuitBreaker
+from repro.service.builder import IndexBuilder
+from repro.service.server import ServeConfig, TrussService, serve
+from repro.service.store import IndexEntry, IndexKey, IndexStore
+
+__all__ = [
+    "AdmissionController",
+    "CircuitBreaker",
+    "IndexBuilder",
+    "IndexEntry",
+    "IndexKey",
+    "IndexStore",
+    "ServeConfig",
+    "TrussService",
+    "serve",
+]

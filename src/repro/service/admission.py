@@ -1,0 +1,129 @@
+"""Admission control for the ``repro serve`` query service.
+
+An :class:`AdmissionController` bounds the number of requests being
+processed (``max_inflight``) and the number allowed to queue for a slot
+(``max_queue``). A request past both bounds — or one whose deadline
+expires while queued — is *shed* with a typed
+:class:`~repro.exceptions.OverloadedError` carrying a ``retry_after``
+hint; the HTTP layer renders that as ``503`` + ``Retry-After``. The slot
+covers the entire request lifetime including the response write, so a
+client that stops draining its socket (see
+:meth:`~repro.runtime.faults.FaultPlan.slow_client`) holds its slot and
+back-pressures later arrivals instead of letting the thread count grow
+without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+from repro.exceptions import OverloadedError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded in-flight + bounded queue request admission.
+
+    Parameters
+    ----------
+    max_inflight:
+        Requests processed concurrently.
+    max_queue:
+        Requests allowed to wait for a slot; arrivals beyond this are
+        shed immediately.
+    retry_after:
+        The ``Retry-After`` hint attached to shed requests.
+    clock:
+        Injectable monotonic time source.
+    """
+
+    def __init__(self, max_inflight: int = 8, max_queue: int = 16,
+                 retry_after: float = 1.0, clock=time.monotonic):
+        self.max_inflight = int(max_inflight)
+        self.max_queue = int(max_queue)
+        self.retry_after = float(retry_after)
+        self._clock = clock
+        self._cond = threading.Condition(threading.Lock())
+        self.inflight = 0
+        self.queued = 0
+        #: Lifetime counters: admitted requests, shed requests (split by
+        #: reason), and the high-water marks.
+        self.stats = {"admitted": 0, "shed_queue_full": 0,
+                      "shed_wait_deadline": 0, "max_inflight_seen": 0,
+                      "max_queued_seen": 0}
+
+    def acquire(self, timeout: float) -> None:
+        """Take a slot, waiting up to ``timeout`` seconds in the queue.
+
+        Raises :class:`OverloadedError` when the queue is full or the
+        wait times out; on success the caller owns one slot and must
+        :meth:`release` it.
+        """
+        with self._cond:
+            if self.inflight < self.max_inflight:
+                self._admit_locked()
+                return
+            if self.queued >= self.max_queue:
+                self.stats["shed_queue_full"] += 1
+                raise OverloadedError(
+                    f"admission queue full ({self.queued} waiting, "
+                    f"{self.inflight} in flight)",
+                    retry_after=self.retry_after,
+                )
+            self.queued += 1
+            self.stats["max_queued_seen"] = max(
+                self.stats["max_queued_seen"], self.queued)
+            give_up_at = self._clock() + max(0.0, timeout)
+            try:
+                while self.inflight >= self.max_inflight:
+                    remaining = give_up_at - self._clock()
+                    if remaining <= 0:
+                        self.stats["shed_wait_deadline"] += 1
+                        raise OverloadedError(
+                            "no slot freed before the request deadline",
+                            retry_after=self.retry_after,
+                        )
+                    self._cond.wait(remaining)
+                self._admit_locked()
+            finally:
+                self.queued -= 1
+
+    def _admit_locked(self) -> None:
+        self.inflight += 1
+        self.stats["admitted"] += 1
+        self.stats["max_inflight_seen"] = max(
+            self.stats["max_inflight_seen"], self.inflight)
+
+    def release(self) -> None:
+        """Return a slot and wake the waiters.
+
+        ``notify_all`` rather than ``notify``: queued acquirers and a
+        draining :meth:`wait_idle` share the condition, and a single
+        notify could wake the wrong one.
+        """
+        with self._cond:
+            self.inflight -= 1
+            self._cond.notify_all()
+
+    @contextmanager
+    def slot(self, timeout: float):
+        """Context manager pairing :meth:`acquire` with :meth:`release`."""
+        self.acquire(timeout)
+        try:
+            yield
+        finally:
+            self.release()
+
+    def wait_idle(self, grace: float) -> bool:
+        """Drain helper: wait up to ``grace`` seconds for inflight == 0."""
+        give_up_at = self._clock() + max(0.0, grace)
+        with self._cond:
+            while self.inflight > 0:
+                remaining = give_up_at - self._clock()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(min(remaining, 0.1))
+            return True

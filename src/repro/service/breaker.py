@@ -1,0 +1,95 @@
+"""Per-index circuit breaker for the ``repro serve`` query service.
+
+A :class:`CircuitBreaker` guards one decomposition index's rebuild path.
+Repeated build failures — crashed workers, quarantined tasks, ENOSPC,
+anything that keeps a build from finishing cleanly — *open* the breaker:
+queries keep being answered from the last good cached result (marked
+``degraded``), and rebuild attempts are suppressed until an exponential
+backoff expires. The first attempt after the backoff runs *half-open*:
+one probe build is allowed through; success closes the breaker, another
+failure re-opens it with a doubled backoff (capped).
+
+The breaker is deliberately clock-injectable and lock-free: the single
+builder thread is the only writer, readers (request handlers) only look
+at :attr:`state` and :meth:`retry_after`, both of which are safe to read
+concurrently under CPython's atomic attribute access.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Failure-counting breaker with exponential rebuild backoff.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive failures before the breaker opens.
+    backoff_base:
+        Seconds of backoff when the breaker first opens; doubles on
+        every further failure while open.
+    backoff_cap:
+        Ceiling on the backoff interval.
+    clock:
+        Injectable monotonic time source (tests pass a fake).
+    """
+
+    def __init__(self, threshold: int = 3, backoff_base: float = 0.5,
+                 backoff_cap: float = 30.0, clock=time.monotonic):
+        self.threshold = int(threshold)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._clock = clock
+        #: ``"closed"`` (healthy), ``"open"`` (rebuilds suppressed), or
+        #: ``"half-open"`` (one probe rebuild in flight).
+        self.state = "closed"
+        #: Consecutive failures since the last success.
+        self.failures = 0
+        self._open_until = 0.0
+
+    def current_backoff(self) -> float:
+        """The backoff interval the *next* open period would use."""
+        exponent = max(0, self.failures - self.threshold)
+        return min(self.backoff_cap, self.backoff_base * (2 ** exponent))
+
+    def record_failure(self) -> str:
+        """Count one failed build; returns the resulting state."""
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.state = "open"
+            self._open_until = self._clock() + self.current_backoff()
+        return self.state
+
+    def record_success(self) -> str:
+        """A build finished cleanly: reset and close."""
+        self.failures = 0
+        self.state = "closed"
+        self._open_until = 0.0
+        return self.state
+
+    def allow(self) -> bool:
+        """May a rebuild start now?
+
+        Closed: yes. Open: only once the backoff has expired, which
+        transitions to half-open (the probe). Half-open: no — one probe
+        at a time.
+        """
+        if self.state == "closed":
+            return True
+        if self.state == "open" and self._clock() >= self._open_until:
+            self.state = "half-open"
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until a rebuild (or a client retry) makes sense."""
+        if self.state == "closed":
+            return 0.0
+        if self.state == "half-open":
+            # A probe is in flight; suggest one base interval.
+            return self.backoff_base
+        return max(0.0, self._open_until - self._clock())

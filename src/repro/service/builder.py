@@ -1,0 +1,194 @@
+"""Background index builds for the ``repro serve`` service.
+
+One :class:`IndexBuilder` thread owns every build: requests enqueue a
+token, the thread runs the decomposition through the existing execution
+harness (:func:`~repro.runtime.harness.run_global` /
+:func:`~repro.runtime.harness.run_local`) with ``resume=True`` against
+the index's checkpoint directory, and commits the canonical result
+bytes through the :class:`~repro.service.store.IndexStore`.
+
+Failure handling is where the robustness lives:
+
+* build exceptions and supervision *strikes* (``worker-died`` /
+  ``task-quarantined`` events observed during the build) feed the
+  index's :class:`~repro.service.breaker.CircuitBreaker`; once it
+  opens, rebuilds are suppressed for an exponentially growing backoff
+  while queries keep being served from the last good result, marked
+  degraded;
+* a drain (:meth:`stop`) triggers the builder's cooperative
+  :class:`~repro.runtime.interrupts.InterruptGuard`, so the in-flight
+  build raises at the next batch boundary *after* its checkpoint was
+  written — the index is marked ``interrupted`` and a warm restart
+  resumes it byte-identically.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+from repro.exceptions import ComputationInterrupted, ReproError
+from repro.runtime.interrupts import InterruptGuard
+
+__all__ = ["IndexBuilder"]
+
+#: Supervision phases counted as strikes against an index's breaker.
+_STRIKE_PHASES = ("worker-died", "task-quarantined")
+
+
+class IndexBuilder:
+    """Single background thread draining a queue of index builds."""
+
+    def __init__(self, service, clock=time.monotonic):
+        self.service = service
+        self._clock = clock
+        self._cond = threading.Condition(threading.Lock())
+        #: token -> earliest monotonic time the build may start.
+        self._queue: dict[str, float] = {}
+        self._stopping = False
+        self._thread: threading.Thread | None = None
+        #: Cooperative abort for the in-flight harness run; a drain
+        #: triggers it with the delivered signal number.
+        self.guard = InterruptGuard(install=False)
+        self.stats = {"builds": 0, "failures": 0, "interrupted": 0}
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-builder", daemon=True)
+        self._thread.start()
+
+    def request(self, token: str, delay: float = 0.0) -> bool:
+        """Enqueue a build unless one is already queued; True if added."""
+        with self._cond:
+            if self._stopping or token in self._queue:
+                return False
+            self._queue[token] = self._clock() + max(0.0, delay)
+            self.service.emit("service-build", self.stats["builds"],
+                              {"token": token, "action": "queued"})
+            self._cond.notify_all()
+            return True
+
+    def stop(self, signum: int = signal.SIGTERM, grace: float = 10.0) -> None:
+        """Drain: abort the in-flight build cooperatively and join."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        self.guard.trigger(signum)
+        if self._thread is not None:
+            self._thread.join(timeout=grace)
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def _next_token(self) -> str | None:
+        """Block until a due job or stop; None means shut down."""
+        with self._cond:
+            while True:
+                if self._stopping:
+                    return None
+                now = self._clock()
+                due = [t for t, at in sorted(self._queue.items())
+                       if at <= now]
+                if due:
+                    token = due[0]
+                    del self._queue[token]
+                    return token
+                if self._queue:
+                    sleep = min(self._queue.values()) - now
+                    self._cond.wait(max(0.01, min(sleep, 0.5)))
+                else:
+                    self._cond.wait(0.5)
+
+    def _run(self) -> None:
+        while True:
+            token = self._next_token()
+            if token is None:
+                return
+            self._build(token)
+
+    def _build(self, token: str) -> None:
+        service = self.service
+        entry = service.store.get(token)
+        if entry is None:
+            return
+        breaker = entry.breaker
+        if breaker is not None and not breaker.allow():
+            # Opened while queued; come back when the backoff expires.
+            self.request(token, delay=breaker.retry_after())
+            return
+        service.store.mark_building(token)
+        self.stats["builds"] += 1
+        service.emit("service-build", self.stats["builds"],
+                     {"token": token, "action": "started"})
+        strikes = {"count": 0}
+
+        def count_strikes(event):
+            if event.phase in _STRIKE_PHASES:
+                strikes["count"] += 1
+
+        try:
+            partial = service.run_build(
+                entry, extra_hooks=(count_strikes, self.guard.check))
+        except ComputationInterrupted:
+            self.stats["interrupted"] += 1
+            service.store.interrupt(token)
+            service.emit("service-build", self.stats["builds"],
+                         {"token": token, "action": "interrupted"})
+            return
+        except (ReproError, MemoryError, OSError) as err:
+            self._note_failure(entry, f"{type(err).__name__}: {err}")
+            return
+        if partial is None or partial.result is None:
+            reason = (partial.reason if partial is not None else None)
+            self._note_failure(entry, reason or "build produced no result")
+            return
+        payload, result_bytes = service.payload_of(entry.key, partial)
+        service.store.complete(
+            token, payload, result_bytes,
+            degraded=partial.degraded, reason=partial.reason)
+        service.emit("service-build", self.stats["builds"],
+                     {"token": token, "action": "finished",
+                      "degraded": partial.degraded})
+        if breaker is not None:
+            if strikes["count"]:
+                # The result landed, but workers died or payloads were
+                # quarantined getting there: strike the breaker so
+                # repeat offenders stop being rebuilt eagerly.
+                self._strike(entry, f"{strikes['count']} supervision "
+                                    "events during build")
+            else:
+                before = breaker.state
+                breaker.record_success()
+                if before != "closed":
+                    service.emit("service-breaker", breaker.failures,
+                                 {"token": token, "state": "closed",
+                                  "failures": 0, "retry_after": 0.0})
+
+    def _note_failure(self, entry, reason: str) -> None:
+        self.stats["failures"] += 1
+        self.service.store.fail(entry.token, reason)
+        self.service.emit("service-build", self.stats["builds"],
+                          {"token": entry.token, "action": "failed",
+                           "reason": reason})
+        self._strike(entry, reason)
+
+    def _strike(self, entry, reason: str) -> None:
+        breaker = entry.breaker
+        if breaker is None:
+            return
+        before = breaker.state
+        state = breaker.record_failure()
+        if state != before:
+            self.service.emit(
+                "service-breaker", breaker.failures,
+                {"token": entry.token, "state": state,
+                 "failures": breaker.failures,
+                 "retry_after": round(breaker.retry_after(), 3),
+                 "reason": reason})
+        if state == "closed":
+            # Under the threshold: retry soon.
+            self.request(entry.token, delay=breaker.backoff_base)
+        else:
+            self.request(entry.token, delay=breaker.retry_after())

@@ -1,0 +1,13 @@
+"""EVT001 positive: a service phase nobody registered.
+
+The ``repro serve`` vocabulary (``service-request`` ...
+``service-drain``) lives in ``KNOWN_PHASES`` like every other phase;
+inventing a new ``service-*`` literal at an emission site without
+registering it is exactly the typo EVT001 exists to catch.
+"""
+
+from repro.runtime.progress import ProgressEvent
+
+
+def announce(progress, request_id):
+    progress(ProgressEvent("service-reticulate", step=request_id))

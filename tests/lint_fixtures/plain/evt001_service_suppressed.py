@@ -1,0 +1,8 @@
+"""EVT001 suppressed: an experimental service phase behind a pragma."""
+
+from repro.runtime.progress import ProgressEvent
+
+
+def announce(progress, request_id):
+    # repro: allow[EVT001] staged service phase; registered before merge
+    progress(ProgressEvent("service-reticulate", step=request_id))

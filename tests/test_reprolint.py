@@ -299,6 +299,25 @@ def test_docstring_table_matches_registry():
     assert _table_phases() == set(KNOWN_PHASES)
 
 
+def test_service_phases_are_registered():
+    """The ``repro serve`` vocabulary is part of the one registry."""
+    assert {
+        "service-request", "service-response", "service-shed",
+        "service-degraded", "service-build", "service-breaker",
+        "service-drain",
+    } <= set(KNOWN_PHASES)
+
+
+def test_unregistered_service_phase_fires_evt001():
+    """An invented ``service-*`` literal at an emission site is a lint
+    error (and the pragma twin records its justification)."""
+    result = lint("plain/evt001_service_fires.py")
+    assert set(result.counts_by_rule()) == {"EVT001"}
+    twin = lint("plain/evt001_service_suppressed.py")
+    assert twin.clean
+    assert any(f.rule == "EVT001" for f in twin.suppressed)
+
+
 def test_debug_validation_rejects_unknown_phase(monkeypatch):
     monkeypatch.setattr(progress_mod, "_VALIDATE_PHASES", True)
     with pytest.raises(ParameterError, match="unknown progress phase"):
