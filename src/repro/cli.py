@@ -440,13 +440,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         default_deadline=args.default_deadline,
+        max_deadline=args.max_deadline,
         max_inflight=args.max_inflight,
         max_queue=args.max_queue,
         grace=args.grace,
         breaker_threshold=args.breaker_threshold,
         backoff_base=args.backoff_base,
+        backoff_cap=args.backoff_cap,
         watchdog_interval=args.watchdog,
         max_memory_mb=args.max_memory,
+        min_free_mb=args.min_free,
         batch_size=args.batch_size,
         build_throttle=args.build_throttle,
         trace=args.trace,
@@ -692,6 +695,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request deadline when the client sends none; "
                         "slow queries return honestly degraded partial "
                         "payloads instead of hanging")
+    p.add_argument("--max-deadline", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="ceiling on client-requested ?deadline= values")
     p.add_argument("--max-inflight", type=int, default=8,
                    help="requests processed concurrently before arrivals "
                         "queue")
@@ -710,12 +716,19 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="initial rebuild backoff when a breaker opens "
                         "(doubles per failure, capped)")
+    p.add_argument("--backoff-cap", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="ceiling on the breaker's exponential rebuild "
+                        "backoff")
     p.add_argument("--watchdog", type=float, default=None, metavar="SECONDS",
                    help="probe memory/disk pressure at this cadence and "
                         "shed requests (503) while thresholds are "
                         "exceeded")
     p.add_argument("--max-memory", type=float, default=None, metavar="MIB",
                    help="peak-RSS pressure threshold for --watchdog "
+                        "shedding")
+    p.add_argument("--min-free", type=float, default=None, metavar="MIB",
+                   help="free-disk pressure threshold for --watchdog "
                         "shedding")
     p.add_argument("--batch-size", type=int, default=25,
                    help="sampling rows per checkpoint boundary in "

@@ -10,9 +10,13 @@ one probe build is allowed through; success closes the breaker, another
 failure re-opens it with a doubled backoff (capped).
 
 The breaker is deliberately clock-injectable and lock-free: the single
-builder thread is the only writer, readers (request handlers) only look
-at :attr:`state` and :meth:`retry_after`, both of which are safe to read
-concurrently under CPython's atomic attribute access.
+builder thread is the only writer — :meth:`allow`,
+:meth:`record_failure` and :meth:`record_success` must only ever be
+called from it. Request handlers only read :attr:`state` and
+:meth:`retry_after`, both safe concurrently under CPython's atomic
+attribute access; in particular a handler must never call
+:meth:`allow`, which would consume the single open→half-open probe
+permit the builder relies on and wedge the breaker half-open.
 """
 
 from __future__ import annotations
@@ -72,7 +76,7 @@ class CircuitBreaker:
         return self.state
 
     def allow(self) -> bool:
-        """May a rebuild start now?
+        """May a rebuild start now? **Builder-thread only** (mutates).
 
         Closed: yes. Open: only once the backoff has expired, which
         transitions to half-open (the probe). Half-open: no — one probe

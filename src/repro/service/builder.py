@@ -106,7 +106,25 @@ class IndexBuilder:
             token = self._next_token()
             if token is None:
                 return
-            self._build(token)
+            try:
+                self._build(token)
+            except Exception as err:  # repro: allow[EXC003] last-resort guard: a store commit failing outside _build's try block (ENOSPC / read-only disk in mark_building, complete, fail, interrupt) must not kill the build loop — the HTTP server would keep accepting while no index ever builds again
+                self._crashed(token, err)
+
+    def _crashed(self, token: str, err: Exception) -> None:
+        """Record a crash that escaped :meth:`_build` and back off.
+
+        The strike requeues the token with the breaker's backoff, so a
+        transient disk condition heals on its own once space returns.
+        """
+        self.stats["failures"] += 1
+        reason = f"{type(err).__name__}: {err}"
+        self.service.emit("service-build", self.stats["builds"],
+                          {"token": token, "action": "crashed",
+                           "reason": reason})
+        entry = self.service.store.get(token)
+        if entry is not None:
+            self._strike(entry, reason)
 
     def _build(self, token: str) -> None:
         service = self.service

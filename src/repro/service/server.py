@@ -155,6 +155,7 @@ class TrussService:
         self._request_seq = 0
         self._seq_lock = threading.Lock()
         self.http_server: ThreadingHTTPServer | None = None
+        self._stats_lock = threading.Lock()
         self.stats = {"requests": 0, "responses": 0, "shed": 0,
                       "degraded_served": 0, "dropped_writes": 0}
 
@@ -187,6 +188,17 @@ class TrussService:
         with self._seq_lock:
             self._request_seq += 1
             return self._request_seq
+
+    def _bump(self, name: str) -> int:
+        """Thread-safe stats increment; returns the new count.
+
+        Handler threads race on these counters, and several double as
+        progress-event steps — unlocked read-modify-write would both
+        undercount and collide steps.
+        """
+        with self._stats_lock:
+            self.stats[name] += 1
+            return self.stats[name]
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -363,11 +375,15 @@ class TrussService:
         :func:`~repro.exceptions.http_status_of`.
         """
         if endpoint == "healthz":
+            # Exempt from pressure shedding (handle_http skips the
+            # check) so monitoring keeps working under pressure; the
+            # payload carries the pressure state instead.
             return 200, {
                 "status": "draining" if self.draining else "ok",
                 "in_flight": self.admission.inflight,
                 "indexes": len(self.store.entries()),
                 "pending_builds": self.builder.pending(),
+                "pressure": self._pressure_state(),
             }, {}
         if endpoint == "stats":
             return self._handle_stats(params, budget)
@@ -404,9 +420,8 @@ class TrussService:
             # Not enough deadline left for the triangle profile: serve
             # the cheap statistics honestly marked partial.
             degraded = True
-            self.emit("service-degraded", self.stats["degraded_served"],
+            self.emit("service-degraded", self._bump("degraded_served"),
                       {"endpoint": "stats", "reason": "deadline"})
-            self.stats["degraded_served"] += 1
         payload["degraded"] = degraded
         if degraded:
             payload["reason"] = "deadline: profile skipped"
@@ -453,8 +468,12 @@ class TrussService:
         refresh = _flag(params, "refresh")
         breaker = entry.breaker
         if created or refresh or entry.status in ("failed", "interrupted"):
-            if breaker.state == "closed" or breaker.allow():
-                self.builder.request(entry.token)
+            # Request unconditionally: ``builder.request`` dedups, and
+            # the builder thread — the breaker's sole writer — makes
+            # the one mutating ``allow()`` decision. Calling ``allow()``
+            # here would consume the open→half-open probe permit on a
+            # handler thread and wedge the breaker half-open forever.
+            self.builder.request(entry.token)
         wait = _flag(params, "wait")
         if wait and entry.payload is None:
             self._wait_for_index(entry, budget)
@@ -476,10 +495,9 @@ class TrussService:
             doc["token"] = entry.token
             if degraded:
                 self.emit("service-degraded",
-                          self.stats["degraded_served"],
+                          self._bump("degraded_served"),
                           {"endpoint": kind,
                            "reason": "; ".join(doc["reasons"]) or "stale"})
-                self.stats["degraded_served"] += 1
             return 200, doc, {}
         retry_after = 1.0
         if breaker.state != "closed":
@@ -530,10 +548,9 @@ class TrussService:
         }
         if partial.degraded or not partial.complete:
             payload["reason"] = partial.reason or "partial decomposition"
-            self.emit("service-degraded", self.stats["degraded_served"],
+            self.emit("service-degraded", self._bump("degraded_served"),
                       {"endpoint": "team",
                        "reason": payload["reason"]})
-            self.stats["degraded_served"] += 1
         if team is None:
             payload["team"] = None
         else:
@@ -555,32 +572,38 @@ class TrussService:
         if self.draining:
             return False
         if self._take_fault("refuse_accept") is not None:
-            self.stats["shed"] += 1
-            self.emit("service-shed", self.stats["shed"],
+            self.emit("service-shed", self._bump("shed"),
                       {"endpoint": None, "reason": "refuse-accept-fault",
                        "retry_after": self.admission.retry_after})
             return False
         return True
 
-    def _check_pressure(self) -> None:
-        """Shed when the watchdog's latest probe crossed a threshold."""
+    def _pressure_state(self) -> str | None:
+        """``"memory"``/``"disk"`` when a watchdog threshold is
+        crossed, None when unconfigured or healthy."""
         watchdog = self.watchdog
         if watchdog is None:
-            return
+            return None
         sample = watchdog.probe()
         rss = sample.get("peak_rss_bytes")
         free = sample.get("free_bytes")
-        over_memory = (watchdog.memory_limit_bytes is not None
-                       and rss is not None
-                       and rss > watchdog.memory_limit_bytes)
-        under_disk = (watchdog.min_free_bytes is not None
-                      and free is not None
-                      and free < watchdog.min_free_bytes)
-        if over_memory or under_disk:
+        if (watchdog.memory_limit_bytes is not None
+                and rss is not None
+                and rss > watchdog.memory_limit_bytes):
+            return "memory"
+        if (watchdog.min_free_bytes is not None
+                and free is not None
+                and free < watchdog.min_free_bytes):
+            return "disk"
+        return None
+
+    def _check_pressure(self) -> None:
+        """Shed when the watchdog's latest probe crossed a threshold."""
+        pressure = self._pressure_state()
+        if pressure is not None:
             raise OverloadedError(
-                "resource pressure: "
-                + ("memory" if over_memory else "disk"),
-                retry_after=max(1.0, watchdog.interval))
+                f"resource pressure: {pressure}",
+                retry_after=max(1.0, self.watchdog.interval))
 
     def handle_http(self, handler: "_Handler") -> None:
         """One request, end to end: admission, dispatch, response."""
@@ -596,9 +619,13 @@ class TrussService:
         status, payload, headers = 500, {"error": {
             "type": "ServiceError", "message": "unhandled"}}, {}
         try:
-            self._check_pressure()
+            if endpoint != "healthz":
+                # /healthz stays answerable under resource pressure —
+                # shedding it would blind monitoring exactly when
+                # operators need it; the payload reports the pressure.
+                self._check_pressure()
             with self.admission.slot(timeout=deadline):
-                self.stats["requests"] += 1
+                self._bump("requests")
                 self.emit("service-request", request_id,
                           {"endpoint": endpoint, "id": request_id,
                            "deadline": deadline})
@@ -608,8 +635,7 @@ class TrussService:
                                  status, payload, headers)
                 return
         except OverloadedError as err:
-            self.stats["shed"] += 1
-            self.emit("service-shed", self.stats["shed"],
+            self.emit("service-shed", self._bump("shed"),
                       {"endpoint": endpoint, "reason": str(err),
                        "retry_after": err.retry_after})
             status, payload, headers = _error_response(err)
@@ -628,7 +654,7 @@ class TrussService:
         body = json.dumps(payload, sort_keys=True, default=str).encode()
         elapsed = round(self._clock() - started, 4)
         if self._take_fault("drop_connection") is not None:
-            self.stats["dropped_writes"] += 1
+            self._bump("dropped_writes")
             handler.close_connection = True
             try:
                 handler.connection.close()
@@ -660,12 +686,12 @@ class TrussService:
             # The client vanished mid-write (or closed its socket);
             # nothing to salvage — the slot is still released and the
             # response is recorded as dropped.
-            self.stats["dropped_writes"] += 1
+            self._bump("dropped_writes")
             self.emit("service-response", request_id,
                       {"endpoint": endpoint, "status": 0,
                        "elapsed": elapsed, "dropped": True})
             return
-        self.stats["responses"] += 1
+        self._bump("responses")
         self.emit("service-response", request_id,
                   {"endpoint": endpoint, "status": status,
                    "elapsed": elapsed,

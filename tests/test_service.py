@@ -306,6 +306,33 @@ class TestIndexBuilder:
         assert closed
         builder.stop(grace=5.0)
 
+    def test_builder_survives_store_commit_failure(self, tmp_path):
+        # ENOSPC in store.mark_building/complete escapes _build's try
+        # block; the _run guard must keep the loop alive and retry.
+        breaker = CircuitBreaker(threshold=100, backoff_base=0.01)
+        fake = _FakeBuildService(tmp_path, breaker=breaker)
+        builder = IndexBuilder(fake)
+        real_complete = fake.store.complete
+        failures = {"left": 2}
+
+        def flaky_complete(*args, **kwargs):
+            if failures["left"] > 0:
+                failures["left"] -= 1
+                raise ServiceError("index write failed: disk full")
+            return real_complete(*args, **kwargs)
+
+        fake.store.complete = flaky_complete
+        builder.start()
+        builder.request(fake.entry.token)
+        self._wait(lambda: fake.entry.status == "ready")
+        assert builder._thread.is_alive()
+        crashed = [d for p, d in fake.events
+                   if p == "service-build" and d["action"] == "crashed"]
+        assert len(crashed) == 2
+        assert all("disk full" in d["reason"] for d in crashed)
+        assert fake.entry.payload is not None
+        builder.stop(grace=5.0)
+
     def _wait(self, predicate, timeout=5.0):
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
@@ -455,6 +482,69 @@ class TestLiveServer:
         assert rec.find("service-breaker")
         assert rec.find("service-degraded")
 
+    def test_breaker_mutations_stay_on_builder_thread(
+            self, tmp_path, example_path):
+        # Regression: the request path used to call breaker.allow(),
+        # consuming the open->half-open probe permit on a handler
+        # thread and wedging the breaker half-open forever. Handlers
+        # may only *read* the breaker.
+        with live_service(tmp_path / "state") as svc:
+            spec = quote(str(example_path), safe="")
+            code, body, _ = http_get(
+                svc, f"/local?graph={spec}&gamma=0.3&wait=1&deadline=30")
+            assert code == 200
+            entry = svc.store.get(body["token"])
+            calls: list[str] = []
+            orig_allow = entry.breaker.allow
+
+            def spy_allow():
+                calls.append(threading.current_thread().name)
+                return orig_allow()
+
+            entry.breaker.allow = spy_allow
+            builds_before = entry.builds
+            code, _, _ = http_get(
+                svc, f"/local?graph={spec}&gamma=0.3&refresh=1"
+                     "&wait=1&deadline=30")
+            assert code == 200
+            assert _wait_until(lambda: entry.builds > builds_before)
+            assert calls, "the rebuild must consult the breaker"
+            assert set(calls) == {"repro-serve-builder"}
+
+    def test_open_breaker_recovers_through_probe(
+            self, tmp_path, example_path):
+        # Queries against an open breaker must not prevent the
+        # half-open probe from running once the backoff expires; a
+        # healthy probe closes the breaker and refreshes the index.
+        with live_service(tmp_path / "state", breaker_threshold=1,
+                          backoff_base=0.1, backoff_cap=0.2) as svc:
+            spec = quote(str(example_path), safe="")
+            code, body, _ = http_get(
+                svc, f"/local?graph={spec}&gamma=0.3&wait=1&deadline=30")
+            assert code == 200
+            entry = svc.store.get(body["token"])
+
+            def broken(e, extra_hooks=()):
+                raise ServiceError("injected rebuild failure")
+
+            svc.run_build = broken
+            code, _, _ = http_get(
+                svc, f"/local?graph={spec}&gamma=0.3&refresh=1")
+            assert code == 200  # stale-while-revalidate
+            assert _wait_until(lambda: entry.breaker.state == "open")
+            # Hammer the open index the way a client would; none of
+            # these handler hits may consume the probe permit.
+            for _ in range(5):
+                code, body, _ = http_get(
+                    svc, f"/local?graph={spec}&gamma=0.3&refresh=1")
+                assert code == 200 and body["degraded"] is True
+                time.sleep(0.05)
+            del svc.__dict__["run_build"]  # heal the build path
+            assert _wait_until(lambda: entry.breaker.state == "closed")
+            code, body, _ = http_get(svc, f"/local?graph={spec}&gamma=0.3")
+            assert code == 200
+            assert body["breaker"] == "closed"
+
     def test_drop_connection_fault_leaves_server_healthy(self, tmp_path):
         plan = FaultPlan().drop_connection()
         rec = Recorder()
@@ -517,11 +607,18 @@ class TestLiveServer:
         cfg_extra = {"memory_probe": lambda: 10 * 2**30}  # 10 GiB "RSS"
         with live_service(tmp_path / "state", watchdog_interval=0.0,
                           max_memory_mb=64.0, extra=cfg_extra) as svc:
-            code, body, headers = http_get(svc, "/healthz")
+            code, body, headers = http_get(svc, "/indexes")
             assert code == 503
             assert body["error"]["type"] == "OverloadedError"
             assert "memory" in body["error"]["message"]
             assert "Retry-After" in headers
+            # /healthz is exempt from pressure shedding — monitoring
+            # must not go blind exactly when operators need it — and
+            # reports the pressure state in its payload instead.
+            code, body, _ = http_get(svc, "/healthz")
+            assert code == 200
+            assert body["status"] == "ok"
+            assert body["pressure"] == "memory"
 
     def test_drain_then_warm_restart_is_byte_identical(
             self, tmp_path, example_path):
@@ -569,3 +666,27 @@ class TestLiveServer:
                                 OSError)):
                 urllib.request.urlopen(
                     f"http://{host}:{port}/healthz", timeout=5)
+
+
+class TestServeCli:
+    def test_serve_flags_reach_config(self, tmp_path, monkeypatch):
+        import repro.service as service_module
+        from repro.cli import main
+
+        captured = {}
+
+        def fake_serve(config, progress=None, *, ready=None):
+            captured["config"] = config
+            return 0
+
+        monkeypatch.setattr(service_module, "serve", fake_serve)
+        code = main([
+            "serve", "--state-dir", str(tmp_path / "state"),
+            "--max-deadline", "12", "--backoff-cap", "7.5",
+            "--min-free", "128",
+        ])
+        assert code == 0
+        cfg = captured["config"]
+        assert cfg.max_deadline == 12.0
+        assert cfg.backoff_cap == 7.5
+        assert cfg.min_free_mb == 128.0
