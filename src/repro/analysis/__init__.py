@@ -2,7 +2,7 @@
 
 The runtime test suites prove the invariants hold on the code paths
 they exercise; this package proves them on every code path, before
-anything runs. Four rule families check the contracts PRs 1–3
+anything runs. Five rule families check the contracts earlier PRs
 established (see ``docs/static-analysis.md`` for the catalogue and
 rationale):
 
@@ -16,6 +16,10 @@ rationale):
   still has an emitter.
 * **EXC** — exception taxonomy: library raises stay on
   ``repro.exceptions``; no bare or silently-broad handlers.
+* **CONC** — concurrency discipline: ``guarded-by``/``owned-by``
+  annotations enforced by a flow-aware pass — lock-guarded attribute
+  access, sole-writer thread ownership, an acyclic global lock order,
+  and no blocking calls while holding a lock.
 
 Findings are suppressed line-by-line with justified pragmas::
 

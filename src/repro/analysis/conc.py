@@ -1,0 +1,749 @@
+"""CONC rules: thread-ownership and lock discipline (flow-aware).
+
+The serving layer (``repro/service/``) and the parallel layer
+(``repro/parallel/``) document their threading design in prose:
+request-handler threads, one builder thread that solely owns each
+circuit breaker, lock-guarded counters, condition-wrapped queues. PR 8's
+review found exactly the bugs that prose cannot prevent — a handler
+thread calling the builder-owned ``CircuitBreaker.allow()`` and stats
+counters incremented without their lock. This module turns those
+documented invariants into machine-checked annotations:
+
+``# repro: guarded-by[self._lock]``
+    on a ``self.attr = ...`` assignment in ``__init__`` declares the
+    attribute lock-guarded. **CONC001** flags every other read or write
+    of it that is not lexically inside ``with self._lock:`` (a
+    ``threading.Condition`` wrapping the lock counts — both are
+    canonicalised to the underlying lock). ``__init__`` itself and
+    methods whose names end in ``_locked`` are exempt: the suffix is
+    the project's convention for "every caller already holds the lock"
+    (cf. ``AdmissionController._admit_locked``).
+
+``# repro: owned-by[<thread-role>]``
+    on a ``def`` line (or an ``__init__`` attribute assignment)
+    declares a sole-writer thread role. **CONC002** builds a
+    conservative intra-package call graph — the third cross-file pass,
+    alongside the PAR003 task vocabulary and EVT002 dead phases — and
+    flags calls/mutations of owned targets from functions reachable
+    from a *different* role's entry points. Functions reachable from no
+    annotated entry point are skipped (conservative: the analysis only
+    judges flows it can prove).
+
+**CONC003** needs no annotations: every ``threading.Lock``/``RLock``/
+``Condition`` attribute assigned in an ``__init__`` (and every local
+lock variable) becomes a node, nested ``with`` blocks and
+calls-while-holding become edges, and any cycle in the resulting global
+acquisition graph is a potential deadlock. Reentrant locks (RLock, or
+``Condition()`` with its default RLock) may self-loop; plain Locks may
+not.
+
+**CONC004** flags blocking calls made while lexically holding a
+declared lock: ``time.sleep``, pipe/socket ``recv``/``recv_bytes``/
+``accept``, ``subprocess.*``, argument-less ``.join()`` (thread/process
+join — ``", ".join(seq)`` takes a positional and is ignored), pool
+dispatch (``submit``/``apply``/``apply_async``/``starmap``, and the
+supervised pool's string-kind ``.map``), and ``.wait()`` on anything
+*other* than a held lock (``Condition.wait`` on the held lock releases
+it and is exempt).
+
+Known limitations, all conservative (silent, never false-positive):
+the with-stack is lexical per function, so a lock held by a caller is
+invisible inside the callee (use the ``_locked`` suffix for that
+idiom); attribute guards are only checked on ``self.<attr>`` in the
+declaring class; CONC004 does not follow calls.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.context import ModuleContext, dotted_name
+from repro.analysis.findings import Finding
+from repro.analysis.pragmas import Annotation, PragmaSheet
+
+__all__ = ["ModuleConc", "collect", "check_cross"]
+
+#: (module_label, scope, name) — scope is the class name for attribute
+#: locks, the function qualname for local lock variables.
+LockId = tuple[str, str, str]
+
+_LOCK_FACTORIES = {
+    "threading.Lock": "lock",
+    "threading.RLock": "rlock",
+    "threading.Condition": "condition",
+}
+
+#: Methods that hand work to a pool/executor; blocking under a lock.
+_DISPATCH_METHODS = frozenset({"submit", "apply", "apply_async",
+                               "starmap"})
+
+#: Receiver-method names that read from a pipe/socket; always blocking.
+_RECV_METHODS = frozenset({"recv", "recv_bytes", "accept"})
+
+#: Method names so common on builtin containers/streams that matching
+#: them by bare name on a non-``self`` receiver would wire unrelated
+#: classes into the call graph (``self.stats.get`` is a dict lookup,
+#: not ``IndexStore.get``). Skipping them loses only role/lock flow
+#: through identically-named project methods — conservative for every
+#: CONC rule, which all under- rather than over-approximate.
+_COMMON_METHODS = frozenset({
+    "get", "items", "keys", "values", "append", "extend", "insert",
+    "pop", "popitem", "update", "clear", "copy", "setdefault", "add",
+    "discard", "remove", "sort", "count", "index", "join", "split",
+    "strip", "format", "encode", "decode", "read", "write", "open",
+    "close", "put", "get_nowait", "put_nowait",
+})
+
+
+def _render(lock: LockId) -> str:
+    _, scope, name = lock
+    return f"{scope}.{name}" if scope else name
+
+
+@dataclass
+class ConcClass:
+    """Per-class lock and ownership declarations."""
+
+    name: str
+    #: lock attribute -> True when reacquiring it is safe (RLock, or a
+    #: Condition over an RLock / the default RLock).
+    reentrant: dict[str, bool] = field(default_factory=dict)
+    #: condition attribute -> the Lock attribute it wraps.
+    wraps: dict[str, str] = field(default_factory=dict)
+    #: guarded attribute -> (guard text as written, annotation).
+    guarded: dict[str, tuple[str, Annotation]] = field(default_factory=dict)
+    #: owned attribute -> thread role.
+    owned_attrs: dict[str, str] = field(default_factory=dict)
+    #: method name -> FunctionRecord, for self-call resolution.
+    methods: dict[str, "FunctionRecord"] = field(default_factory=dict)
+
+    def known_locks(self) -> set[str]:
+        locks = set(self.reentrant) | set(self.wraps)
+        locks.update(self.wraps.values())
+        for guard, _ in self.guarded.values():
+            locks.add(_strip_self(guard))
+        return locks
+
+    def canon(self, label: str, attr: str) -> LockId:
+        """Canonical LockId: a Condition stands for the Lock it wraps."""
+        return (label, self.name, self.wraps.get(attr, attr))
+
+
+@dataclass
+class CallSite:
+    name: str
+    is_attr: bool
+    self_recv: bool
+    held: tuple[LockId, ...]
+    node: ast.Call
+
+
+@dataclass
+class Access:
+    attr: str
+    mutates: bool
+    held: tuple[LockId, ...]
+    node: ast.Attribute
+
+
+@dataclass
+class FunctionRecord:
+    """One function/method with everything the cross pass needs."""
+
+    label: str
+    path: str
+    name: str
+    qual: str
+    node: ast.AST
+    cls: ConcClass | None = None
+    declared_role: str | None = None
+    roles: set[str] = field(default_factory=set)
+    calls: list[CallSite] = field(default_factory=list)
+    accesses: list[Access] = field(default_factory=list)
+    #: canonical lock -> first acquisition node.
+    acquires: dict[LockId, ast.AST] = field(default_factory=dict)
+    #: (outer, inner) -> inner acquisition node.
+    lexical_edges: dict[tuple[LockId, LockId], ast.AST] = field(
+        default_factory=dict)
+    #: local lock variable -> reentrant.
+    local_locks: dict[str, bool] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleConc:
+    """One module's CONC harvest: declarations, records, local findings."""
+
+    path: str
+    label: str
+    classes: list[ConcClass] = field(default_factory=list)
+    records: list[FunctionRecord] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+    #: canonical lock -> reentrant (unknown locks are absent).
+    kinds: dict[LockId, bool] = field(default_factory=dict)
+
+
+def _strip_self(guard: str) -> str:
+    return guard[5:] if guard.startswith("self.") else guard
+
+
+def _nearest_class(ctx: ModuleContext, node: ast.AST) -> ast.ClassDef | None:
+    current = ctx.parents.get(node)
+    while current is not None:
+        if isinstance(current, ast.ClassDef):
+            return current
+        current = ctx.parents.get(current)
+    return None
+
+
+def _qualname(ctx: ModuleContext, node: ast.AST) -> str:
+    parts = [node.name]
+    current = ctx.parents.get(node)
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.ClassDef)):
+            parts.append(current.name)
+        current = ctx.parents.get(current)
+    return ".".join(reversed(parts))
+
+
+def _lock_factory_kind(ctx: ModuleContext, value: ast.AST) -> str | None:
+    if not isinstance(value, ast.Call):
+        return None
+    resolved = ctx.resolves_to(value.func)
+    return _LOCK_FACTORIES.get(resolved) if resolved else None
+
+
+def _classify_lock(ctx: ModuleContext, cls: ConcClass,
+                   attr: str, value: ast.AST) -> None:
+    kind = _lock_factory_kind(ctx, value)
+    if kind == "lock":
+        cls.reentrant[attr] = False
+    elif kind == "rlock":
+        cls.reentrant[attr] = True
+    elif kind == "condition":
+        assert isinstance(value, ast.Call)
+        if not value.args:
+            # threading.Condition() defaults to a fresh RLock.
+            cls.reentrant[attr] = True
+            return
+        arg = value.args[0]
+        inner = _lock_factory_kind(ctx, arg)
+        if inner is not None:
+            cls.reentrant[attr] = inner != "lock"
+            return
+        if (isinstance(arg, ast.Attribute)
+                and isinstance(arg.value, ast.Name)
+                and arg.value.id == "self"):
+            # Condition over another self lock: one underlying lock.
+            cls.wraps[attr] = arg.attr
+
+
+def _assign_targets(stmt: ast.stmt) -> list[ast.expr]:
+    if isinstance(stmt, ast.Assign):
+        return list(stmt.targets)
+    if isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+        return [stmt.target]
+    if isinstance(stmt, ast.Delete):
+        return list(stmt.targets)
+    return []
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _body_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Lexical statements of ``func``, not descending into nested defs."""
+    stack = list(getattr(func, "body", []))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _mutated_attr_nodes(func: ast.AST) -> set[ast.Attribute]:
+    """``self.X`` Attribute nodes that a statement in ``func`` mutates.
+
+    Direct stores (``self.x = v``, ``del self.x``), augmented stores,
+    and container stores through subscripts (``self.stats["k"] += 1``)
+    all count: each mutates the object named by the base attribute.
+    """
+    mutated: set[ast.Attribute] = set()
+
+    def base_of(target: ast.expr) -> None:
+        while isinstance(target, (ast.Subscript, ast.Starred)):
+            target = target.value
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                base_of(elt)
+            return
+        if isinstance(target, ast.Attribute) and _self_attr(target):
+            mutated.add(target)
+
+    for node in _body_nodes(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign,
+                             ast.Delete)):
+            for target in _assign_targets(node):
+                base_of(target)
+    return mutated
+
+
+def _blocking_label(ctx: ModuleContext, call: ast.Call) -> str | None:
+    resolved = ctx.resolves_to(call.func)
+    if resolved == "time.sleep":
+        return "time.sleep"
+    if resolved is not None and resolved.startswith("subprocess."):
+        return resolved
+    if isinstance(call.func, ast.Attribute):
+        attr = call.func.attr
+        if attr in _RECV_METHODS:
+            return f".{attr}()"
+        if attr == "join" and not call.args:
+            # thread/process join; str.join passes the iterable
+            # positionally and never matches.
+            return ".join()"
+        if attr == "wait":
+            return ".wait()"
+        if attr in _DISPATCH_METHODS:
+            return f".{attr}()"
+        if (attr == "map" and call.args
+                and isinstance(call.args[0], ast.Constant)
+                and isinstance(call.args[0].value, str)):
+            # The supervised pool's string-kind dispatch idiom.
+            return ".map()"
+    return None
+
+
+def collect(ctx: ModuleContext, sheet: PragmaSheet) -> ModuleConc:
+    """Harvest one module: declarations, with-stacks, local findings."""
+    label = ctx.module or Path(ctx.display_path).stem
+    module = ModuleConc(path=ctx.display_path, label=label)
+    pending = [ann for ann in sheet.annotations]
+
+    class_infos: dict[ast.ClassDef, ConcClass] = {}
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            info = ConcClass(name=node.name)
+            class_infos[node] = info
+            module.classes.append(info)
+            _scan_init(ctx, node, info, pending)
+            for attr, reentrant in info.reentrant.items():
+                module.kinds[info.canon(label, attr)] = reentrant
+
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        cls_node = _nearest_class(ctx, node)
+        info = class_infos.get(cls_node) if cls_node is not None else None
+        record = FunctionRecord(
+            label=label, path=ctx.display_path, name=node.name,
+            qual=_qualname(ctx, node), node=node, cls=info)
+        for ann in pending:
+            if not ann.attached and ann.covers(node.lineno):
+                if ann.kind == "owned-by":
+                    ann.attached = True
+                    record.declared_role = ann.arg
+                    record.roles.add(ann.arg)
+                # guarded-by on a def stays unattached -> SUP002 below.
+                break
+        if info is not None:
+            info.methods.setdefault(node.name, record)
+        module.records.append(record)
+        _walk_function(ctx, module, record)
+
+    for ann in pending:
+        if ann.attached:
+            continue
+        where = ("a 'self.attr = ...' assignment in __init__"
+                 if ann.kind == "guarded-by"
+                 else "a 'def' line or an __init__ attribute assignment")
+        module.findings.append(Finding(
+            rule="SUP002", path=ctx.display_path, line=ann.line, col=0,
+            message=(f"dangling {ann.kind}[{ann.arg}] annotation: it "
+                     f"must sit on {where} (trailing, or on the "
+                     "comment line directly above)"),
+        ))
+
+    _check_guarded(module)
+    return module
+
+
+def _scan_init(ctx: ModuleContext, cls_node: ast.ClassDef,
+               info: ConcClass, pending: list[Annotation]) -> None:
+    init = next(
+        (stmt for stmt in cls_node.body
+         if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"),
+        None)
+    if init is None:
+        return
+    for stmt in _body_nodes(init):
+        if not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            continue
+        for target in _assign_targets(stmt):
+            attr = _self_attr(target)
+            if attr is None:
+                continue
+            if stmt.value is not None:
+                _classify_lock(ctx, info, attr, stmt.value)
+            for ann in pending:
+                if ann.attached or not ann.covers(stmt.lineno):
+                    continue
+                ann.attached = True
+                if ann.kind == "guarded-by":
+                    info.guarded[attr] = (ann.arg, ann)
+                else:
+                    info.owned_attrs[attr] = ann.arg
+                break
+
+
+def _walk_function(ctx: ModuleContext, module: ModuleConc,
+                   record: FunctionRecord) -> None:
+    mutated = _mutated_attr_nodes(record.node)
+    known = record.cls.known_locks() if record.cls is not None else set()
+
+    def lock_of(expr: ast.AST) -> LockId | None:
+        attr = _self_attr(expr)
+        if attr is not None and record.cls is not None and attr in known:
+            return record.cls.canon(record.label, attr)
+        if isinstance(expr, ast.Name) and expr.id in record.local_locks:
+            lock = (record.label, record.qual, expr.id)
+            module.kinds.setdefault(lock, record.local_locks[expr.id])
+            return lock
+        return None
+
+    def visit(node: ast.AST, held: tuple[LockId, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef, ast.Lambda)):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held
+            for item in node.items:
+                visit(item.context_expr, inner)
+                lock = lock_of(item.context_expr)
+                if lock is not None:
+                    record.acquires.setdefault(lock, item.context_expr)
+                    if inner and inner[-1] != lock:
+                        record.lexical_edges.setdefault(
+                            (inner[-1], lock), item.context_expr)
+                    elif inner and not module.kinds.get(lock, True):
+                        # Immediate re-acquisition of a plain Lock:
+                        # self-deadlock (an RLock self-nest is fine).
+                        record.lexical_edges.setdefault(
+                            (lock, lock), item.context_expr)
+                    inner = inner + (lock,)
+            for stmt in node.body:
+                visit(stmt, inner)
+            return
+        if isinstance(node, ast.Assign):
+            kind = _lock_factory_kind(ctx, node.value)
+            if kind is not None:
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        record.local_locks[target.id] = kind != "lock"
+        if isinstance(node, ast.Call):
+            _record_call(node, held)
+        attr = _self_attr(node)
+        if attr is not None:
+            record.accesses.append(Access(
+                attr=attr, mutates=node in mutated,
+                held=held, node=node))
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    def _record_call(call: ast.Call, held: tuple[LockId, ...]) -> None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            record.calls.append(CallSite(
+                name=func.id, is_attr=False, self_recv=False,
+                held=held, node=call))
+        elif isinstance(func, ast.Attribute):
+            record.calls.append(CallSite(
+                name=func.attr, is_attr=True,
+                self_recv=(isinstance(func.value, ast.Name)
+                           and func.value.id == "self"),
+                held=held, node=call))
+        if not held:
+            return
+        label = _blocking_label(ctx, call)
+        if label is None:
+            return
+        if label == ".wait()" and isinstance(func, ast.Attribute):
+            receiver = lock_of(func.value)
+            if receiver is not None and receiver in held:
+                # Condition.wait on the held lock releases it.
+                return
+        module.findings.append(Finding(
+            rule="CONC004", path=record.path,
+            line=call.lineno, col=call.col_offset,
+            message=(f"blocking call {label} while holding "
+                     f"{_render(held[-1])}; threads queued on the lock "
+                     "stall behind it — move the call outside the "
+                     "'with' block"),
+        ))
+
+    for stmt in record.node.body:
+        visit(stmt, ())
+
+
+def _check_guarded(module: ModuleConc) -> None:
+    """CONC001: guarded attributes accessed without their lock held."""
+    for record in module.records:
+        cls = record.cls
+        if (cls is None or not cls.guarded
+                or record.name == "__init__"
+                or record.name.endswith("_locked")):
+            continue
+        for access in record.accesses:
+            declared = cls.guarded.get(access.attr)
+            if declared is None:
+                continue
+            guard_text, _ = declared
+            guard = cls.canon(module.label, _strip_self(guard_text))
+            if guard in access.held:
+                continue
+            verb = "write to" if access.mutates else "read of"
+            module.findings.append(Finding(
+                rule="CONC001", path=record.path,
+                line=access.node.lineno, col=access.node.col_offset,
+                message=(f"{verb} 'self.{access.attr}' "
+                         f"(guarded-by[{guard_text}]) without holding "
+                         f"{guard_text}; wrap the access in "
+                         f"'with {guard_text}:' or rename the method "
+                         "with a _locked suffix if every caller "
+                         "already holds it"),
+            ))
+
+
+# -- cross-file pass ---------------------------------------------------
+
+
+def _call_targets(record: FunctionRecord, site: CallSite,
+                  by_name: dict[str, list[FunctionRecord]],
+                  module_funcs: dict[str, dict[str, list[FunctionRecord]]],
+                  ) -> list[FunctionRecord]:
+    """Conservatively resolve one call site to candidate records.
+
+    ``self.m()`` prefers the caller's own class; bare names prefer
+    same-module functions; everything else falls back to a global
+    match on the bare name (over-approximate by design).
+    """
+    if site.is_attr and site.self_recv and record.cls is not None:
+        own = record.cls.methods.get(site.name)
+        if own is not None:
+            return [own]
+    if not site.is_attr:
+        local = module_funcs.get(record.path, {}).get(site.name)
+        if local:
+            return local
+        return [r for r in by_name.get(site.name, ()) if r.cls is None]
+    if site.name in _COMMON_METHODS:
+        return []
+    return by_name.get(site.name, [])
+
+
+def check_cross(modules: list[ModuleConc]) -> list[Finding]:
+    """CONC002 (ownership) and CONC003 (lock ordering) over all modules."""
+    findings: list[Finding] = []
+    records: list[FunctionRecord] = [
+        r for m in modules for r in m.records]
+    by_name: dict[str, list[FunctionRecord]] = {}
+    module_funcs: dict[str, dict[str, list[FunctionRecord]]] = {}
+    for r in records:
+        by_name.setdefault(r.name, []).append(r)
+        if r.cls is None:
+            module_funcs.setdefault(r.path, {}).setdefault(
+                r.name, []).append(r)
+
+    def targets(record: FunctionRecord,
+                site: CallSite) -> list[FunctionRecord]:
+        return _call_targets(record, site, by_name, module_funcs)
+
+    # -- role propagation: entry-point roles flow along call edges.
+    worklist = [r for r in records if r.roles]
+    while worklist:
+        caller = worklist.pop()
+        for site in caller.calls:
+            for callee in targets(caller, site):
+                if not caller.roles <= callee.roles:
+                    callee.roles |= caller.roles
+                    worklist.append(callee)
+
+    # -- CONC002: owned targets reached from a foreign role.
+    for record in sorted(records, key=lambda r: (r.path, r.node.lineno)):
+        if not record.roles:
+            continue
+        for site in record.calls:
+            owners = sorted({
+                t.declared_role for t in targets(record, site)
+                if t.declared_role is not None
+                and record.roles - {t.declared_role}
+            })
+            if not owners:
+                continue
+            owner = owners[0]
+            foreign = sorted(record.roles - {owner})
+            findings.append(Finding(
+                rule="CONC002", path=record.path,
+                line=site.node.lineno, col=site.node.col_offset,
+                message=(f"'{site.name}' is owned-by[{owner}] but is "
+                         f"called here from code reachable from the "
+                         f"{', '.join(foreign)} thread; route it "
+                         f"through the {owner} thread instead"),
+            ))
+        if record.cls is None or record.name == "__init__":
+            continue
+        for access in record.accesses:
+            owner_role = record.cls.owned_attrs.get(access.attr)
+            if (owner_role is None or not access.mutates
+                    or not record.roles - {owner_role}):
+                continue
+            foreign = sorted(record.roles - {owner_role})
+            findings.append(Finding(
+                rule="CONC002", path=record.path,
+                line=access.node.lineno, col=access.node.col_offset,
+                message=(f"'self.{access.attr}' is "
+                         f"owned-by[{owner_role}] but is written here "
+                         f"from code reachable from the "
+                         f"{', '.join(foreign)} thread"),
+            ))
+
+    findings.extend(_check_lock_order(modules, records, targets))
+    return findings
+
+
+def _check_lock_order(
+    modules: list[ModuleConc],
+    records: list[FunctionRecord],
+    targets: "Callable[[FunctionRecord, CallSite], list[FunctionRecord]]",
+) -> list[Finding]:
+    """CONC003: cycles in the global lock-acquisition graph."""
+    kinds: dict[LockId, bool] = {}
+    for m in modules:
+        kinds.update(m.kinds)
+
+    # Transitive acquires per record (which locks can a call take?).
+    acquires: dict[int, set[LockId]] = {
+        id(r): set(r.acquires) for r in records}
+    changed = True
+    while changed:
+        changed = False
+        for r in records:
+            mine = acquires[id(r)]
+            for site in r.calls:
+                for callee in targets(r, site):
+                    extra = acquires[id(callee)] - mine
+                    if extra:
+                        mine |= extra
+                        changed = True
+
+    edges: dict[tuple[LockId, LockId], tuple[str, int]] = {}
+    for r in records:
+        for (outer, inner), node in r.lexical_edges.items():
+            edges.setdefault((outer, inner), (r.path, node.lineno))
+        for site in r.calls:
+            if not site.held:
+                continue
+            outer = site.held[-1]
+            for callee in targets(r, site):
+                for inner in acquires[id(callee)]:
+                    if inner == outer and kinds.get(inner, True):
+                        continue  # reentrant (or unknown kind): safe
+                    edges.setdefault(
+                        (outer, inner), (r.path, site.node.lineno))
+
+    graph: dict[LockId, set[LockId]] = {}
+    for (a, b) in edges:
+        graph.setdefault(a, set()).add(b)
+        graph.setdefault(b, set())
+
+    findings: list[Finding] = []
+    for component in _cycles(graph):
+        cycle_edges = sorted(
+            ((a, b), where) for (a, b), where in edges.items()
+            if a in component and b in component)
+        if not cycle_edges:
+            continue
+        (_, anchor) = cycle_edges[0]
+        if len(component) == 1:
+            lock = next(iter(component))
+            findings.append(Finding(
+                rule="CONC003", path=anchor[0], line=anchor[1], col=0,
+                message=(f"non-reentrant lock {_render(lock)} can be "
+                         "re-acquired while already held "
+                         "(self-deadlock); use threading.RLock or "
+                         "restructure the nesting"),
+            ))
+            continue
+        steps = "; ".join(
+            f"{_render(a)} -> {_render(b)} at {path}:{line}"
+            for (a, b), (path, line) in cycle_edges)
+        names = ", ".join(sorted(_render(lock) for lock in component))
+        findings.append(Finding(
+            rule="CONC003", path=anchor[0], line=anchor[1], col=0,
+            message=(f"lock-order cycle between {names}: {steps}; "
+                     "two threads taking these locks in opposite "
+                     "orders deadlock — pick one global order"),
+        ))
+    return findings
+
+
+def _cycles(graph: dict[LockId, set[LockId]]) -> list[set[LockId]]:
+    """Cyclic SCCs (size > 1, or a self-loop), iterative Tarjan."""
+    index: dict[LockId, int] = {}
+    low: dict[LockId, int] = {}
+    on_stack: set[LockId] = set()
+    stack: list[LockId] = []
+    counter = [0]
+    out: list[set[LockId]] = []
+
+    for root in sorted(graph):
+        if root in index:
+            continue
+        work = [(root, iter(sorted(graph[root])))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(graph[succ]))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: set[LockId] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or any(
+                        member in graph.get(member, ())
+                        for member in component):
+                    out.append(component)
+    return out

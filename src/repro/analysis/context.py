@@ -11,6 +11,7 @@ walking for the PAR lifecycle checks.
 from __future__ import annotations
 
 import ast
+from collections.abc import Iterator
 from pathlib import Path
 
 __all__ = ["ModuleContext", "CORE_ALGORITHM_PACKAGES", "dotted_name"]
@@ -61,7 +62,7 @@ def _module_name(path: Path) -> str | None:
 class ModuleContext:
     """One file's source, AST, and derived lookup tables."""
 
-    def __init__(self, path: Path, source: str, tree: ast.Module):
+    def __init__(self, path: Path, source: str, tree: ast.Module) -> None:
         self.path = path
         self.display_path = str(path)
         self.source = source
@@ -139,7 +140,7 @@ class ModuleContext:
         return name
 
     # -- scopes ---------------------------------------------------------
-    def scope_chain(self, node: ast.AST):
+    def scope_chain(self, node: ast.AST) -> Iterator[ast.AST]:
         """Yield enclosing FunctionDef/ClassDef nodes, then the module."""
         current = self.parents.get(node)
         while current is not None:
@@ -148,7 +149,8 @@ class ModuleContext:
                 yield current
             current = self.parents.get(current)
 
-    def enclosing_function(self, node: ast.AST):
+    def enclosing_function(
+            self, node: ast.AST) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
         for scope in self.scope_chain(node):
             if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 return scope

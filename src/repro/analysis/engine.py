@@ -2,8 +2,9 @@
 
 ``run_lint`` is the single entry point used by the CLI, the test
 suite, and CI. It walks the requested paths, runs the per-file rule
-families over each parsed module, then the two cross-file passes (the
-PAR003 task vocabulary and the EVT002 dead-phase check), and finally
+families over each parsed module, then the three cross-file passes (the
+PAR003 task vocabulary, the EVT002 dead-phase check, and the CONC
+call-graph pass for thread ownership and lock ordering), and finally
 applies the suppression pragmas — producing both the active findings
 (which gate the exit code) and the suppressed ones (which the JSON
 reporter still records, so suppressions stay auditable).
@@ -11,12 +12,15 @@ reporter still records, so suppressions stay auditable).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis import det, evt, exc, par
+from repro.analysis import conc, det, evt, exc, par
 from repro.analysis.context import ModuleContext
-from repro.analysis.findings import RULE_IDS, UNSUPPRESSABLE, Finding
+from repro.analysis.findings import (
+    FAMILIES, RULE_IDS, RULES, UNSUPPRESSABLE, Finding,
+)
 from repro.analysis.pragmas import PragmaSheet, parse_pragmas
 from repro.exceptions import ParameterError
 
@@ -72,25 +76,39 @@ def _load_base_task_registry() -> set[str]:
     return set(TASKS)
 
 
-def _validate_select(select) -> frozenset[str] | None:
+def _validate_select(select: Sequence[str] | None) -> frozenset[str] | None:
+    """Expand rule ids and family names ("CONC") to a rule-id set."""
     if select is None:
         return None
-    chosen = frozenset(select)
-    unknown = sorted(chosen - RULE_IDS)
+    chosen: set[str] = set()
+    unknown: list[str] = []
+    for token in select:
+        if token in RULE_IDS:
+            chosen.add(token)
+        elif token in FAMILIES:
+            chosen.update(
+                rule.id for rule in RULES.values()
+                if rule.family == token)
+        else:
+            unknown.append(token)
     if unknown:
         raise ParameterError(
-            f"unknown rule id(s) for --select: {', '.join(unknown)}; "
-            f"known rules are {', '.join(sorted(RULE_IDS))}"
+            f"unknown rule id(s) for --select: "
+            f"{', '.join(sorted(unknown))}; "
+            f"known rules are {', '.join(sorted(RULE_IDS))} "
+            f"and families {', '.join(FAMILIES)}"
         )
-    return chosen
+    return frozenset(chosen)
 
 
-def run_lint(paths, *, select=None) -> LintResult:
+def run_lint(paths: Sequence[str | Path], *,
+             select: Sequence[str] | None = None) -> LintResult:
     """Lint ``paths`` (files or directories) and return the result.
 
-    ``select`` optionally restricts checking to the given rule ids
-    (SUP/LNT diagnostics are always produced: they are findings about
-    the lint run itself). Raises :class:`repro.exceptions.
+    ``select`` optionally restricts checking to the given rule ids or
+    family names ("CONC" selects CONC001..CONC004); SUP/LNT
+    diagnostics are always produced: they are findings about the lint
+    run itself. Raises :class:`repro.exceptions.
     ParameterError` for paths that do not exist or unknown rule ids —
     the CLI maps that to exit code 2.
     """
@@ -133,11 +151,19 @@ def run_lint(paths, *, select=None) -> LintResult:
     known_phases = evt.load_runtime_phases() | set(registered_phases)
 
     # -- per-file rule families ----------------------------------------
+    conc_modules: list[conc.ModuleConc] = []
     for context in contexts:
         raw_findings.extend(det.check(context))
         raw_findings.extend(par.check(context, frozenset(task_registry)))
         raw_findings.extend(evt.check(context, frozenset(known_phases)))
         raw_findings.extend(exc.check(context))
+        module = conc.collect(context, sheets[context.display_path])
+        conc_modules.append(module)
+        raw_findings.extend(module.findings)
+
+    # -- CONC002/CONC003: thread ownership and lock ordering need the
+    # whole call graph, so they run as the third cross-file pass.
+    raw_findings.extend(conc.check_cross(conc_modules))
 
     # -- EVT002: dead phases (only those registered by scanned files,
     # so linting a fixture tree never indicts the real registry).

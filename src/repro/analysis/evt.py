@@ -22,6 +22,7 @@ Phase literals are recognised at:
 from __future__ import annotations
 
 import ast
+from collections.abc import Iterator
 
 from repro.analysis.context import ModuleContext
 from repro.analysis.findings import Finding
@@ -79,7 +80,8 @@ def collect_registered_phases(ctx: ModuleContext) -> dict[str, int]:
     return registered
 
 
-def _phase_literal_sites(ctx: ModuleContext):
+def _phase_literal_sites(
+        ctx: ModuleContext) -> Iterator[tuple[ast.AST, str, bool]]:
     """Yield ``(node, phase, is_emission)`` for every phase literal."""
     for node in ast.walk(ctx.tree):
         if isinstance(node, ast.Assign):

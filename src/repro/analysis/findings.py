@@ -18,6 +18,11 @@ Rule families
 ``EXC``  exception taxonomy — ``repro.exceptions`` is the only way the
          library signals failure; broad handlers must justify
          themselves.
+``CONC`` concurrency discipline — the declared threading invariants of
+         the serving and parallel layers (``# repro: guarded-by[...]``
+         and ``# repro: owned-by[...]`` annotations): lock-guarded
+         attribute access, sole-writer thread ownership, global lock
+         ordering, and no blocking calls while holding a lock.
 ``SUP``  the suppression system's own hygiene (unused or malformed
          pragmas).
 ``LNT``  checker infrastructure (files the checker could not parse).
@@ -149,6 +154,46 @@ RULES: dict[str, Rule] = {
             "(cleanup-and-bare-raise is exempt). Narrow the handler to "
             "the concrete exceptions, or keep the catch-all and "
             "justify it with a pragma.",
+        ),
+        Rule(
+            "CONC001", "CONC",
+            "guarded attribute accessed without its lock",
+            "An attribute declared '# repro: guarded-by[self._lock]' at "
+            "its __init__ assignment is shared mutable state; reading "
+            "or writing it outside a 'with <that lock>:' block (or a "
+            "threading.Condition wrapping it) is a data race — exactly "
+            "the unlocked stats counters PR 8's review caught by hand. "
+            "Methods whose names end in _locked are exempt: the suffix "
+            "asserts every caller already holds the lock.",
+        ),
+        Rule(
+            "CONC002", "CONC",
+            "owned method or attribute touched from the wrong thread",
+            "A method or attribute declared '# repro: owned-by[role]' "
+            "has a sole-writer thread (the breaker's mutators belong to "
+            "the builder thread); calling or mutating it from code "
+            "reachable from a different role's entry points breaks the "
+            "single-writer design — the handler-thread allow() call "
+            "that consumed the breaker's half-open probe permit.",
+        ),
+        Rule(
+            "CONC003", "CONC",
+            "lock-order cycle (potential deadlock)",
+            "Two locks acquired in different nested orders on different "
+            "code paths can deadlock the moment both paths run "
+            "concurrently; the acquisition graph built from nested "
+            "'with' blocks (including through intra-package calls) "
+            "must stay acyclic — pick one global order.",
+        ),
+        Rule(
+            "CONC004", "CONC",
+            "blocking call while holding a lock",
+            "time.sleep, pipe/socket recv/accept, subprocess, .join() "
+            "and pool dispatch calls made inside a 'with <lock>:' "
+            "block stall every thread queued on that lock behind one "
+            "slow operation; move the blocking call outside the "
+            "critical section (Condition.wait on the held lock is "
+            "fine — it releases the lock while waiting).",
         ),
         Rule(
             "SUP001", "SUP",

@@ -1,7 +1,8 @@
-"""Suppression pragmas: ``# repro: allow[DET001] why it is safe here``.
+"""Reprolint directives: suppressions and concurrency annotations.
 
-A pragma suppresses the named rule(s) on its own line, or — when it
-stands alone on a comment line — on the next line, so both styles work::
+Suppression pragmas — ``# repro: allow[DET001] why it is safe here`` —
+silence the named rule(s) on their own line, or — when the comment
+stands alone on a line — on the next line, so both styles work::
 
     for w in common:  # repro: allow[DET003] folded into a max(), order-free
         best = max(best, score[w])
@@ -11,10 +12,20 @@ stands alone on a comment line — on the next line, so both styles work::
         pass
 
 The reason text is mandatory: an unjustified suppression is exactly the
-kind of silent bypass reprolint exists to prevent. Unknown rule ids and
-syntax the parser cannot read are reported as SUP002 rather than being
-ignored, and pragmas that never matched a finding come back as SUP001
-(see :mod:`repro.analysis.engine`).
+kind of silent bypass reprolint exists to prevent.
+
+Concurrency annotations share the ``# repro:`` prefix and the same
+line-coverage convention, but *declare* invariants for the CONC rule
+family (:mod:`repro.analysis.conc`) instead of silencing findings::
+
+    self.stats = {...}  # repro: guarded-by[self._stats_lock]
+
+    # repro: owned-by[builder]
+    def allow(self) -> bool: ...
+
+Unknown rule ids and syntax the parser cannot read are reported as
+SUP002 rather than being ignored, and pragmas that never matched a
+finding come back as SUP001 (see :mod:`repro.analysis.engine`).
 """
 
 from __future__ import annotations
@@ -26,7 +37,7 @@ from dataclasses import dataclass, field
 
 from repro.analysis.findings import RULE_IDS, Finding
 
-__all__ = ["Pragma", "PragmaSheet", "parse_pragmas"]
+__all__ = ["Annotation", "Pragma", "PragmaSheet", "parse_pragmas"]
 
 #: Anything that *announces* itself as a reprolint directive. Scanning
 #: for this prefix first (rather than only for well-formed pragmas)
@@ -38,7 +49,18 @@ _PRAGMA = re.compile(
     r"#\s*repro\s*:\s*allow\s*\[(?P<rules>[^\]]*)\]\s*(?P<reason>.*)$"
 )
 
-_RULE_TOKEN = re.compile(r"^[A-Z]{3}\d{3}$")
+_RULE_TOKEN = re.compile(r"^[A-Z]{3,4}\d{3}$")
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro\s*:\s*(?P<kind>guarded-by|owned-by)\s*"
+    r"\[(?P<arg>[^\]]*)\]\s*(?P<note>.*)$"
+)
+
+#: guarded-by takes a lock expression: ``self._lock`` or a bare name.
+_GUARD_TOKEN = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*(\.[A-Za-z0-9_]+)*$")
+
+#: owned-by takes a thread-role name: ``builder``, ``pool-worker``, ...
+_ROLE_TOKEN = re.compile(r"^[a-z][a-z0-9_-]*$")
 
 
 @dataclass
@@ -60,12 +82,40 @@ class Pragma:
         return self.own_line and line == self.line + 1
 
 
-class PragmaSheet:
-    """All pragmas of one module, with match bookkeeping."""
+@dataclass
+class Annotation:
+    """One concurrency declaration: guarded-by[lock] or owned-by[role].
 
-    def __init__(self, pragmas: list[Pragma], malformed: list[Finding]):
+    An annotation attaches to the statement on its line (trailing
+    comment) or on the next line (own-line comment) — the same coverage
+    convention as :class:`Pragma`. What it may legally attach to is the
+    CONC analysis's business (:mod:`repro.analysis.conc`): a
+    ``self.attr = ...`` assignment inside ``__init__`` for either kind,
+    or a ``def`` line for ``owned-by``.
+    """
+
+    line: int
+    kind: str  # "guarded-by" | "owned-by"
+    arg: str
+    own_line: bool
+    #: Set by conc.collect once the annotation finds its statement;
+    #: dangling annotations are reported as SUP002.
+    attached: bool = False
+
+    def covers(self, line: int) -> bool:
+        if line == self.line:
+            return True
+        return self.own_line and line == self.line + 1
+
+
+class PragmaSheet:
+    """All reprolint directives of one module, with match bookkeeping."""
+
+    def __init__(self, pragmas: list[Pragma], malformed: list[Finding],
+                 annotations: list[Annotation] | None = None) -> None:
         self.pragmas = pragmas
         self.malformed = malformed
+        self.annotations: list[Annotation] = annotations or []
 
     def suppression_for(self, rule: str, line: int) -> Pragma | None:
         """The pragma suppressing ``rule`` at ``line``, if any."""
@@ -85,15 +135,20 @@ class PragmaSheet:
 
 
 def parse_pragmas(source: str, path: str) -> PragmaSheet:
-    """Extract every pragma (and pragma near-miss) from ``source``."""
+    """Extract every directive (and directive near-miss) from ``source``."""
     pragmas: list[Pragma] = []
     malformed: list[Finding] = []
+    annotations: list[Annotation] = []
+    source_lines = source.splitlines()
 
     def bad(line: int, col: int, why: str) -> None:
         malformed.append(Finding(
             rule="SUP002", path=path, line=line, col=col,
             message=f"malformed suppression pragma: {why}",
         ))
+
+    def is_own_line(line: int) -> bool:
+        return source_lines[line - 1].strip().startswith("#")
 
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
@@ -111,8 +166,27 @@ def parse_pragmas(source: str, path: str) -> PragmaSheet:
         line, col = tok.start
         match = _PRAGMA.match(text)
         if match is None:
+            directive = _DIRECTIVE.match(text)
+            if directive is not None:
+                kind = directive.group("kind")
+                arg = directive.group("arg").strip()
+                token_re = (_GUARD_TOKEN if kind == "guarded-by"
+                            else _ROLE_TOKEN)
+                if not token_re.match(arg):
+                    what = ("a lock expression like 'self._lock'"
+                            if kind == "guarded-by"
+                            else "a thread-role name like 'builder'")
+                    bad(line, col,
+                        f"{kind}[{arg}] — expected {what}")
+                    continue
+                annotations.append(Annotation(
+                    line=line, kind=kind, arg=arg,
+                    own_line=is_own_line(line)))
+                continue
             bad(line, col,
-                "expected '# repro: allow[RULE001, ...] reason'")
+                "expected '# repro: allow[RULE001, ...] reason', "
+                "'# repro: guarded-by[lock]' or "
+                "'# repro: owned-by[role]'")
             continue
         rules = tuple(
             token.strip() for token in match.group("rules").split(",")
@@ -133,7 +207,6 @@ def parse_pragmas(source: str, path: str) -> PragmaSheet:
                 f"allow[{', '.join(rules)}] is missing its "
                 "justification — say why the finding is safe here")
             continue
-        own_line = source.splitlines()[line - 1].strip().startswith("#")
         pragmas.append(Pragma(line=line, rules=rules, reason=reason,
-                              own_line=own_line))
-    return PragmaSheet(pragmas, malformed)
+                              own_line=is_own_line(line)))
+    return PragmaSheet(pragmas, malformed, annotations)

@@ -457,6 +457,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve(config)
 
 
+def _changed_py_files(ref: str) -> list[Path] | None:
+    """Python files changed vs ``ref`` plus untracked ones, as absolute
+    paths; None when the current directory is not inside a git checkout
+    (the caller falls back to a full lint)."""
+    import subprocess
+
+    def git(*argv: str):
+        return subprocess.run(
+            ["git", *argv], capture_output=True, text=True, check=False)
+
+    probe = git("rev-parse", "--show-toplevel")
+    if probe.returncode != 0:
+        return None
+    toplevel = Path(probe.stdout.strip())
+    diff = git("diff", "--name-only", "--diff-filter=d", ref, "--")
+    if diff.returncode != 0:
+        raise ParameterError(
+            f"git diff against {ref!r} failed: "
+            f"{diff.stderr.strip() or 'unknown git error'}")
+    untracked = git("ls-files", "--others", "--exclude-standard")
+    names = set(diff.stdout.splitlines())
+    if untracked.returncode == 0:
+        names |= set(untracked.stdout.splitlines())
+    return sorted(
+        toplevel / name for name in names if name.endswith(".py"))
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis import render_json, render_text, run_lint
 
@@ -473,6 +500,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 "benchmarks, examples exist under the current "
                 "directory"
             )
+    if args.changed is not None:
+        changed = _changed_py_files(args.changed)
+        if changed is None:
+            print("repro lint: not inside a git checkout; --changed "
+                  "ignored, running a full lint", file=sys.stderr)
+        else:
+            roots = [Path(p).resolve() for p in paths]
+            paths = [
+                str(file) for file in changed
+                if file.exists() and any(
+                    file.resolve() == root or root in file.resolve().parents
+                    for root in roots)
+            ]
+            if not paths:
+                print(f"0 changed file(s) vs {args.changed} under the "
+                      "lint paths; clean")
+                return 0
     select = None
     if args.select:
         select = [token.strip() for chunk in args.select
@@ -666,8 +710,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--format", choices=["text", "json"], default="text")
     p.add_argument("--select", action="append", metavar="RULES",
                    default=None,
-                   help="comma-separated rule ids to check "
-                        "(e.g. DET001,EXC003); default: all rules")
+                   help="comma-separated rule ids or families to check "
+                        "(e.g. DET001,EXC003 or CONC); default: all "
+                        "rules")
+    p.add_argument("--changed", nargs="?", const="HEAD", default=None,
+                   metavar="REF",
+                   help="lint only files changed vs the given git ref "
+                        "(default HEAD) — fast pre-commit runs; falls "
+                        "back to a full lint outside a git checkout")
     p.add_argument("--verbose", action="store_true",
                    help="also list suppressed findings with their "
                         "pragma justifications")

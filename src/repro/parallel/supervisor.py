@@ -229,6 +229,7 @@ def _worker_cpu_seconds() -> float:
     return own.ru_utime + own.ru_stime + kids.ru_utime + kids.ru_stime
 
 
+# repro: owned-by[cpu-reporter]
 def _cpu_report_loop(conn, send_lock, interval: float) -> None:
     """Body of the reporter thread: periodic CPU sends until the pipe dies."""
     while True:
@@ -260,6 +261,7 @@ def _start_cpu_reporter(conn, send_lock, interval: float):
     return thread
 
 
+# repro: owned-by[pool-worker]
 def _worker_main(worker_id: int, conn, edge_triples, handle, cancel,
                  counters, fault: PoolFaultState | None,
                  cpu_interval: float | None = None) -> None:

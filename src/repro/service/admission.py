@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import threading
 import time
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 
 from repro.exceptions import OverloadedError
@@ -41,16 +42,18 @@ class AdmissionController:
     """
 
     def __init__(self, max_inflight: int = 8, max_queue: int = 16,
-                 retry_after: float = 1.0, clock=time.monotonic):
+                 retry_after: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self.max_inflight = int(max_inflight)
         self.max_queue = int(max_queue)
         self.retry_after = float(retry_after)
         self._clock = clock
         self._cond = threading.Condition(threading.Lock())
-        self.inflight = 0
-        self.queued = 0
+        self.inflight = 0  # repro: guarded-by[self._cond]
+        self.queued = 0  # repro: guarded-by[self._cond]
         #: Lifetime counters: admitted requests, shed requests (split by
         #: reason), and the high-water marks.
+        # repro: guarded-by[self._cond]
         self.stats = {"admitted": 0, "shed_queue_full": 0,
                       "shed_wait_deadline": 0, "max_inflight_seen": 0,
                       "max_queued_seen": 0}
@@ -109,7 +112,7 @@ class AdmissionController:
             self._cond.notify_all()
 
     @contextmanager
-    def slot(self, timeout: float):
+    def slot(self, timeout: float) -> Iterator[None]:
         """Context manager pairing :meth:`acquire` with :meth:`release`."""
         self.acquire(timeout)
         try:

@@ -16,12 +16,16 @@ called from it. Request handlers only read :attr:`state` and
 :meth:`retry_after`, both safe concurrently under CPython's atomic
 attribute access; in particular a handler must never call
 :meth:`allow`, which would consume the single open→half-open probe
-permit the builder relies on and wedge the breaker half-open.
+permit the builder relies on and wedge the breaker half-open. That
+sole-writer contract is machine-checked: the ``# repro:
+owned-by[builder]`` annotations below feed reprolint's CONC002 rule
+(see docs/static-analysis.md).
 """
 
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 
 __all__ = ["CircuitBreaker"]
 
@@ -43,23 +47,25 @@ class CircuitBreaker:
     """
 
     def __init__(self, threshold: int = 3, backoff_base: float = 0.5,
-                 backoff_cap: float = 30.0, clock=time.monotonic):
+                 backoff_cap: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self.threshold = int(threshold)
         self.backoff_base = float(backoff_base)
         self.backoff_cap = float(backoff_cap)
         self._clock = clock
         #: ``"closed"`` (healthy), ``"open"`` (rebuilds suppressed), or
         #: ``"half-open"`` (one probe rebuild in flight).
-        self.state = "closed"
+        self.state = "closed"  # repro: owned-by[builder]
         #: Consecutive failures since the last success.
-        self.failures = 0
-        self._open_until = 0.0
+        self.failures = 0  # repro: owned-by[builder]
+        self._open_until = 0.0  # repro: owned-by[builder]
 
     def current_backoff(self) -> float:
         """The backoff interval the *next* open period would use."""
         exponent = max(0, self.failures - self.threshold)
         return min(self.backoff_cap, self.backoff_base * (2 ** exponent))
 
+    # repro: owned-by[builder]
     def record_failure(self) -> str:
         """Count one failed build; returns the resulting state."""
         self.failures += 1
@@ -68,6 +74,7 @@ class CircuitBreaker:
             self._open_until = self._clock() + self.current_backoff()
         return self.state
 
+    # repro: owned-by[builder]
     def record_success(self) -> str:
         """A build finished cleanly: reset and close."""
         self.failures = 0
@@ -75,6 +82,7 @@ class CircuitBreaker:
         self._open_until = 0.0
         return self.state
 
+    # repro: owned-by[builder]
     def allow(self) -> bool:
         """May a rebuild start now? **Builder-thread only** (mutates).
 

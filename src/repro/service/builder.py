@@ -27,9 +27,16 @@ from __future__ import annotations
 import signal
 import threading
 import time
+from collections.abc import Callable
+from typing import TYPE_CHECKING
 
 from repro.exceptions import ComputationInterrupted, ReproError
 from repro.runtime.interrupts import InterruptGuard
+
+if TYPE_CHECKING:
+    from repro.runtime.progress import ProgressEvent
+    from repro.service.server import TrussService
+    from repro.service.store import IndexEntry
 
 __all__ = ["IndexBuilder"]
 
@@ -40,18 +47,19 @@ _STRIKE_PHASES = ("worker-died", "task-quarantined")
 class IndexBuilder:
     """Single background thread draining a queue of index builds."""
 
-    def __init__(self, service, clock=time.monotonic):
+    def __init__(self, service: "TrussService",
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self.service = service
         self._clock = clock
         self._cond = threading.Condition(threading.Lock())
         #: token -> earliest monotonic time the build may start.
-        self._queue: dict[str, float] = {}
-        self._stopping = False
+        self._queue: dict[str, float] = {}  # repro: guarded-by[self._cond]
+        self._stopping = False  # repro: guarded-by[self._cond]
         self._thread: threading.Thread | None = None
         #: Cooperative abort for the in-flight harness run; a drain
         #: triggers it with the delivered signal number.
         self.guard = InterruptGuard(install=False)
-        self.stats = {"builds": 0, "failures": 0, "interrupted": 0}
+        self.stats = {"builds": 0, "failures": 0, "interrupted": 0}  # repro: owned-by[builder]
 
     def start(self) -> None:
         self._thread = threading.Thread(
@@ -101,6 +109,7 @@ class IndexBuilder:
                 else:
                     self._cond.wait(0.5)
 
+    # repro: owned-by[builder]
     def _run(self) -> None:
         while True:
             token = self._next_token()
@@ -142,7 +151,7 @@ class IndexBuilder:
                      {"token": token, "action": "started"})
         strikes = {"count": 0}
 
-        def count_strikes(event):
+        def count_strikes(event: ProgressEvent) -> None:
             if event.phase in _STRIKE_PHASES:
                 strikes["count"] += 1
 
@@ -184,7 +193,7 @@ class IndexBuilder:
                                  {"token": token, "state": "closed",
                                   "failures": 0, "retry_after": 0.0})
 
-    def _note_failure(self, entry, reason: str) -> None:
+    def _note_failure(self, entry: IndexEntry, reason: str) -> None:
         self.stats["failures"] += 1
         self.service.store.fail(entry.token, reason)
         self.service.emit("service-build", self.stats["builds"],
@@ -192,7 +201,7 @@ class IndexBuilder:
                            "reason": reason})
         self._strike(entry, reason)
 
-    def _strike(self, entry, reason: str) -> None:
+    def _strike(self, entry: IndexEntry, reason: str) -> None:
         breaker = entry.breaker
         if breaker is None:
             return

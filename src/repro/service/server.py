@@ -34,7 +34,9 @@ import json
 import signal
 import threading
 import time
+from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlsplit
 
@@ -50,7 +52,12 @@ from repro.runtime.progress import ProgressEvent
 from repro.service.admission import AdmissionController
 from repro.service.breaker import CircuitBreaker
 from repro.service.builder import IndexBuilder
-from repro.service.store import IndexKey, IndexStore
+from repro.service.store import IndexEntry, IndexKey, IndexStore
+
+if TYPE_CHECKING:
+    from repro.apps.team_formation import CollaborationNetwork
+    from repro.graphs.probabilistic import ProbabilisticGraph
+    from repro.runtime.result import PartialResult
 
 __all__ = ["ServeConfig", "TrussService", "serve"]
 
@@ -98,14 +105,15 @@ class _FaultCarrier:
     the checkpoint store of background index builds.
     """
 
-    def __init__(self, plans: tuple):
+    def __init__(self, plans: tuple) -> None:
         self.hooks = tuple(plans)
 
-    def __call__(self, event) -> None:
+    def __call__(self, event: ProgressEvent) -> None:
         pass
 
 
-def _fault_sources(progress) -> tuple:
+def _fault_sources(
+        progress: Callable[[ProgressEvent], None] | None) -> tuple:
     """Hooks in ``progress`` that carry service fault tokens.
 
     Mirrors the harness's ``_pool_faults_of``: walks one level of
@@ -121,8 +129,9 @@ def _fault_sources(progress) -> tuple:
 class TrussService:
     """The query service: dispatch, indexes, builds, and drain."""
 
-    def __init__(self, config: ServeConfig, progress=None,
-                 clock=time.monotonic):
+    def __init__(self, config: ServeConfig,
+                 progress: Callable[[ProgressEvent], None] | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
         self.config = config
         self._clock = clock
         self._progress = progress
@@ -148,14 +157,15 @@ class TrussService:
                 emit=self.emit_event, clock=clock,
                 memory_probe=config.extra.get("memory_probe"),
             )
-        self._graphs: dict = {}
+        self._graphs: dict = {}  # repro: guarded-by[self._graph_lock]
         self._graph_lock = threading.Lock()
-        self._network = None
-        self.draining = False
-        self._request_seq = 0
+        self._network = None  # repro: guarded-by[self._graph_lock]
+        self.draining = False  # repro: owned-by[main]
+        self._request_seq = 0  # repro: guarded-by[self._seq_lock]
         self._seq_lock = threading.Lock()
         self.http_server: ThreadingHTTPServer | None = None
         self._stats_lock = threading.Lock()
+        # repro: guarded-by[self._stats_lock]
         self.stats = {"requests": 0, "responses": 0, "shed": 0,
                       "degraded_served": 0, "dropped_writes": 0}
 
@@ -241,7 +251,7 @@ class TrussService:
 
     # ------------------------------------------------------------------
     # graphs
-    def _graph(self, spec: str):
+    def _graph(self, spec: str) -> "ProbabilisticGraph":
         from repro.datasets import DATASET_NAMES, load_dataset
         from repro.exceptions import DatasetError
         from repro.graphs.io import read_edge_list, read_json_graph
@@ -268,7 +278,7 @@ class TrussService:
             self._graphs[cache_key] = graph
         return graph
 
-    def _collaboration_network(self):
+    def _collaboration_network(self) -> "CollaborationNetwork":
         from repro.apps.team_formation import generate_collaboration_network
 
         with self._graph_lock:
@@ -279,14 +289,15 @@ class TrussService:
 
     # ------------------------------------------------------------------
     # index builds (called from the builder thread)
-    def _arm_breaker(self, entry) -> None:
+    def _arm_breaker(self, entry: IndexEntry) -> None:
         if entry.breaker is None:
             entry.breaker = CircuitBreaker(
                 threshold=self.config.breaker_threshold,
                 backoff_base=self.config.backoff_base,
                 backoff_cap=self.config.backoff_cap, clock=self._clock)
 
-    def run_build(self, entry, extra_hooks=()):
+    def run_build(self, entry: IndexEntry,
+                  extra_hooks: Iterable[Callable] = ()) -> "PartialResult":
         """Run one index build through the execution harness."""
         from repro.runtime import run_global, run_local
 
@@ -296,7 +307,7 @@ class TrussService:
         if self.config.build_throttle > 0:
             pause = self.config.build_throttle
 
-            def throttle(event):
+            def throttle(event: ProgressEvent) -> None:
                 if event.phase == "sample-batch":
                     time.sleep(pause)
 
@@ -320,7 +331,8 @@ class TrussService:
             on_corrupt="restart",
         )
 
-    def payload_of(self, key: IndexKey, partial):
+    def payload_of(self, key: IndexKey,
+                   partial: "PartialResult") -> tuple[dict, bytes]:
         """The JSON summary served to clients + the canonical bytes."""
         from repro.runtime.result import (
             serialize_global_result,
@@ -398,7 +410,7 @@ class TrussService:
         raise ParameterError(
             f"unknown endpoint {endpoint!r}; see docs/serving.md")
 
-    def _handle_stats(self, params: dict, budget: Budget):
+    def _handle_stats(self, params: dict, budget: Budget) -> tuple:
         from repro.datasets import dataset_statistics
 
         graph = self._graph(_one(params, "graph", required=True))
@@ -461,7 +473,8 @@ class TrussService:
             method=method, seed=self.config.seed, epsilon=epsilon,
             delta=delta, n_samples=n_samples)
 
-    def _handle_index_query(self, kind: str, params: dict, budget: Budget):
+    def _handle_index_query(self, kind: str, params: dict,
+                            budget: Budget) -> tuple:
         key = self._index_key(kind, params)
         entry, created = self.store.ensure(key)
         self._arm_breaker(entry)
@@ -509,7 +522,7 @@ class TrussService:
             f"(status {entry.status})",
             retry_after=retry_after, building=building)
 
-    def _wait_for_index(self, entry, budget: Budget) -> None:
+    def _wait_for_index(self, entry: IndexEntry, budget: Budget) -> None:
         """Block (bounded by the request deadline) for a fresh build."""
         while entry.payload is None:
             remaining = budget.remaining()
@@ -519,7 +532,7 @@ class TrussService:
                 return
             time.sleep(min(0.05, remaining))
 
-    def _handle_team(self, params: dict, budget: Budget):
+    def _handle_team(self, params: dict, budget: Budget) -> tuple:
         from repro.apps.team_formation import team_by_local_truss
         from repro.runtime import run_local
 
@@ -605,6 +618,7 @@ class TrussService:
                 f"resource pressure: {pressure}",
                 retry_after=max(1.0, self.watchdog.interval))
 
+    # repro: owned-by[handler]
     def handle_http(self, handler: "_Handler") -> None:
         """One request, end to end: admission, dispatch, response."""
         started = self._clock()
@@ -648,7 +662,8 @@ class TrussService:
         self._write_json(handler, endpoint, request_id, started,
                          status, payload, headers)
 
-    def _write_json(self, handler, endpoint: str, request_id: int,
+    def _write_json(self, handler: BaseHTTPRequestHandler,
+                    endpoint: str, request_id: int,
                     started: float, status: int, payload: dict,
                     headers: dict) -> None:
         body = json.dumps(payload, sort_keys=True, default=str).encode()
@@ -712,7 +727,8 @@ def _error_response(err: ReproError) -> tuple[int, dict, dict]:
     return status, payload, headers
 
 
-def _one(params: dict, name: str, default=None, required=False):
+def _one(params: dict, name: str, default: str | None = None,
+         required: bool = False) -> str | None:
     values = params.get(name)
     if not values:
         if required:
@@ -721,7 +737,8 @@ def _one(params: dict, name: str, default=None, required=False):
     return values[-1]
 
 
-def _float(params: dict, name: str, default=None, required=False):
+def _float(params: dict, name: str, default: float | None = None,
+           required: bool = False) -> float | None:
     raw = _one(params, name, required=required)
     if raw is None:
         return default
@@ -733,7 +750,7 @@ def _float(params: dict, name: str, default=None, required=False):
         ) from None
 
 
-def _int(params: dict, name: str, default=None):
+def _int(params: dict, name: str, default: int | None = None) -> int | None:
     raw = _one(params, name)
     if raw is None:
         return default
@@ -756,11 +773,13 @@ class _ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, handler, service: TrussService):
+    def __init__(self, address: tuple, handler: type,
+                 service: TrussService) -> None:
         self.service = service
         super().__init__(address, handler)
 
-    def verify_request(self, request, client_address) -> bool:
+    def verify_request(self, request: object,
+                       client_address: object) -> bool:
         return self.service.accepting()
 
 
@@ -772,18 +791,21 @@ class _Handler(BaseHTTPRequestHandler):
     #: Bound read so a stalled *request* cannot pin a thread forever.
     timeout = 30
 
+    # repro: owned-by[handler]
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         self.server.service.handle_http(self)
 
     do_POST = do_GET
 
-    def log_message(self, format, *args) -> None:
+    def log_message(self, format: str, *args: object) -> None:
         # Access logging goes through service-request/service-response
         # trace events instead of stderr.
         pass
 
 
-def serve(config: ServeConfig, progress=None, *, ready=None) -> int:
+def serve(config: ServeConfig,
+          progress: Callable[[ProgressEvent], None] | None = None, *,
+          ready: "Callable[[TrussService], None] | None" = None) -> int:
     """Run the service until SIGINT/SIGTERM; returns the exit code.
 
     Installs an :class:`~repro.runtime.InterruptGuard` on the main

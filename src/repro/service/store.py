@@ -88,7 +88,7 @@ class IndexEntry:
     the last good result keeps being served, marked degraded.
     """
 
-    def __init__(self, key: IndexKey, directory: Path):
+    def __init__(self, key: IndexKey, directory: Path) -> None:
         self.key = key
         self.directory = directory
         self.status = "queued"
@@ -164,11 +164,11 @@ def _write_atomic(path: Path, data: bytes) -> None:
 class IndexStore:
     """Thread-safe registry of :class:`IndexEntry` objects on disk."""
 
-    def __init__(self, root):
+    def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.RLock()
-        self._entries: dict[str, IndexEntry] = {}
+        self._entries: dict[str, IndexEntry] = {}  # repro: guarded-by[self._lock]
 
     def load(self) -> list[IndexEntry]:
         """Warm start: rebuild the registry from disk.

@@ -1,0 +1,30 @@
+"""CONC001 negative space: every guarded access pattern that is legal.
+
+Locked access, access through a ``threading.Condition`` wrapping the
+declared lock, the ``_locked``-suffix convention (caller holds the
+lock), and ``__init__`` itself.
+"""
+
+import threading
+
+
+class Admission:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.inflight = 0  # repro: guarded-by[self._lock]
+        self.inflight = self.inflight  # __init__ is exempt
+
+    def acquire(self):
+        # The Condition wraps the declared lock: same underlying lock.
+        with self._cond:
+            self.inflight += 1
+
+    def release(self):
+        with self._lock:
+            self.inflight -= 1
+            self._cond.notify_all()
+
+    def _admit_locked(self):
+        # _locked suffix: every caller already holds self._lock.
+        self.inflight += 1

@@ -1,0 +1,20 @@
+"""CONC001: the PR 8 pre-fix bug — stats counters without their lock.
+
+``TrussService.stats`` was declared handler-shared but incremented with
+a bare read-modify-write; the human review caught it, CONC001 must too.
+"""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._stats_lock = threading.Lock()
+        # repro: guarded-by[self._stats_lock]
+        self.stats = {"requests": 0, "responses": 0}
+
+    def handle_http(self):
+        self.stats["requests"] += 1
+
+    def respond(self):
+        return self.stats["responses"]

@@ -1,0 +1,16 @@
+"""CONC001's violation from the fires twin, silenced by pragmas."""
+
+import threading
+
+
+class Service:
+    def __init__(self):
+        self._stats_lock = threading.Lock()
+        # repro: guarded-by[self._stats_lock]
+        self.stats = {"requests": 0, "responses": 0}
+
+    def handle_http(self):
+        self.stats["requests"] += 1  # repro: allow[CONC001] single-threaded smoke harness; no second thread exists here
+
+    def respond(self):
+        return self.stats["responses"]  # repro: allow[CONC001] read-only snapshot for a log line; staleness is fine

@@ -1,0 +1,49 @@
+"""CONC002 negative space: ownership respected.
+
+The builder role calls its own breaker mutators (including through a
+helper it reaches transitively); the handler only touches read-only
+methods; role-free code (the test harness constructing everything) is
+never judged.
+"""
+
+
+class CircuitBreaker:
+    def __init__(self):
+        self.state = "closed"
+        self.failures = 0  # repro: owned-by[builder]
+
+    # repro: owned-by[builder]
+    def record_failure(self):
+        self.failures += 1
+        return self.state
+
+    def retry_after(self):
+        return 0.0 if self.state == "closed" else 1.0
+
+
+class Builder:
+    def __init__(self, breaker):
+        self.breaker = breaker
+
+    # repro: owned-by[builder]
+    def run(self):
+        self._strike()
+
+    def _strike(self):
+        # Reached only from the builder entry point: same role.
+        self.breaker.record_failure()
+
+
+class Service:
+    def __init__(self, breaker):
+        self.breaker = breaker
+
+    # repro: owned-by[handler]
+    def handle_request(self):
+        return self.breaker.retry_after()
+
+
+def wire_up():
+    breaker = CircuitBreaker()
+    Builder(breaker).run()
+    return Service(breaker)

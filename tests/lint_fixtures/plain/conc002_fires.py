@@ -1,0 +1,28 @@
+"""CONC002: the PR 8 pre-fix bug — handler thread calls ``allow()``.
+
+The breaker's mutators belong to the builder thread; a request handler
+calling ``allow()`` consumes the single open->half-open probe permit
+and wedges the breaker. The human review caught it, CONC002 must too.
+"""
+
+
+class CircuitBreaker:
+    def __init__(self):
+        self.state = "closed"
+
+    # repro: owned-by[builder]
+    def allow(self):
+        if self.state == "open":
+            self.state = "half-open"
+        return True
+
+
+class Service:
+    def __init__(self, breaker):
+        self.breaker = breaker
+
+    # repro: owned-by[handler]
+    def handle_request(self):
+        if self.breaker.allow():
+            return "queued"
+        return "shed"

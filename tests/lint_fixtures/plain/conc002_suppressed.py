@@ -1,0 +1,23 @@
+"""CONC002's violation from the fires twin, silenced by a pragma."""
+
+
+class CircuitBreaker:
+    def __init__(self):
+        self.state = "closed"
+
+    # repro: owned-by[builder]
+    def allow(self):
+        if self.state == "open":
+            self.state = "half-open"
+        return True
+
+
+class Service:
+    def __init__(self, breaker):
+        self.breaker = breaker
+
+    # repro: owned-by[handler]
+    def handle_request(self):
+        if self.breaker.allow():  # repro: allow[CONC002] this service runs the builder inline on the handler thread; there is no second writer
+            return "queued"
+        return "shed"

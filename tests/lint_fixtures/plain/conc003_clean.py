@@ -1,0 +1,36 @@
+"""CONC003 negative space: nesting that must not be called a deadlock.
+
+A consistent global order on every path, a reentrant RLock self-nest
+(directly and through a helper call made while holding it), and a
+``Condition`` canonicalised to the Lock it wraps.
+"""
+
+import threading
+
+
+class Consistent:
+    def __init__(self):
+        self._outer = threading.Lock()
+        self._inner = threading.Lock()
+        self._emit = threading.RLock()
+        self._cond = threading.Condition(self._outer)
+
+    def one(self):
+        with self._outer:
+            with self._inner:
+                pass
+
+    def two(self):
+        # Same order as one(): no cycle.
+        with self._cond:  # the Condition *is* self._outer
+            with self._inner:
+                pass
+
+    def emit(self):
+        with self._emit:
+            self.emit_line()
+
+    def emit_line(self):
+        # Re-acquiring the RLock on the same thread is fine.
+        with self._emit:
+            pass

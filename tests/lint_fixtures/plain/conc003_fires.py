@@ -1,0 +1,19 @@
+"""CONC003: two locks nested in opposite orders on two code paths."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._audit = threading.Lock()
+
+    def credit(self):
+        with self._accounts:
+            with self._audit:
+                pass
+
+    def debit(self):
+        with self._audit:
+            with self._accounts:
+                pass

@@ -1,0 +1,19 @@
+"""CONC003's cycle from the fires twin, silenced by a pragma."""
+
+import threading
+
+
+class Ledger:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._audit = threading.Lock()
+
+    def credit(self):
+        with self._accounts:
+            with self._audit:  # repro: allow[CONC003] debit() is only ever called at single-threaded startup, before the pool exists
+                pass
+
+    def debit(self):
+        with self._audit:
+            with self._accounts:
+                pass

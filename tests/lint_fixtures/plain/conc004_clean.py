@@ -1,0 +1,31 @@
+"""CONC004 negative space: blocking-adjacent idioms that are fine.
+
+``Condition.wait`` on the held lock (it releases the lock while
+waiting), ``str.join`` (a positional argument, so not a thread join),
+and blocking calls made *outside* the critical section.
+"""
+
+import threading
+import time
+
+
+class Paced:
+    def __init__(self):
+        self._cond = threading.Condition(threading.Lock())
+        self.ready = False  # repro: guarded-by[self._cond]
+
+    def wait_ready(self):
+        with self._cond:
+            while not self.ready:
+                self._cond.wait(0.1)
+        time.sleep(0.0)
+
+    def label(self):
+        with self._cond:
+            return ", ".join(["a", "b"])
+
+    def reap(self, worker):
+        worker.join(timeout=1.0)
+        with self._cond:
+            self.ready = True
+            self._cond.notify_all()

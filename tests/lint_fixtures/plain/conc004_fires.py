@@ -1,0 +1,13 @@
+"""CONC004: sleeping while holding a lock serialises every waiter."""
+
+import threading
+import time
+
+
+class Throttle:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def pace(self):
+        with self._lock:
+            time.sleep(0.1)

@@ -1,0 +1,13 @@
+"""CONC004's blocking call from the fires twin, silenced by a pragma."""
+
+import threading
+import time
+
+
+class Throttle:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def pace(self):
+        with self._lock:
+            time.sleep(0.1)  # repro: allow[CONC004] intentional: the lock IS the rate limiter; contending callers must queue behind the sleep

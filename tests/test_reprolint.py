@@ -54,6 +54,10 @@ FIRES = {
     "EXC001": "repro/exc001_fires.py",
     "EXC002": "plain/exc002_fires.py",
     "EXC003": "plain/exc003_fires.py",
+    "CONC001": "plain/conc001_fires.py",
+    "CONC002": "plain/conc002_fires.py",
+    "CONC003": "plain/conc003_fires.py",
+    "CONC004": "plain/conc004_fires.py",
     "SUP001": "plain/sup001_fires.py",
     "SUP002": "plain/sup002_fires.py",
 }
@@ -73,6 +77,10 @@ CLEAN = [
     "plain/det003_clean.py",
     "plain/par001_clean.py",
     "plain/exc003_clean.py",
+    "plain/conc001_clean.py",
+    "plain/conc002_clean.py",
+    "plain/conc003_clean.py",
+    "plain/conc004_clean.py",
     # Resolves to the module repro.core.kernels, the whitelisted home
     # of np.unpackbits — PAR004 must stay quiet there.
     "repro/core/kernels.py",

@@ -1,0 +1,506 @@
+"""The CONC rule family: semantics, annotations, golden corpus, CLI.
+
+The fixture-corpus basics (fires / suppressed / clean) ride the
+machinery in ``test_reprolint.py``; this module pins down the parts
+specific to the concurrency analysis:
+
+* annotation parsing (``guarded-by``/``owned-by``), including the
+  malformed and dangling shapes that must surface as SUP002;
+* the flow rules one by one — Condition-wraps-Lock aliasing, the
+  ``_locked`` suffix convention, role propagation through the call
+  graph, RLock reentrancy, the ``str.join`` / thread-``join``
+  distinction;
+* the golden JSON corpus CI diffs against;
+* ``--select CONC`` (family expansion) and ``repro lint --changed``.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_lint
+from repro.cli import main
+from repro.exceptions import ParameterError
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def lint_source(tmp_path: Path, source: str, select=None):
+    """Lint one inline module; returns the LintResult."""
+    file = tmp_path / "snippet.py"
+    file.write_text(source)
+    return run_lint([str(file)], select=select)
+
+
+def rules_of(result) -> list[str]:
+    return [f.rule for f in result.findings]
+
+
+# --------------------------------------------------------------------------
+# annotation parsing
+
+
+def test_malformed_guarded_by_is_sup002(tmp_path):
+    result = lint_source(tmp_path, """\
+import threading
+
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.x = 0  # repro: guarded-by[not a lock expr!]
+""")
+    assert rules_of(result) == ["SUP002"]
+    assert "guarded-by" in result.findings[0].message
+
+
+def test_malformed_owned_by_role_is_sup002(tmp_path):
+    result = lint_source(tmp_path, """\
+class C:
+    def __init__(self):
+        self.x = 0  # repro: owned-by[Not A Role]
+""")
+    assert rules_of(result) == ["SUP002"]
+
+
+def test_dangling_annotation_is_sup002(tmp_path):
+    # guarded-by on a def line declares nothing; it must not be
+    # silently dropped.
+    result = lint_source(tmp_path, """\
+import threading
+
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    # repro: guarded-by[self._lock]
+    def work(self):
+        return 1
+""")
+    assert rules_of(result) == ["SUP002"]
+    assert "dangling" in result.findings[0].message
+
+
+def test_annotations_do_not_trip_sup001():
+    # Annotations declare invariants; they are not suppressions and
+    # must never be reported as stale pragmas.
+    result = run_lint([str(FIXTURES / "plain" / "conc001_clean.py")])
+    assert result.clean, [f.render() for f in result.findings]
+
+
+# --------------------------------------------------------------------------
+# CONC001 semantics
+
+
+def test_condition_wrapping_lock_counts_as_holding_it(tmp_path):
+    result = lint_source(tmp_path, """\
+import threading
+
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self.n = 0  # repro: guarded-by[self._cond]
+
+    def locked_via_lock(self):
+        # The raw lock and its Condition are one underlying lock.
+        with self._lock:
+            self.n += 1
+""")
+    assert result.clean, [f.render() for f in result.findings]
+
+
+def test_locked_suffix_method_is_exempt(tmp_path):
+    result = lint_source(tmp_path, """\
+import threading
+
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n = 0  # repro: guarded-by[self._lock]
+
+    def _bump_locked(self):
+        self.n += 1
+
+    def bump(self):
+        with self._lock:
+            self._bump_locked()
+""")
+    assert result.clean, [f.render() for f in result.findings]
+
+
+def test_nested_function_does_not_inherit_the_with_stack(tmp_path):
+    # A closure defined under `with` may run long after the lock is
+    # released: the guarded access inside it must still be flagged.
+    result = lint_source(tmp_path, """\
+import threading
+
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.n = 0  # repro: guarded-by[self._lock]
+
+    def make_callback(self):
+        with self._lock:
+            def cb():
+                self.n += 1
+            return cb
+""")
+    assert rules_of(result) == ["CONC001"]
+
+
+def test_wrong_lock_does_not_satisfy_the_guard(tmp_path):
+    result = lint_source(tmp_path, """\
+import threading
+
+
+class C:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.n = 0  # repro: guarded-by[self._a]
+
+    def bump(self):
+        with self._b:
+            self.n += 1
+""")
+    assert rules_of(result) == ["CONC001"]
+
+
+# --------------------------------------------------------------------------
+# CONC002 semantics
+
+
+def test_role_propagates_transitively(tmp_path):
+    # handler -> helper -> owned method: the violation survives one
+    # level of indirection.
+    result = lint_source(tmp_path, """\
+class Breaker:
+    # repro: owned-by[builder]
+    def allow(self):
+        return True
+
+
+class Service:
+    def __init__(self, breaker):
+        self.breaker = breaker
+
+    # repro: owned-by[handler]
+    def handle(self):
+        return self._helper()
+
+    def _helper(self):
+        return self.breaker.allow()
+""")
+    assert rules_of(result) == ["CONC002"]
+
+
+def test_role_free_code_is_never_judged(tmp_path):
+    # Test harnesses and wiring code have no declared role; calling an
+    # owned method from them is fine (conservative by design).
+    result = lint_source(tmp_path, """\
+class Breaker:
+    # repro: owned-by[builder]
+    def allow(self):
+        return True
+
+
+def harness(breaker):
+    return breaker.allow()
+""")
+    assert result.clean, [f.render() for f in result.findings]
+
+
+def test_owned_attribute_write_from_foreign_role(tmp_path):
+    result = lint_source(tmp_path, """\
+class Breaker:
+    def __init__(self):
+        self.state = "closed"  # repro: owned-by[builder]
+
+    # repro: owned-by[handler]
+    def poke(self):
+        self.state = "half-open"
+""")
+    assert rules_of(result) == ["CONC002"]
+    assert "owned-by[builder]" in result.findings[0].message
+
+
+# --------------------------------------------------------------------------
+# CONC003 semantics
+
+
+def test_interprocedural_cycle_is_found(tmp_path):
+    # credit holds A and calls a helper that takes B; debit nests the
+    # other way round — the cycle crosses a call edge.
+    result = lint_source(tmp_path, """\
+import threading
+
+
+class C:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def credit(self):
+        with self._a:
+            self._take_b()
+
+    def _take_b(self):
+        with self._b:
+            pass
+
+    def debit(self):
+        with self._b:
+            with self._a:
+                pass
+""")
+    assert rules_of(result) == ["CONC003"]
+
+
+def test_plain_lock_self_nest_is_self_deadlock(tmp_path):
+    result = lint_source(tmp_path, """\
+import threading
+
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def oops(self):
+        with self._lock:
+            with self._lock:
+                pass
+""")
+    assert rules_of(result) == ["CONC003"]
+    assert "self-deadlock" in result.findings[0].message
+
+
+def test_rlock_self_nest_is_fine(tmp_path):
+    result = lint_source(tmp_path, """\
+import threading
+
+
+class C:
+    def __init__(self):
+        self._lock = threading.RLock()
+
+    def fine(self):
+        with self._lock:
+            with self._lock:
+                pass
+""")
+    assert result.clean, [f.render() for f in result.findings]
+
+
+def test_local_function_locks_participate(tmp_path):
+    result = lint_source(tmp_path, """\
+import threading
+
+
+def worker_a():
+    a = threading.Lock()
+    b = threading.Lock()
+    with a:
+        with b:
+            pass
+    with b:
+        with a:
+            pass
+""")
+    assert rules_of(result) == ["CONC003"]
+
+
+# --------------------------------------------------------------------------
+# CONC004 semantics
+
+
+@pytest.mark.parametrize("call, flagged", [
+    ("time.sleep(0.1)", True),
+    ("subprocess.run(['true'])", True),
+    ("self.conn.recv()", True),
+    ("self.pool.submit(work)", True),
+    ("self.thread.join()", True),
+    ("self.thread.join(timeout=1.0)", True),
+    ("', '.join(parts)", False),       # str.join: positional arg
+    ("self._lock.wait(0.1)", False),   # wait on the held lock
+    ("self.event.wait(0.1)", True),    # wait on something else
+])
+def test_blocking_calls_under_lock(tmp_path, call, flagged):
+    result = lint_source(tmp_path, f"""\
+import subprocess
+import threading
+import time
+
+
+def work():
+    pass
+
+
+class C:
+    def __init__(self, conn, pool, thread, event):
+        self._lock = threading.Condition(threading.Lock())
+        self.conn = conn
+        self.pool = pool
+        self.thread = thread
+        self.event = event
+
+    def op(self, parts):
+        with self._lock:
+            {call}
+""")
+    if flagged:
+        assert rules_of(result) == ["CONC004"], call
+    else:
+        assert result.clean, (call, [f.render() for f in result.findings])
+
+
+def test_blocking_call_outside_lock_is_fine(tmp_path):
+    result = lint_source(tmp_path, """\
+import threading
+import time
+
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def op(self):
+        with self._lock:
+            pass
+        time.sleep(0.1)
+""")
+    assert result.clean, [f.render() for f in result.findings]
+
+
+# --------------------------------------------------------------------------
+# golden corpus (the same diff CI runs)
+
+
+def test_golden_corpus():
+    golden = json.loads(
+        (FIXTURES / "conc_golden.json").read_text())["expected"]
+    for name, want in golden.items():
+        result = run_lint([str(FIXTURES / "plain" / name)])
+        got = [{"rule": f.rule, "line": f.line, "col": f.col}
+               for f in result.findings]
+        assert got == want, f"{name}: {got} != {want}"
+
+
+# --------------------------------------------------------------------------
+# --select family expansion and the CLI
+
+
+def test_select_family_expands_to_all_conc_rules():
+    result = run_lint(
+        [str(FIXTURES / "plain" / "conc001_fires.py"),
+         str(FIXTURES / "plain" / "det001_fires.py")],
+        select=["CONC"])
+    assert set(rules_of(result)) == {"CONC001"}
+
+
+def test_select_unknown_family_is_a_parameter_error():
+    with pytest.raises(ParameterError, match="families"):
+        run_lint([str(FIXTURES / "plain" / "conc001_fires.py")],
+                 select=["NOPE"])
+
+
+def test_cli_select_conc_on_fixture(capsys):
+    rel = FIXTURES / "plain" / "conc002_fires.py"
+    code = main(["lint", str(rel), "--select", "CONC"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "CONC002" in out
+
+
+def test_cli_select_conc_real_tree_is_clean(capsys):
+    code = main(["lint", str(REPO / "src" / "repro"),
+                 "--select", "CONC"])
+    assert code == 0, capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------
+# repro lint --changed
+
+
+def run_cli(args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+@pytest.fixture
+def git_repo(tmp_path):
+    def git(*argv):
+        subprocess.run(
+            ["git", *argv], cwd=tmp_path, check=True,
+            capture_output=True,
+            env={"PATH": "/usr/bin:/bin",
+                 "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                 "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+                 "HOME": str(tmp_path)},
+        )
+
+    git("init", "-q")
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    git("add", "clean.py")
+    git("commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+def test_changed_lints_only_touched_files(git_repo):
+    # A committed violation stays invisible to --changed...
+    bad = git_repo / "clean.py"
+    bad.write_text("import threading\n\n\n"
+                   "class C:\n"
+                   "    def __init__(self):\n"
+                   "        self._lock = threading.Lock()\n"
+                   "        self.n = 0  # repro: guarded-by[self._lock]\n"
+                   "\n"
+                   "    def bump(self):\n"
+                   "        self.n += 1\n")
+    proc = run_cli(["lint", ".", "--changed"], cwd=git_repo)
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "CONC001" in proc.stdout
+    assert "1 file" in proc.stdout  # only the touched file was scanned
+
+
+def test_changed_includes_untracked_files(git_repo):
+    new = git_repo / "fresh.py"
+    new.write_text("Y = 2\n")
+    proc = run_cli(["lint", ".", "--changed"], cwd=git_repo)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "1 file" in proc.stdout
+
+
+def test_changed_with_no_touched_files_is_clean(git_repo):
+    proc = run_cli(["lint", ".", "--changed"], cwd=git_repo)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 changed file(s)" in proc.stdout
+
+
+def test_changed_bad_ref_is_usage_error(git_repo):
+    proc = run_cli(["lint", ".", "--changed", "nosuchref"],
+                   cwd=git_repo)
+    assert proc.returncode == 2
+    assert "git diff" in proc.stderr
+
+
+def test_changed_outside_git_falls_back_to_full_lint(tmp_path):
+    (tmp_path / "mod.py").write_text("Z = 3\n")
+    proc = run_cli(["lint", "mod.py", "--changed"], cwd=tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "not inside a git checkout" in proc.stderr
+    assert "1 file(s) clean" in proc.stdout
