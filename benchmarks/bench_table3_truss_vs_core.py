@@ -1,17 +1,26 @@
-"""Table 3 — (k_tmax, gamma)-truss vs (k_cmax, eta)-core statistics.
+"""Table 3 — (k_tmax, gamma)-truss vs (k_cmax, eta)-core vs (3, 4)-nucleus.
 
 The paper's Table 3 compares the top local truss T with the top
 (k, eta)-core C on WikiVote, DBLP and BioMine for eta = gamma in
 {0.1, 0.5}: T is far smaller than C, k_tmax < k_cmax, and T beats C on
 probabilistic density and PCC (CC is comparable).
+
+This bench extends the comparison with the top probabilistic
+(3, 4)-nucleus N (Esfahani et al.'s generalization; see
+docs/nucleus.md): requiring 4-clique support is strictly stronger than
+requiring triangle support, so N's edges always sit inside the
+(2, 3)-truss at the same level and the hierarchy C >= T >= N orders the
+three notions from loosest to tightest.
 """
 
 import pytest
 
 from repro import (
+    ProbabilisticGraph,
     clustering_coefficient,
     eta_core_decomposition,
     local_truss_decomposition,
+    nucleus_decomposition,
     probabilistic_clustering_coefficient,
     probabilistic_density,
 )
@@ -23,7 +32,7 @@ _THRESHOLDS = (0.1, 0.5)
 
 
 def _top_truss_stats(graph, gamma):
-    """(k_tmax, largest maximal truss at k_tmax).
+    """(k_tmax, trussness map, largest maximal truss at k_tmax).
 
     The paper's T is effectively one cohesive subgraph; on our
     community-structured stand-ins several disjoint maximal trusses can
@@ -34,9 +43,9 @@ def _top_truss_stats(graph, gamma):
     k = local.k_max
     pieces = local.maximal_trusses(k) if k else []
     if not pieces:
-        return k, graph.subgraph([])
+        return k, local.trussness, graph.subgraph([])
     best = max(pieces, key=lambda t: t.number_of_edges())
-    return k, best
+    return k, local.trussness, best
 
 
 def _top_core_stats(graph, eta):
@@ -49,47 +58,67 @@ def _top_core_stats(graph, eta):
     return k, largest_connected_component(graph.subgraph(members))
 
 
-def test_table3_truss_vs_core(benchmark):
+def _top_nucleus_stats(graph, gamma):
+    """(k_nmax, edge list and induced subgraph of the top (3, 4)-nucleus).
+
+    The nucleus lives on triangles; its quality stats are computed on
+    the subgraph its top-level triangles' edges induce, the natural
+    counterpart of T and C above.
+    """
+    result = nucleus_decomposition(graph, 3, 4, gamma)
+    k = result.k_max
+    edges = result.nucleus_edges(k) if k else []
+    sub = ProbabilisticGraph()
+    for u, v in edges:
+        sub.add_edge(u, v, graph.probability(u, v))
+    return k, edges, sub
+
+
+def test_table3_truss_vs_core_vs_nucleus(benchmark):
     rows = []
 
     def sweep():
         for name in _DATASETS:
             graph = cached_dataset(name)
             for threshold in _THRESHOLDS:
-                k_t, T = _top_truss_stats(graph, threshold)
+                k_t, trussness, T = _top_truss_stats(graph, threshold)
                 k_c, C = _top_core_stats(graph, threshold)
+                k_n, n_edges, N = _top_nucleus_stats(graph, threshold)
                 rows.append((
-                    name, threshold,
+                    name, threshold, trussness, n_edges,
                     T.number_of_nodes(), C.number_of_nodes(),
+                    N.number_of_nodes(),
                     T.number_of_edges(), C.number_of_edges(),
-                    k_t, k_c,
+                    N.number_of_edges(),
+                    k_t, k_c, k_n,
                     clustering_coefficient(T), clustering_coefficient(C),
                     probabilistic_clustering_coefficient(T),
                     probabilistic_clustering_coefficient(C),
                     probabilistic_density(T), probabilistic_density(C),
+                    probabilistic_density(N),
                 ))
         return rows
 
     run_once(benchmark, sweep)
 
     print_header(
-        "Table 3: top local truss T vs top eta-core C",
-        f"{'network':<10} {'g=eta':>5} {'V_T/V_C':>12} {'E_T/E_C':>14} "
-        f"{'kt/kc':>7} {'CC_T/CC_C':>12} {'PCC_T/PCC_C':>13} "
-        f"{'den_T/den_C':>13}",
+        "Table 3: top truss T vs top eta-core C vs top (3,4)-nucleus N",
+        f"{'network':<10} {'g=eta':>5} {'V_T/V_C/V_N':>16} "
+        f"{'E_T/E_C/E_N':>18} {'kt/kc/kn':>9} {'CC_T/CC_C':>12} "
+        f"{'PCC_T/PCC_C':>13} {'den_T/den_C/den_N':>19}",
     )
     for r in rows:
-        (name, th, vt, vc, et, ec, kt, kc,
-         cct, ccc, pcct, pccc, dt, dc) = r
-        print(f"{name:<10} {th:>5.1f} {f'{vt}/{vc}':>12} "
-              f"{f'{et}/{ec}':>14} {f'{kt}/{kc}':>7} "
+        (name, th, _trussness, _n_edges, vt, vc, vn, et, ec, en,
+         kt, kc, kn, cct, ccc, pcct, pccc, dt, dc, dn) = r
+        print(f"{name:<10} {th:>5.1f} {f'{vt}/{vc}/{vn}':>16} "
+              f"{f'{et}/{ec}/{en}':>18} {f'{kt}/{kc}/{kn}':>9} "
               f"{f'{cct:.3f}/{ccc:.3f}':>12} "
               f"{f'{pcct:.3f}/{pccc:.3f}':>13} "
-              f"{f'{dt:.3f}/{dc:.3f}':>13}")
+              f"{f'{dt:.3f}/{dc:.3f}/{dn:.3f}':>19}")
 
     for r in rows:
-        (name, th, vt, vc, et, ec, kt, kc,
-         cct, ccc, pcct, pccc, dt, dc) = r
+        (name, th, trussness, n_edges, vt, vc, vn, et, ec, en,
+         kt, kc, kn, cct, ccc, pcct, pccc, dt, dc, dn) = r
         # Paper shapes: the truss is smaller than the core ...
         assert vt <= vc, f"{name}@{th}: truss larger than core"
         # ... its truss number does not exceed the core number + 1
@@ -102,3 +131,11 @@ def test_table3_truss_vs_core(benchmark):
         # real DBLP) narrows to near-parity here.
         assert dt >= dc * 0.85, f"{name}@{th}: density should favour T"
         assert pcct >= pccc * 0.85, f"{name}@{th}: PCC should favour T"
+        # Nucleus shapes (guaranteed, see docs/nucleus.md): 4-clique
+        # support is stronger than triangle support, so the top nucleus
+        # level cannot exceed the top truss level and every top-nucleus
+        # edge has trussness >= k_n.
+        assert kn <= kt, f"{name}@{th}: nucleus level above truss level"
+        for e in n_edges:
+            assert trussness.get(e, 0) >= kn, (
+                f"{name}@{th}: nucleus edge {e} outside the k_n-truss")

@@ -49,6 +49,7 @@ from repro.graphs import (
 from repro.truss import (
     core_decomposition,
     edge_supports,
+    structural_nucleus_decomposition,
     is_k_truss,
     k_core_subgraph,
     k_truss_subgraph,
@@ -64,6 +65,7 @@ from repro.core import (
     GlobalTrussOracle,
     GlobalTrussResult,
     LocalTrussResult,
+    NucleusResult,
     SupportProbability,
     alpha_exact,
     bottom_up_search,
@@ -76,6 +78,7 @@ from repro.core import (
     local_truss_decomposition,
     max_eta_core_number,
     maximal_local_trusses,
+    nucleus_decomposition,
     probabilistic_clustering_coefficient,
     probabilistic_density,
     support_pmf,
@@ -91,6 +94,7 @@ from repro.runtime import (
     PartialResult,
     run_global,
     run_local,
+    run_nucleus,
     run_reliability,
 )
 
@@ -112,10 +116,12 @@ __all__ = [
     "edge_supports", "truss_decomposition", "is_k_truss", "k_truss_subgraph",
     "max_trussness", "maximal_k_trusses", "truss_hierarchy",
     "core_decomposition", "k_core_subgraph", "max_core_number",
+    "structural_nucleus_decomposition",
     # paper core
     "SupportProbability", "support_pmf", "support_pmf_bruteforce",
     "support_tail", "triangle_probabilities", "LocalTrussResult",
     "local_truss_decomposition", "maximal_local_trusses",
+    "NucleusResult", "nucleus_decomposition",
     "GlobalTrussOracle", "alpha_exact", "is_global_truss_exact",
     "GlobalTrussResult", "global_truss_decomposition", "top_down_search",
     "GammaTrussResult", "gamma_truss_decomposition",
@@ -126,5 +132,5 @@ __all__ = [
     "DATASET_NAMES", "load_dataset", "dataset_statistics",
     # runtime (budgets, checkpoint/resume, graceful degradation)
     "Budget", "InterruptGuard", "PartialResult",
-    "run_global", "run_local", "run_reliability",
+    "run_global", "run_local", "run_nucleus", "run_reliability",
 ]

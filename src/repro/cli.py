@@ -6,6 +6,8 @@ Subcommands
 * ``repro stats GRAPH`` — Table 1 statistics of a graph (file or dataset).
 * ``repro local GRAPH --gamma G`` — local (k, gamma)-truss decomposition.
 * ``repro global GRAPH --gamma G [--method gbu|gtd]`` — global trusses.
+* ``repro nucleus GRAPH --gamma G [--r 3 --s 4]`` — probabilistic
+  (r, s)-nucleus decomposition; ``(2, 3)`` coincides with ``local``.
 * ``repro team --keywords data algorithm --gamma G`` — the Section 6.5
   team-formation case study on the synthetic collaboration network.
 * ``repro lint [PATHS...]`` — run the reprolint static invariant
@@ -42,6 +44,7 @@ from repro.runtime import (
     InterruptGuard,
     run_global,
     run_local,
+    run_nucleus,
     run_reliability,
 )
 
@@ -179,6 +182,38 @@ def _cmd_local(args: argparse.Namespace) -> int:
         if args.verbose:
             for t in trusses:
                 print(f"    nodes={sorted(map(str, t.nodes()))}")
+    if partial.degraded or not partial.complete:
+        print(partial.summary())
+    return 0
+
+
+def _cmd_nucleus(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, args.seed)
+    with InterruptGuard() as guard:
+        progress, watchdog = _make_progress(guard, args)
+        partial = run_nucleus(
+            graph, args.r, args.s, args.gamma, method=args.method,
+            budget=_make_budget(args), checkpoint_dir=args.checkpoint,
+            resume=args.resume, progress=progress, workers=args.workers,
+            task_timeout=args.task_timeout,
+            task_cpu_timeout=args.task_cpu_timeout,
+            max_task_retries=args.max_task_retries,
+        )
+    if watchdog is not None:
+        print(watchdog.status())
+    result = partial.result
+    print(f"({args.r},{args.s})-nucleus gamma={args.gamma} "
+          f"cliques={len(result.scores)} k_max={result.k_max}")
+    for k in range(2, result.k_max + 1):
+        cliques = result.nucleus_cliques(k)
+        edges = result.nucleus_edges(k)
+        nodes = {w for cell in cliques for w in cell}
+        print(f"k={k}: {len(cliques)} r-cliques over {len(nodes)} nodes / "
+              f"{len(edges)} edges")
+        if args.verbose:
+            for cell in sorted(cliques, key=lambda c: tuple(map(str, c))):
+                print(f"    {tuple(map(str, cell))} "
+                      f"nu={result.scores[cell]}")
     if partial.degraded or not partial.complete:
         print(partial.summary())
     return 0
@@ -609,6 +644,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_options(p)
     _add_workers_option(p)
     p.set_defaults(func=_cmd_local)
+
+    p = sub.add_parser(
+        "nucleus",
+        help="probabilistic (r, s)-nucleus decomposition "
+             "((2,3) = truss oracle, (3,4) = triangles in 4-cliques)",
+    )
+    p.add_argument("graph", help="dataset name or graph file")
+    p.add_argument("--gamma", type=float, required=True)
+    p.add_argument("--r", type=int, default=3, dest="r",
+                   help="clique size being scored (2 or 3; default 3)")
+    p.add_argument("--s", type=int, default=4, dest="s",
+                   help="supporting clique size (must be r + 1; default 4)")
+    p.add_argument("--method", choices=["dp", "baseline"], default="dp")
+    p.add_argument("--verbose", action="store_true")
+    _add_runtime_options(p)
+    _add_workers_option(p)
+    p.set_defaults(func=_cmd_nucleus)
 
     p = sub.add_parser("global", help="global (k, gamma)-truss decomposition")
     p.add_argument("graph", help="dataset name or graph file")

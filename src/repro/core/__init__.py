@@ -28,6 +28,10 @@ from repro.core.local import (
     local_truss_decomposition,
     maximal_local_trusses,
 )
+from repro.core.nucleus import (
+    NucleusResult,
+    nucleus_decomposition,
+)
 from repro.core.global_truss import (
     GlobalTrussOracle,
     alpha_exact,
@@ -90,6 +94,8 @@ __all__ = [
     "LocalTrussResult",
     "local_truss_decomposition",
     "maximal_local_trusses",
+    "NucleusResult",
+    "nucleus_decomposition",
     "GlobalTrussOracle",
     "alpha_exact",
     "is_global_truss_exact",

@@ -32,6 +32,7 @@ from repro.exceptions import (
     GraphError,
     InvalidProbabilityError,
     NodeNotFoundError,
+    ParameterError,
 )
 
 __all__ = ["ProbabilisticGraph", "edge_key"]
@@ -121,7 +122,15 @@ class ProbabilisticGraph:
             self.add_edge(u, v, p)
 
     def remove_edge(self, u: Node, v: Node) -> None:
-        """Remove edge ``(u, v)``; raises :class:`EdgeNotFoundError` if absent."""
+        """Remove edge ``(u, v)``.
+
+        Raises :class:`ParameterError` for a self-loop (which can never
+        exist here, so naming one is a caller bug, not a missing edge)
+        and :class:`EdgeNotFoundError` when the edge is absent.
+        """
+        if u == v:
+            raise ParameterError(
+                f"self-loop ({u!r}, {v!r}) is never a valid edge")
         if not self.has_edge(u, v):
             raise EdgeNotFoundError(u, v)
         del self._adj[u][v]

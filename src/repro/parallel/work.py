@@ -33,6 +33,7 @@ import numpy as np
 from repro.graphs.probabilistic import ProbabilisticGraph, edge_key
 from repro.core.global_truss import GlobalTrussOracle
 from repro.core.kernels import classify_worlds_packed
+from repro.core.nucleus import nucleus_cell
 from repro.core.reliability import count_connected_rows
 from repro.core.support_prob import (
     SupportProbability,
@@ -57,7 +58,7 @@ CANCELLED = "__repro-parallel-cancelled__"
 #: Shared counters the parent's progress pump reads; one slot per
 #: worker-emitted phase.
 COUNTER_PHASES = ("oracle-eval", "gtd-state", "local-init",
-                  "reliability-rows")
+                  "nucleus-init", "reliability-rows")
 
 #: Edges between cancel-flag polls in the PMF-init loop.
 _CANCEL_POLL = 32
@@ -308,6 +309,27 @@ def _pmf_init(state: WorkerState, payload):
     return out
 
 
+def _nucleus_cell(state: WorkerState, payload):
+    """Run the initial support DPs for a chunk of r-cliques.
+
+    Payload: ``(r, gamma, cells)`` with each cell a canonical clique
+    tuple. The float path is :func:`repro.core.nucleus.nucleus_cell` —
+    the same function the serial loop calls — with apex factors in
+    canonical node order, so every worker count (including the inline
+    parent) produces byte-identical ``(qs, pmf, level)`` triples.
+    """
+    _r, gamma, cells = payload
+    out = []
+    for i, cell in enumerate(cells):
+        if i % _CANCEL_POLL == 0:
+            state.check_cancel()
+        cell = tuple(cell)
+        qs, pmf, level = nucleus_cell(state.graph, gamma, cell)
+        out.append((cell, qs, pmf, level))
+    state.bump("nucleus-init", len(cells))
+    return out
+
+
 def _reliability_block(state: WorkerState, payload):
     """Count connected worlds in one batch of reliability samples.
 
@@ -331,6 +353,7 @@ TASKS = {
     "gbu-seed": _gbu_seed,
     "gtd-component": _gtd_component,
     "gtd-frontier": _gtd_frontier,
+    "nucleus-cell": _nucleus_cell,
     "oracle-block": _oracle_block,
     "pmf-init": _pmf_init,
     "reliability-block": _reliability_block,

@@ -21,7 +21,7 @@ heuristic sweeps (GBU). This package makes long runs *survivable*:
 * :mod:`~repro.runtime.result` — the structured
   :class:`~repro.runtime.result.PartialResult` degraded runs return;
 * :mod:`~repro.runtime.harness` — ``run_local`` / ``run_global`` /
-  ``run_reliability``, tying it all together.
+  ``run_nucleus`` / ``run_reliability``, tying it all together.
 
 See ``docs/robustness.md`` for the full semantics.
 """
@@ -43,11 +43,13 @@ from repro.runtime.result import (
     PartialResult,
     serialize_global_result,
     serialize_local_result,
+    serialize_nucleus_result,
 )
 from repro.runtime.harness import (
     DEFAULT_BATCH_SIZE,
     run_global,
     run_local,
+    run_nucleus,
     run_reliability,
 )
 
@@ -69,8 +71,10 @@ __all__ = [
     "PartialResult",
     "serialize_global_result",
     "serialize_local_result",
+    "serialize_nucleus_result",
     "DEFAULT_BATCH_SIZE",
     "run_global",
     "run_local",
+    "run_nucleus",
     "run_reliability",
 ]

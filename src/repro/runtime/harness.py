@@ -54,7 +54,8 @@ from repro.runtime.progress import ProgressEvent, chain_hooks
 from repro.runtime.result import PartialResult
 from repro.runtime.spill import SpillDirectory
 
-__all__ = ["run_global", "run_local", "run_reliability", "DEFAULT_BATCH_SIZE"]
+__all__ = ["run_global", "run_local", "run_nucleus", "run_reliability",
+           "DEFAULT_BATCH_SIZE"]
 
 #: Sampling batch rows between checkpoint/budget boundaries. 25 rows
 #: keeps the overshoot of a cooperative deadline under a fraction of a
@@ -892,6 +893,131 @@ def run_local(
         if not store.degraded:
             store.collect_garbage()
     return to_partial(result.trussness, complete=True)
+
+
+def run_nucleus(
+    graph: ProbabilisticGraph,
+    r: int,
+    s: int,
+    gamma: float,
+    *,
+    method: str = "dp",
+    budget: Budget | None = None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    progress=None,
+    on_corrupt: str = "raise",
+    workers: int | str | None = None,
+    task_timeout: float | None = None,
+    task_cpu_timeout: float | None = None,
+    max_task_retries: int | None = None,
+) -> PartialResult:
+    """Run a probabilistic (r, s)-nucleus decomposition under the harness.
+
+    Same contract as :func:`run_local` (the (2, 3) case *is*
+    ``run_local`` semantically): peeling is not internally resumable, so
+    the checkpoint stores the finished score map — ``resume`` returns it
+    instantly — and a budget breach salvages the scores assigned so far,
+    which are final because peeling emits them in nondecreasing order.
+
+    ``workers`` parallelises the initial support DPs through the
+    ``nucleus-cell`` task; all factor orderings are canonical, so every
+    worker count (including None) is byte-identical and shares one
+    manifest format.
+    """
+    from repro.core.nucleus import NucleusResult, nucleus_decomposition
+
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir else None
+    params = {
+        "kind": "nucleus",
+        "r": r,
+        "s": s,
+        "gamma": gamma,
+        "method": method,
+        "graph": _graph_fingerprint(graph),
+        "pmf_order": "canonical",
+    }
+    degr = _Degradations()
+    store = _wrap_store(store, degr.note, progress)
+    if budget is not None:
+        budget.start()
+    hook = chain_hooks(progress, budget)
+
+    def to_partial(scores, complete, reason=None):
+        result = NucleusResult(
+            graph=graph, r=r, s=s, gamma=gamma, scores=scores, method=method,
+        )
+        reasons = [x for x in (reason, degr.reason) if x]
+        reason = "; ".join(reasons) if reasons else None
+        return PartialResult(
+            kind="nucleus", result=result, complete=complete,
+            degraded=reason is not None, reason=reason,
+            checkpoint_path=str(store.path) if store else None,
+            elapsed_seconds=budget.elapsed() if budget else None,
+            detail={"r": r, "s": s, "cliques_assigned": len(scores)},
+        )
+
+    if store is not None and resume:
+        manifest = _resume_or_clear(store, params, on_corrupt)
+        if manifest is not None and manifest.get("status") == "complete":
+            scores = {
+                tuple(decode_node(x) for x in row[:-1]): int(row[-1])
+                for row in manifest["scores"]
+            }
+            return to_partial(scores, complete=True)
+
+    executor = None
+    if workers is not None:
+        from repro.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(
+            workers, graph=graph,
+            task_timeout=task_timeout, task_cpu_timeout=task_cpu_timeout,
+            max_task_retries=max_task_retries,
+            faults=_pool_faults_of(progress),
+        ).start()
+    try:
+        result = nucleus_decomposition(graph, r, s, gamma, method=method,
+                                       progress=hook, executor=executor)
+    except TaskQuarantinedError as err:
+        # nucleus-cell chunks are exact prerequisites: no sound
+        # degradation, so the run ends incomplete, naming the poison
+        # payloads.
+        return to_partial(
+            {}, complete=False,
+            reason=f"parallel init quarantined poison payloads: {err}",
+        )
+    except BudgetExceededError as err:
+        partial = err.partial or {}
+        return to_partial(
+            dict(partial), complete=False,
+            reason=f"{err}; {len(partial)} cliques scored",
+        )
+    except MemoryError as err:
+        partial = getattr(err, "partial", None) or {}
+        return to_partial(
+            dict(partial), complete=False,
+            reason=f"out of memory during peeling: {err}",
+        )
+    except ComputationInterrupted as err:
+        _attach_checkpoint(err, store)
+        raise
+    finally:
+        if executor is not None:
+            executor.close()
+
+    if store is not None:
+        store.save_manifest({
+            "params": params,
+            "status": "complete",
+            "scores": sorted(
+                [encode_node(x) for x in cell] + [nu]
+                for cell, nu in result.scores.items()
+            ),
+        })
+        if not store.degraded:
+            store.collect_garbage()
+    return to_partial(result.scores, complete=True)
 
 
 # ----------------------------------------------------------------------

@@ -48,6 +48,13 @@ Emitted phases
                     completed for another chunk of edges; counted in a
                     shared counter and re-emitted by the pump (``step``
                     = cumulative edges initialised)
+``nucleus-peel``    a block of r-cliques peeled by the probabilistic
+                    (r, s)-nucleus decomposition (``step`` = cliques
+                    scored so far, ``total`` = r-clique count)
+``nucleus-init``    (workers only) initial nucleus support DPs
+                    completed for another chunk of r-cliques; counted
+                    in a shared counter and re-emitted by the pump
+                    (``step`` = cumulative cliques initialised)
 ``resource-pressure``  a resource probe crossed a pressure threshold or
                     a pressure response fired (``detail``: resource —
                     ``memory``/``disk``/``cpu`` —, action, observed
@@ -111,6 +118,8 @@ KNOWN_PHASES = frozenset({
     "sample-batch",
     "local-peel",
     "local-init",
+    "nucleus-peel",
+    "nucleus-init",
     "global-level",
     "global-level-done",
     "gtd-state",

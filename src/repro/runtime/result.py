@@ -23,6 +23,7 @@ __all__ = [
     "PartialResult",
     "serialize_global_result",
     "serialize_local_result",
+    "serialize_nucleus_result",
 ]
 
 
@@ -33,7 +34,7 @@ class PartialResult:
     Attributes
     ----------
     kind:
-        ``"global"``, ``"local"``, or ``"reliability"``.
+        ``"global"``, ``"local"``, ``"nucleus"``, or ``"reliability"``.
     result:
         The underlying result object — a
         :class:`~repro.core.global_decomp.GlobalTrussResult`,
@@ -131,6 +132,27 @@ def serialize_local_result(result) -> bytes:
         "trussness": sorted(
             [repr(u), repr(v), int(tau)]
             for (u, v), tau in result.trussness.items()
+        ),
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+
+
+def serialize_nucleus_result(result) -> bytes:
+    """Render an (r, s)-nucleus decomposition as canonical bytes.
+
+    For ``(2, 3)`` the ``scores`` rows coincide with
+    :func:`serialize_local_result`'s ``trussness`` rows — the shape the
+    byte-identity differential tests compare across worker counts and
+    against the truss oracle.
+    """
+    doc = {
+        "r": int(result.r),
+        "s": int(result.s),
+        "gamma": repr(float(result.gamma)),
+        "method": result.method,
+        "scores": sorted(
+            [repr(node) for node in cell] + [int(nu)]
+            for cell, nu in result.scores.items()
         ),
     }
     return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()

@@ -299,7 +299,7 @@ class TrussService:
     def run_build(self, entry: IndexEntry,
                   extra_hooks: Iterable[Callable] = ()) -> "PartialResult":
         """Run one index build through the execution harness."""
-        from repro.runtime import run_global, run_local
+        from repro.runtime import run_global, run_local, run_nucleus
 
         key = entry.key
         graph = self._graph(key.graph)
@@ -324,6 +324,14 @@ class TrussService:
                 progress=hook, workers=self.config.workers,
                 on_corrupt="restart",
             )
+        if key.kind == "nucleus":
+            assert key.r is not None and key.s is not None
+            return run_nucleus(
+                graph, key.r, key.s, key.gamma, method=key.method,
+                checkpoint_dir=entry.checkpoint_dir, resume=True,
+                progress=hook, workers=self.config.workers,
+                on_corrupt="restart",
+            )
         return run_local(
             graph, key.gamma, method=key.method,
             checkpoint_dir=entry.checkpoint_dir, resume=True,
@@ -337,6 +345,7 @@ class TrussService:
         from repro.runtime.result import (
             serialize_global_result,
             serialize_local_result,
+            serialize_nucleus_result,
         )
 
         result = partial.result
@@ -369,6 +378,16 @@ class TrussService:
             if partial.detail.get("supervision"):
                 base["supervision"] = partial.detail["supervision"]
             return base, serialize_global_result(result)
+        if key.kind == "nucleus":
+            base.update({
+                "r": key.r,
+                "s": key.s,
+                "clique_counts": {
+                    str(k): len(result.nucleus_cliques(k))
+                    for k in range(2, result.k_max + 1)
+                },
+            })
+            return base, serialize_nucleus_result(result)
         base["truss_counts"] = {
             str(k): len(result.maximal_trusses(k))
             for k in range(2, result.k_max + 1)
@@ -403,7 +422,7 @@ class TrussService:
             return 200, {
                 "indexes": [e.describe() for e in self.store.entries()],
             }, {}
-        if endpoint in ("local", "global"):
+        if endpoint in ("local", "global", "nucleus"):
             return self._handle_index_query(endpoint, params, budget)
         if endpoint == "team":
             return self._handle_team(params, budget)
@@ -458,6 +477,22 @@ class TrussService:
                 kind="local", graph=spec, graph_nodes=fp["nodes"],
                 graph_edges=fp["edges"], graph_crc=fp["crc"],
                 gamma=gamma, method=method, seed=self.config.seed)
+        if kind == "nucleus":
+            from repro.truss.nucleus import validate_rs
+
+            method = _one(params, "method", default="dp")
+            if method not in ("dp", "baseline"):
+                raise ParameterError(
+                    f"nucleus method must be dp|baseline, got {method!r}")
+            r = _int(params, "r", default=3)
+            s = _int(params, "s", default=4)
+            assert r is not None and s is not None
+            validate_rs(r, s)
+            return IndexKey(
+                kind="nucleus", graph=spec, graph_nodes=fp["nodes"],
+                graph_edges=fp["edges"], graph_crc=fp["crc"],
+                gamma=gamma, method=method, seed=self.config.seed,
+                r=r, s=s)
         method = _one(params, "method", default="gbu")
         if method not in ("gbu", "gtd"):
             raise ParameterError(

@@ -1,8 +1,9 @@
 """Persistent decomposition indexes for the ``repro serve`` service.
 
 An :class:`IndexKey` pins everything that determines a decomposition's
-bytes: the kind (global/local), the graph (spec string *and* content
-fingerprint), the quality parameters, the seed, and the RNG scheme. The
+bytes: the kind (global/local/nucleus), the graph (spec string *and*
+content fingerprint), the quality parameters, the seed, and the RNG
+scheme. The
 :class:`IndexStore` persists one directory per key token under
 ``<state_dir>/indexes/``::
 
@@ -61,6 +62,10 @@ class IndexKey:
     epsilon: float | None = None
     delta: float | None = None
     n_samples: int | None = None
+    #: Nucleus-only: the (r, s) family; None for global/local keys so
+    #: their canonical dicts (and hence tokens) stay versioned together.
+    r: int | None = None
+    s: int | None = None
 
     def to_dict(self) -> dict:
         return asdict(self)

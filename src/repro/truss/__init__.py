@@ -22,6 +22,10 @@ from repro.truss.maximal import maximal_k_trusses, truss_hierarchy
 from repro.truss.kcore import core_decomposition, k_core_subgraph, max_core_number
 from repro.truss.hindex import h_index, truss_decomposition_hindex
 from repro.truss.dynamic import DynamicTruss, DynamicLocalTruss
+from repro.truss.nucleus import (
+    max_nucleus_number,
+    structural_nucleus_decomposition,
+)
 
 __all__ = [
     "edge_supports",
@@ -40,4 +44,6 @@ __all__ = [
     "truss_decomposition_hindex",
     "DynamicTruss",
     "DynamicLocalTruss",
+    "structural_nucleus_decomposition",
+    "max_nucleus_number",
 ]

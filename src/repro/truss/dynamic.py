@@ -135,8 +135,18 @@ class DynamicTruss:
 
         Repair recomputes the reduction on the affected connected region
         (everything reachable from the endpoints), leaving other
-        components untouched.
+        components untouched. Self-loops and duplicate edges raise
+        :class:`ParameterError` — a deterministic truss has no
+        per-edge weight to refresh, so a duplicate insert is always a
+        caller bug (contrast :meth:`DynamicLocalTruss.insert_edge`,
+        which re-weights).
         """
+        if u == v:
+            raise ParameterError(
+                f"self-loop ({u!r}, {v!r}) is never a valid edge")
+        if self._graph.has_edge(u, v):
+            raise ParameterError(
+                f"edge ({u!r}, {v!r}) already present; duplicate insert")
         self._graph.add_edge(u, v, probability)
         region = self._affected_region(u, v)
         self._truss -= region
@@ -295,7 +305,16 @@ class DynamicLocalTruss:
 
     # ------------------------------------------------------------------
     def insert_edge(self, u: Node, v: Node, probability: float) -> None:
-        """Insert (or re-weight) edge (u, v) and repair the truss set."""
+        """Insert (or re-weight) edge (u, v) and repair the truss set.
+
+        Unlike :meth:`DynamicTruss.insert_edge`, inserting an existing
+        edge is allowed: it refreshes the edge's probability, which is a
+        meaningful update here. Self-loops raise
+        :class:`ParameterError`.
+        """
+        if u == v:
+            raise ParameterError(
+                f"self-loop ({u!r}, {v!r}) is never a valid edge")
         self._graph.add_edge(u, v, probability)
         region = self._affected_region(u, v)
         for e in region & self._truss:

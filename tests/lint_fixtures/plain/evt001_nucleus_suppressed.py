@@ -1,0 +1,8 @@
+"""EVT001 suppressed: an experimental nucleus phase behind a pragma."""
+
+from repro.runtime.progress import ProgressEvent
+
+
+def announce(progress, cells_done):
+    # repro: allow[EVT001] staged nucleus phase; registered before merge
+    progress(ProgressEvent("nucleus-reticulate", step=cells_done))

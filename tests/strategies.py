@@ -37,6 +37,8 @@ __all__ = [
     "dyadic_probabilities",
     "dyadic_random_graph",
     "exhaustive_sample_set",
+    "planted_clique_graph",
+    "planted_clique_graphs",
     "probabilities",
     "q_lists",
     "random_probabilistic_graph",
@@ -86,6 +88,51 @@ def dyadic_random_graph(
             if gen.random() < density:
                 g.add_edge(u, v, float(probs[gen.integers(len(probs))]))
     return g
+
+
+def planted_clique_graph(
+    n_cliques: int, size: int, seed: int,
+    probs: tuple[float, ...] = DYADIC_PROBS,
+    extra_density: float = 0.15,
+) -> ProbabilisticGraph:
+    """Seeded graph with planted, partially-overlapping cliques.
+
+    Erdős–Rényi graphs at test sizes are triangle-poor and 4-clique
+    starved, which makes them useless for exercising (3, 4)-nucleus
+    support counting. This builder plants ``n_cliques`` cliques of
+    ``size`` nodes each (consecutive cliques share one node, so their
+    s-cliques interlock), then sprinkles extra edges with density
+    ``extra_density``. All probabilities are drawn from ``probs`` —
+    dyadic by default, so support products are exact and results are
+    order-independent bit for bit.
+    """
+    gen = np.random.default_rng(seed)
+    g = ProbabilisticGraph()
+    stride = max(1, size - 1)  # consecutive cliques share one node
+    n = stride * n_cliques + 1
+    for u in range(n):
+        g.add_node(u)
+    for c in range(n_cliques):
+        members = range(c * stride, c * stride + size)
+        for u in members:
+            for v in members:
+                if u < v:
+                    g.add_edge(u, v, float(probs[gen.integers(len(probs))]))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if not g.has_edge(u, v) and gen.random() < extra_density:
+                g.add_edge(u, v, float(probs[gen.integers(len(probs))]))
+    return g
+
+
+#: Hypothesis strategy over planted-clique graphs: 4-clique-rich, all
+#: probabilities dyadic. Shrinks toward a single small clique.
+planted_clique_graphs = st.builds(
+    planted_clique_graph,
+    n_cliques=st.integers(min_value=1, max_value=3),
+    size=st.integers(min_value=4, max_value=5),
+    seed=st.integers(min_value=0, max_value=10 ** 6),
+)
 
 
 def _dyadic_bits(p: float) -> tuple[int, int]:

@@ -87,6 +87,32 @@ class TestCommands:
         assert main(["local", str(path), "--gamma", "0.125", "--verbose"]) == 0
         assert "nodes=" in capsys.readouterr().out
 
+    def test_nucleus_23_matches_local(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(running_example(), path)
+        assert main(["nucleus", str(path), "--gamma", "0.125",
+                     "--r", "2", "--s", "3"]) == 0
+        out = capsys.readouterr().out
+        # (2, 3)-nucleus == local truss: same k_max as test_local_on_file
+        assert "(2,3)-nucleus gamma=0.125 cliques=11 k_max=4" in out
+        assert "k=4: 9 r-cliques over 5 nodes / 9 edges" in out
+
+    def test_nucleus_34_verbose(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(running_example(), path)
+        assert main(["nucleus", str(path), "--gamma", "0.125",
+                     "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "(3,4)-nucleus gamma=0.125 cliques=8 k_max=3" in out
+        assert "('v1', 'v2', 'v3') nu=3" in out
+
+    def test_nucleus_bad_family_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "g.txt"
+        write_edge_list(running_example(), path)
+        assert main(["nucleus", str(path), "--gamma", "0.125",
+                     "--r", "2", "--s", "4"]) == 2
+        assert "error:" in capsys.readouterr().err
+
     def test_global_on_file(self, tmp_path, capsys):
         path = tmp_path / "g.txt"
         write_edge_list(running_example(), path)

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import (
     EdgeNotFoundError,
@@ -14,6 +16,7 @@ from repro import (
 from repro.truss.dynamic import DynamicLocalTruss, DynamicTruss
 from repro.graphs.generators import complete_graph
 from tests.conftest import random_probabilistic_graph
+from tests.strategies import DYADIC_PROBS, dyadic_random_graph
 
 
 def _static_truss_edges(graph, k):
@@ -196,3 +199,124 @@ class TestDynamicLocalTruss:
         assert dlt.gamma == 0.2
         assert dlt.in_truss("a", "b")
         assert len(dlt.maximal_trusses()) == 1
+
+
+class TestTypedEdgeErrors:
+    """Regression tests: duplicate / self-loop edges raise ParameterError.
+
+    The graph layer and the dynamic layer used to disagree here: the
+    graph classified a self-loop removal as a *missing edge* while the
+    dynamic layer silently re-weighted duplicate inserts even for the
+    deterministic truss, where there is no weight to refresh.
+    """
+
+    def test_graph_remove_self_loop(self, triangle):
+        with pytest.raises(ParameterError):
+            triangle.remove_edge("a", "a")
+
+    def test_graph_remove_missing_still_edge_not_found(self, triangle):
+        with pytest.raises(EdgeNotFoundError):
+            triangle.remove_edge("a", "zzz")
+
+    def test_dynamic_truss_duplicate_insert_rejected(self):
+        dt = DynamicTruss(complete_graph(4), 3)
+        before = dt.truss_edges()
+        with pytest.raises(ParameterError):
+            dt.insert_edge(0, 1)
+        # the failed insert must not have perturbed the maintained truss
+        assert dt.truss_edges() == before
+
+    def test_dynamic_truss_self_loop_insert_rejected(self):
+        dt = DynamicTruss(complete_graph(4), 3)
+        with pytest.raises(ParameterError):
+            dt.insert_edge(2, 2)
+
+    def test_dynamic_local_self_loop_insert_rejected(self):
+        dlt = DynamicLocalTruss(complete_graph(4, 0.9), 3, 0.2)
+        with pytest.raises(ParameterError):
+            dlt.insert_edge(1, 1, 0.5)
+
+    def test_dynamic_local_duplicate_insert_reweights(self):
+        # Contrast with DynamicTruss: the probabilistic variant keeps
+        # its insert-or-reweight semantics, because refreshing an
+        # edge's probability is a meaningful update there.
+        dlt = DynamicLocalTruss(complete_graph(4, 0.9), 3, 0.2)
+        dlt.insert_edge(0, 1, 0.75)  # no raise
+        shadow = complete_graph(4, 0.9)
+        shadow.set_probability(0, 1, 0.75)
+        assert dlt.truss_edges() == _static_local_edges(shadow, 3, 0.2)
+
+
+#: One churn step: an op selector (0 = insert, 1 = remove,
+#: 2 = probability change), an edge/node selector token, and a dyadic
+#: probability. Dyadic weights keep the recompute comparison exact.
+_CHURN_OPS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=10 ** 6),
+        st.sampled_from(DYADIC_PROBS),
+    ),
+    min_size=1, max_size=10,
+)
+
+
+class TestChurnBattery:
+    """Random update streams with update-vs-recompute after every step."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=60), ops=_CHURN_OPS)
+    def test_dynamic_truss_churn(self, seed, ops):
+        k = 3
+        g = dyadic_random_graph(9, 0.4, seed)
+        dt = DynamicTruss(g, k)
+        shadow = g.copy()
+        nodes = sorted(shadow.nodes())
+        for op, sel, _p in ops:
+            edges = sorted(shadow.edges())
+            if op == 1 and edges:
+                u, v = edges[sel % len(edges)]
+                dt.remove_edge(u, v)
+                shadow.remove_edge(u, v)
+            else:
+                u = nodes[sel % len(nodes)]
+                v = nodes[(sel // 13) % len(nodes)]
+                if u == v:
+                    continue
+                if shadow.has_edge(u, v):
+                    # duplicate inserts are rejected and must leave the
+                    # maintained truss untouched
+                    before = dt.truss_edges()
+                    with pytest.raises(ParameterError):
+                        dt.insert_edge(u, v, 1.0)
+                    assert dt.truss_edges() == before
+                    continue
+                dt.insert_edge(u, v, 1.0)
+                shadow.add_edge(u, v, 1.0)
+            assert dt.truss_edges() == _static_truss_edges(shadow, k)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=60), ops=_CHURN_OPS)
+    def test_dynamic_local_truss_churn(self, seed, ops):
+        k, gamma = 3, 0.3
+        g = dyadic_random_graph(8, 0.45, seed)
+        dlt = DynamicLocalTruss(g, k, gamma)
+        shadow = g.copy()
+        nodes = sorted(shadow.nodes())
+        for op, sel, p in ops:
+            edges = sorted(shadow.edges())
+            if op == 1 and edges:
+                u, v = edges[sel % len(edges)]
+                dlt.remove_edge(u, v)
+                shadow.remove_edge(u, v)
+            elif op == 2 and edges:
+                u, v = edges[sel % len(edges)]
+                dlt.insert_edge(u, v, p)
+                shadow.set_probability(u, v, p)
+            else:
+                u = nodes[sel % len(nodes)]
+                v = nodes[(sel // 13) % len(nodes)]
+                if u == v or shadow.has_edge(u, v):
+                    continue
+                dlt.insert_edge(u, v, p)
+                shadow.add_edge(u, v, p)
+            assert dlt.truss_edges() == _static_local_edges(shadow, k, gamma)

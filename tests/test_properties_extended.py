@@ -121,7 +121,7 @@ class TestDynamicMaintenanceProperties:
             else:
                 u = nodes[token % len(nodes)]
                 v = nodes[(token // 7) % len(nodes)]
-                if u == v:
+                if u == v or shadow.has_edge(u, v):
                     continue
                 dt.insert_edge(u, v, 1.0)
                 shadow.add_edge(u, v, 1.0)

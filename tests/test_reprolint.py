@@ -316,6 +316,21 @@ def test_service_phases_are_registered():
     } <= set(KNOWN_PHASES)
 
 
+def test_nucleus_phases_are_registered():
+    """The nucleus decomposition vocabulary is part of the one registry."""
+    assert {"nucleus-peel", "nucleus-init"} <= set(KNOWN_PHASES)
+
+
+def test_unregistered_nucleus_phase_fires_evt001():
+    """An invented ``nucleus-*`` literal at an emission site is a lint
+    error (and the pragma twin records its justification)."""
+    result = lint("plain/evt001_nucleus_fires.py")
+    assert set(result.counts_by_rule()) == {"EVT001"}
+    twin = lint("plain/evt001_nucleus_suppressed.py")
+    assert twin.clean
+    assert any(f.rule == "EVT001" for f in twin.suppressed)
+
+
 def test_unregistered_service_phase_fires_evt001():
     """An invented ``service-*`` literal at an emission site is a lint
     error (and the pragma twin records its justification)."""

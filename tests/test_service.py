@@ -427,6 +427,32 @@ class TestLiveServer:
         assert "service-build" in rec.phases()
         assert "service-drain" in rec.phases()
 
+    def test_nucleus_endpoint(self, tmp_path, example_path):
+        with live_service(tmp_path / "state") as svc:
+            spec = quote(str(example_path), safe="")
+            # (2, 3) is the truss family: its k_max must agree with the
+            # /local index for the same graph and gamma.
+            code, body, _ = http_get(
+                svc, f"/nucleus?graph={spec}&gamma=0.3&r=2&s=3"
+                     "&wait=1&deadline=30")
+            assert code == 200
+            assert (body["r"], body["s"]) == (2, 3)
+            code, local, _ = http_get(
+                svc, f"/local?graph={spec}&gamma=0.3&wait=1&deadline=30")
+            assert code == 200
+            assert body["k_max"] == local["k_max"]
+            # The default family is (3, 4) with its own clique counts.
+            code, body34, _ = http_get(
+                svc, f"/nucleus?graph={spec}&gamma=0.1&wait=1&deadline=30")
+            assert code == 200
+            assert (body34["r"], body34["s"]) == (3, 4)
+            assert body34["clique_counts"]
+            # Unsupported families are a client error, not a build.
+            code, err, _ = http_get(
+                svc, f"/nucleus?graph={spec}&gamma=0.3&r=2&s=4")
+            assert code == 400
+            assert err["error"]["type"] == "ParameterError"
+
     def test_stats_deadline_degrades_honestly(self, tmp_path, example_path):
         rec = Recorder()
         with live_service(tmp_path / "state", progress=rec) as svc:
